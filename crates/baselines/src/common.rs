@@ -1,0 +1,176 @@
+//! Shared machinery for the statistical recovery methods.
+//!
+//! Every method reasons in the *level-shifted pixel domain*: a block's
+//! pixels are `ac_pixels + offset`, where `ac_pixels` is the IDCT of the
+//! block with DC forced to zero (mean-free) and `offset` is the uniform
+//! contribution of the DC level, `offset = dc_level * q0 / 8`.
+
+use dcdiff_jpeg::dct::idct;
+use dcdiff_jpeg::{CoeffPlane, BLOCK, BLOCK_AREA};
+use dcdiff_jpeg::quant::QuantTable;
+
+/// AC-only spatial decomposition of one coefficient plane.
+#[derive(Debug, Clone)]
+pub(crate) struct AcField {
+    pub blocks_x: usize,
+    pub blocks_y: usize,
+    /// Level-shifted, mean-free pixels per block (row-major blocks).
+    pub pixels: Vec<[f32; BLOCK_AREA]>,
+    /// Pixel offset contributed by one DC level unit (`q0 / 8`).
+    pub dc_step: f32,
+    /// Known DC offsets (in pixels) at anchor blocks, `None` elsewhere.
+    pub anchors: Vec<Option<f32>>,
+}
+
+impl AcField {
+    /// Decompose `plane`. The four corner blocks are always treated as
+    /// known anchors: under [`dcdiff_jpeg::DcDropMode::KeepCorners`] their
+    /// DC levels were transmitted, and a transmitted value of zero is
+    /// just as binding as any other (neutral-chroma planes rely on it).
+    pub fn new(plane: &CoeffPlane, qtable: &QuantTable) -> Self {
+        let (bx, by) = (plane.blocks_x(), plane.blocks_y());
+        let dc_step = qtable.values()[0] as f32 / 8.0;
+        let mut pixels = Vec::with_capacity(bx * by);
+        let mut anchors = vec![None; bx * by];
+        let corners = [(0, 0), (bx - 1, 0), (0, by - 1), (bx - 1, by - 1)];
+        for y in 0..by {
+            for x in 0..bx {
+                let mut levels = *plane.block(x, y);
+                let dc = levels[0];
+                levels[0] = 0;
+                let coeffs = qtable.dequantize(&levels);
+                pixels.push(idct(&coeffs));
+                if corners.contains(&(x, y)) {
+                    anchors[y * bx + x] = Some(dc as f32 * dc_step);
+                }
+                // (kept unconditional: zero is a valid transmitted DC)
+            }
+        }
+        Self {
+            blocks_x: bx,
+            blocks_y: by,
+            pixels,
+            dc_step,
+            anchors,
+        }
+    }
+
+    /// Index of block `(bx, by)`.
+    #[inline]
+    pub fn idx(&self, bx: usize, by: usize) -> usize {
+        by * self.blocks_x + bx
+    }
+
+    /// Column `x` of block `b` as 8 pixels.
+    pub fn column(&self, b: usize, x: usize) -> [f32; BLOCK] {
+        std::array::from_fn(|y| self.pixels[b][y * BLOCK + x])
+    }
+
+    /// Row `y` of block `b` as 8 pixels.
+    pub fn row(&self, b: usize, y: usize) -> [f32; BLOCK] {
+        std::array::from_fn(|x| self.pixels[b][y * BLOCK + x])
+    }
+
+    /// Clamp a pixel offset to the representable range and convert to a DC
+    /// level.
+    pub fn offset_to_level(&self, offset: f32) -> i32 {
+        let max_offset = 160.0; // generous headroom beyond ±128
+        let clamped = offset.clamp(-max_offset, max_offset);
+        (clamped / self.dc_step).round() as i32
+    }
+
+    /// Write estimated pixel offsets back into a coefficient plane as DC
+    /// levels.
+    pub fn apply_offsets(&self, offsets: &[f32], plane: &mut CoeffPlane) {
+        assert_eq!(offsets.len(), self.pixels.len(), "one offset per block");
+        for by in 0..self.blocks_y {
+            for bx in 0..self.blocks_x {
+                let level = self.offset_to_level(offsets[self.idx(bx, by)]);
+                plane.set_dc(bx, by, level);
+            }
+        }
+    }
+}
+
+/// Median of a non-empty slice (averaging the middle pair for even
+/// lengths).
+pub(crate) fn median(values: &mut [f32]) -> f32 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in pixel data"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::{Image, Plane};
+    use dcdiff_jpeg::{ChromaSampling, CoeffImage, DcDropMode};
+
+    fn field_for(img: &Image) -> (CoeffImage, AcField) {
+        let coeffs = CoeffImage::from_image(img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let f = AcField::new(dropped.plane(0), dropped.qtable(0));
+        (coeffs, f)
+    }
+
+    #[test]
+    fn ac_pixels_are_mean_free() {
+        let img = Image::from_gray(Plane::from_fn(32, 32, |x, y| ((x * 9 + y * 5) % 256) as f32));
+        let (_, f) = field_for(&img);
+        for (i, block) in f.pixels.iter().enumerate() {
+            let mean: f32 = block.iter().sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-3, "block {i} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn anchors_are_the_corners() {
+        let img = Image::from_gray(Plane::from_fn(48, 32, |x, y| ((x + y) * 3 % 256) as f32));
+        let (_, f) = field_for(&img);
+        let known: Vec<usize> = f
+            .anchors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|_| i))
+            .collect();
+        assert_eq!(known.len(), 4);
+        assert!(known.contains(&0));
+        assert!(known.contains(&(f.blocks_x - 1)));
+        assert!(known.contains(&(f.blocks_x * (f.blocks_y - 1))));
+        assert!(known.contains(&(f.blocks_x * f.blocks_y - 1)));
+    }
+
+    #[test]
+    fn anchor_offset_matches_true_block_mean() {
+        // For a constant block the offset equals (value - 128), up to
+        // quantisation of the DC level.
+        let img = Image::from_gray(Plane::filled(16, 16, 200.0));
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let f = AcField::new(dropped.plane(0), dropped.qtable(0));
+        let anchor = f.anchors[0].expect("corner is anchored");
+        assert!((anchor - 72.0).abs() <= f.dc_step / 2.0 + 1e-3);
+    }
+
+    #[test]
+    fn offset_level_round_trip() {
+        let img = Image::from_gray(Plane::filled(16, 16, 100.0));
+        let (_, f) = field_for(&img);
+        for level in [-50i32, -3, 0, 7, 40] {
+            let offset = level as f32 * f.dc_step;
+            assert_eq!(f.offset_to_level(offset), level);
+        }
+    }
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [1.0, 9.0, 4.0]), 4.0);
+        assert_eq!(median(&mut [1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 5 — qualitative comparison: a street-view (Urban100-profile)
+//! and an aerial (Inria-profile) scene reconstructed by every method,
+//! dumped as PPM files into `artifacts/figure5/` with per-image
+//! PSNR / LPIPS annotations printed to stdout.
+//!
+//! Usage: `cargo run --release -p dcdiff-bench --bin figure5 [-- --quick]`
+
+use dcdiff_bench::{artifact_dir, code_image, quick_mode, render_table, table1_roster};
+use dcdiff_data::{SceneGenerator, SceneKind};
+use dcdiff_image::write_ppm;
+use dcdiff_metrics::{psnr, PerceptualDistance};
+
+fn main() {
+    let quick = quick_mode();
+    let methods = table1_roster(quick);
+    let perceptual = PerceptualDistance::default();
+    let out_dir = artifact_dir().join("figure5");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let scenes = [
+        ("street", SceneGenerator::new(SceneKind::Urban, 128, 96).generate(0xF15)),
+        ("aerial", SceneGenerator::new(SceneKind::Aerial, 96, 96).generate(0xF15)),
+    ];
+
+    for (name, image) in &scenes {
+        let (_, dropped, reference) = code_image(image);
+        write_ppm(out_dir.join(format!("{name}-original.ppm")), &reference)
+            .expect("write original");
+        write_ppm(out_dir.join(format!("{name}-xtilde.ppm")), &dropped.to_image())
+            .expect("write x~");
+        let mut rows = Vec::new();
+        for method in &methods {
+            let recovered = method.recover(&dropped);
+            let slug = method
+                .name()
+                .to_lowercase()
+                .replace(' ', "-")
+                .replace(['/', ':'], "");
+            write_ppm(out_dir.join(format!("{name}-{slug}.ppm")), &recovered)
+                .expect("write reconstruction");
+            rows.push(vec![
+                method.name(),
+                format!("{:.2}", psnr(&reference, &recovered)),
+                format!("{:.4}", perceptual.distance(&reference, &recovered)),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 5 — {name} scene"),
+                &["Method", "PSNR", "LPIPS"],
+                &rows,
+            )
+        );
+    }
+    println!("PPM dumps written to {}", out_dir.display());
+}

@@ -1,0 +1,79 @@
+//! Extension experiment — rate–distortion curves.
+//!
+//! Table II of the paper fixes Q50 and reports byte savings; this binary
+//! sweeps the quality factor to show the full rate–distortion picture:
+//! standard JPEG vs. DC-dropped JPEG + masked-Laplacian recovery, with
+//! and without optimised Huffman tables (the §V "better coding" remark).
+//!
+//! Usage: `cargo run --release -p dcdiff-bench --bin rd_curve [-- --quick]`
+
+use dcdiff_bench::{quick_mode, render_table};
+use dcdiff_core::refine_dc_offsets;
+use dcdiff_data::DatasetProfile;
+use dcdiff_jpeg::{
+    encode_coefficients, encode_coefficients_optimized, ChromaSampling, CoeffImage, DcDropMode,
+};
+use dcdiff_metrics::psnr;
+
+fn main() {
+    let quick = quick_mode();
+    let count = if quick { 3 } else { 10 };
+    let images = DatasetProfile::kodak().with_count(count).generate(0x4D);
+    let qualities: &[u8] = if quick {
+        &[30, 50, 70]
+    } else {
+        &[10, 20, 30, 40, 50, 60, 70, 80, 90]
+    };
+
+    let mut rows = Vec::new();
+    for &q in qualities {
+        let mut jpeg_bytes = 0usize;
+        let mut jpeg_psnr = 0.0f64;
+        let mut drop_bytes = 0usize;
+        let mut drop_opt_bytes = 0usize;
+        let mut drop_psnr = 0.0f64;
+        for image in &images {
+            let coeffs = CoeffImage::from_image(image, q, ChromaSampling::Cs444);
+            let reference = coeffs.to_image();
+            jpeg_bytes += encode_coefficients(&coeffs).expect("encodable").len();
+            jpeg_psnr += psnr(image, &reference) as f64;
+
+            let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+            drop_bytes += encode_coefficients(&dropped).expect("encodable").len();
+            drop_opt_bytes += encode_coefficients_optimized(&dropped)
+                .expect("encodable")
+                .len();
+            let recovered = refine_dc_offsets(&dropped, &dropped, 10.0, 5e-4, 300);
+            drop_psnr += psnr(image, &recovered.to_image()) as f64;
+        }
+        let n = images.len() as f64;
+        rows.push(vec![
+            format!("Q{q}"),
+            format!("{:.0}", jpeg_bytes as f64 / n),
+            format!("{:.2}", jpeg_psnr / n),
+            format!("{:.0}", drop_bytes as f64 / n),
+            format!("{:.0}", drop_opt_bytes as f64 / n),
+            format!("{:.2}", drop_psnr / n),
+            format!("{:.1}%", 100.0 * (1.0 - drop_bytes as f64 / jpeg_bytes as f64)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Rate-distortion sweep (Kodak profile, {} images; PSNR vs the original)",
+                images.len()
+            ),
+            &[
+                "Quality",
+                "JPEG B",
+                "JPEG dB",
+                "drop B",
+                "drop+opt B",
+                "recovered dB",
+                "saved",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,47 @@
+//! Table I — quantitative comparison of DCDiff with the three baselines
+//! on the six dataset profiles, four metrics each.
+//!
+//! Usage: `cargo run --release -p dcdiff-bench --bin table1 [-- --quick]`
+
+use dcdiff_bench::{code_image, evaluation_profiles, quick_mode, render_table, table1_roster};
+use dcdiff_metrics::{PerceptualDistance, QualityReport};
+
+fn main() {
+    let quick = quick_mode();
+    let methods = table1_roster(quick);
+    let perceptual = PerceptualDistance::default();
+    let profiles = evaluation_profiles(quick);
+
+    for profile in profiles {
+        let images = profile.generate(0x7E57);
+        let mut rows = Vec::new();
+        for method in &methods {
+            let mut sums = [0.0f64; 4];
+            for image in &images {
+                let (_, dropped, reference) = code_image(image);
+                let recovered = method.recover(&dropped);
+                let report = QualityReport::evaluate(&reference, &recovered, &perceptual);
+                sums[0] += report.psnr as f64;
+                sums[1] += report.ssim as f64;
+                sums[2] += report.ms_ssim as f64;
+                sums[3] += report.lpips as f64;
+            }
+            let n = images.len() as f64;
+            rows.push(vec![
+                method.name(),
+                format!("{:.2}", sums[0] / n),
+                format!("{:.4}", sums[1] / n),
+                format!("{:.4}", sums[2] / n),
+                format!("{:.4}", sums[3] / n),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Table I — {} ({} images)", profile.name(), images.len()),
+                &["Method", "PSNR^", "SSIM^", "MS-SSIM^", "LPIPSv"],
+                &rows,
+            )
+        );
+    }
+}

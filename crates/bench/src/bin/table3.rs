@@ -1,0 +1,119 @@
+//! Table III — ablation study of DCDiff's variants on the Kodak and
+//! Inria profiles: w/o MLD, w/o FMPP, mask threshold `T ∈ {0, 5, 10,
+//! 15}`, plus two extension rows (w/o DC projection; DDIM step sweep)
+//! for the design choices called out in `DESIGN.md`.
+//!
+//! Usage: `cargo run --release -p dcdiff-bench --bin table3 [-- --quick]`
+
+use dcdiff_bench::{code_image, dcdiff_system, quick_mode, render_table};
+use dcdiff_core::RecoverOptions;
+use dcdiff_data::DatasetProfile;
+use dcdiff_metrics::{PerceptualDistance, QualityReport};
+
+fn main() {
+    let quick = quick_mode();
+    let system = dcdiff_system(quick);
+    let perceptual = PerceptualDistance::default();
+    let mut base = RecoverOptions::from_config(system.config());
+    if quick {
+        base.ddim_steps = 10;
+    }
+
+    let variants: Vec<(String, RecoverOptions)> = vec![
+        ("full (T=10)".to_string(), base),
+        (
+            "w/o MLD".to_string(),
+            RecoverOptions {
+                use_mld: false,
+                ..base
+            },
+        ),
+        (
+            "w/o FMPP".to_string(),
+            RecoverOptions {
+                use_fmpp: false,
+                ..base
+            },
+        ),
+        (
+            "w/o projection".to_string(),
+            RecoverOptions {
+                use_projection: false,
+                ..base
+            },
+        ),
+        (
+            "T=0".to_string(),
+            RecoverOptions {
+                mask_threshold: 0.0,
+                ..base
+            },
+        ),
+        (
+            "T=5".to_string(),
+            RecoverOptions {
+                mask_threshold: 5.0,
+                ..base
+            },
+        ),
+        (
+            "T=15".to_string(),
+            RecoverOptions {
+                mask_threshold: 15.0,
+                ..base
+            },
+        ),
+        (
+            "DDIM 10 steps".to_string(),
+            RecoverOptions {
+                ddim_steps: 10,
+                ..base
+            },
+        ),
+        (
+            "DDIM 25 steps".to_string(),
+            RecoverOptions {
+                ddim_steps: 25,
+                ..base
+            },
+        ),
+    ];
+
+    let datasets = [
+        DatasetProfile::kodak().with_count(if quick { 2 } else { 8 }),
+        DatasetProfile::inria().with_count(if quick { 2 } else { 8 }),
+    ];
+
+    for profile in datasets {
+        let images = profile.generate(0xAB1A);
+        let mut rows = Vec::new();
+        for (name, options) in &variants {
+            let mut sums = [0.0f64; 4];
+            for image in &images {
+                let (_, dropped, reference) = code_image(image);
+                let recovered = system.recover_with(&dropped, options);
+                let report = QualityReport::evaluate(&reference, &recovered, &perceptual);
+                sums[0] += report.psnr as f64;
+                sums[1] += report.ssim as f64;
+                sums[2] += report.ms_ssim as f64;
+                sums[3] += report.lpips as f64;
+            }
+            let n = images.len() as f64;
+            rows.push(vec![
+                name.clone(),
+                format!("{:.2}", sums[0] / n),
+                format!("{:.4}", sums[1] / n),
+                format!("{:.4}", sums[2] / n),
+                format!("{:.4}", sums[3] / n),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Table III — ablations on {} ({} images)", profile.name(), images.len()),
+                &["Variant", "PSNR^", "SSIM^", "MS-SSIM^", "LPIPSv"],
+                &rows,
+            )
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Table V — influence of each recovery method on a remote-sensing
+//! classification task: clean accuracy and the accuracy drop when the
+//! classifier sees reconstructions instead of originals.
+//!
+//! Usage: `cargo run --release -p dcdiff-bench --bin table5 [-- --quick]`
+
+use dcdiff_bench::{quick_mode, render_table, table1_roster, QUALITY};
+use dcdiff_data::AerialDataset;
+use dcdiff_downstream::Classifier;
+use dcdiff_jpeg::{ChromaSampling, CoeffImage, DcDropMode};
+
+fn main() {
+    let quick = quick_mode();
+    let tile = 48usize;
+    let per_class = if quick { 6 } else { 25 };
+    let dataset = AerialDataset::new(tile, per_class);
+    let train = dataset.generate(0);
+    let test = dataset.generate(10_000);
+
+    eprintln!("[table5] training classifier on {} tiles...", train.len());
+    let mut clf = Classifier::new(tile, dataset.num_classes(), 0xC1A55);
+    clf.train(&train, if quick { 5 } else { 8 }, 0x515);
+    let clean = clf.accuracy(&test);
+
+    let methods = table1_roster(quick);
+    let mut rows = vec![vec![
+        "Original".to_string(),
+        format!("{:.2}%", clean * 100.0),
+        "-".to_string(),
+    ]];
+    for method in &methods {
+        let acc = clf.accuracy_under(&test, |img| {
+            let coeffs = CoeffImage::from_image(img, QUALITY, ChromaSampling::Cs444);
+            let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+            method.recover(&dropped)
+        });
+        rows.push(vec![
+            method.name(),
+            format!("{:.2}%", acc * 100.0),
+            format!("v {:.2}%", (clean - acc) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Table V — remote-sensing classification ({} test tiles, {} classes)",
+                test.len(),
+                dataset.num_classes()
+            ),
+            &["Input", "ACC", "drop"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,384 @@
+//! Sub-command implementations.
+
+use dcdiff_baselines::{DcRecovery, Icip2022, SmartCom2019, Tip2006};
+use dcdiff_core::refine_dc_offsets;
+use dcdiff_data::{SceneGenerator, SceneKind};
+use dcdiff_image::{read_pgm, read_ppm, write_pgm, write_ppm};
+
+/// Read a PPM or PGM image based on the file extension.
+fn read_image(path: &str) -> Result<dcdiff_image::Image, String> {
+    if path.to_ascii_lowercase().ends_with(".pgm") {
+        read_pgm(path).map_err(|e| e.to_string())
+    } else {
+        read_ppm(path).map_err(|e| e.to_string())
+    }
+}
+
+/// Write a PPM or PGM image based on the file extension.
+fn write_image(path: &str, image: &dcdiff_image::Image) -> Result<(), String> {
+    if path.to_ascii_lowercase().ends_with(".pgm") {
+        write_pgm(path, image).map_err(|e| e.to_string())
+    } else {
+        write_ppm(path, image).map_err(|e| e.to_string())
+    }
+}
+use dcdiff_jpeg::{
+    encode_coefficients, encode_coefficients_optimized, encode_coefficients_with_restarts,
+    ChromaSampling, DcDropMode, JpegDecoder, JpegEncoder,
+};
+use dcdiff_metrics::{ms_ssim, psnr, ssim, PerceptualDistance};
+
+use crate::args::Parsed;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  dcdiff encode  <in.ppm> <out.jpg>  [--quality N | --budget BYTES]
+                                     [--subsample 444|422|420]
+                                     [--optimize] [--restart N] [--drop-dc]
+  dcdiff decode  <in.jpg> <out.ppm>
+  dcdiff transcode <in.jpg> <out.jpg> [--drop-dc] [--optimize] [--restart N]
+  dcdiff recover <in.jpg> <out.ppm>  [--method tip2006|smartcom|icip|mld]
+                                     [--threshold T] [--sweeps N]
+  dcdiff metrics <ref.ppm> <test.ppm>
+  dcdiff info    <in.jpg>
+  dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
+                                     [--size WxH] [--seed N]";
+
+/// Dispatch the parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any parse, I/O or codec failure.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(argv)?;
+    if parsed.positional_len() > 3 {
+        return Err(format!(
+            "too many arguments ({} given, at most 3 expected)",
+            parsed.positional_len()
+        ));
+    }
+    match parsed.positional(0) {
+        Some("encode") => encode(&parsed),
+        Some("decode") => decode(&parsed),
+        Some("transcode") => transcode(&parsed),
+        Some("recover") => recover(&parsed),
+        Some("metrics") => metrics(&parsed),
+        Some("info") => info(&parsed),
+        Some("demo") => demo(&parsed),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn io_err(err: impl std::fmt::Display) -> String {
+    err.to_string()
+}
+
+fn need(parsed: &Parsed, i: usize, what: &str) -> Result<String, String> {
+    parsed
+        .positional(i)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn encode(parsed: &Parsed) -> Result<(), String> {
+    let input = need(parsed, 1, "input .ppm path")?;
+    let output = need(parsed, 2, "output .jpg path")?;
+    let quality = parsed.int("--quality", 50)? as u8;
+    if !(1..=100).contains(&quality) {
+        return Err("--quality must be 1..=100".to_string());
+    }
+    let sampling = match parsed.value("--subsample") {
+        None | Some("444") => ChromaSampling::Cs444,
+        Some("422") => ChromaSampling::Cs422,
+        Some("420") => ChromaSampling::Cs420,
+        Some(other) => return Err(format!("unknown subsampling '{other}' (444, 422 or 420)")),
+    };
+    let restart = parsed.int("--restart", 0)? as usize;
+
+    let image = read_image(&input)?;
+    if let Some(budget) = parsed.value("--budget") {
+        let max_bytes: usize = budget
+            .parse()
+            .map_err(|_| format!("--budget: '{budget}' is not an integer"))?;
+        let control = dcdiff_jpeg::rate::RateControl {
+            max_bytes,
+            sampling,
+            drop_dc: parsed.has("--drop-dc"),
+            optimize: parsed.has("--optimize"),
+        };
+        let out = dcdiff_jpeg::rate::encode_to_budget(&image, control).map_err(io_err)?;
+        std::fs::write(&output, &out.bytes).map_err(io_err)?;
+        println!(
+            "{output}: {} bytes within budget {max_bytes} (picked quality {})",
+            out.bytes.len(),
+            out.quality
+        );
+        return Ok(());
+    }
+    let encoder = JpegEncoder::new(quality).with_sampling(sampling);
+    let mut coeffs = encoder.to_coefficients(&image);
+    if parsed.has("--drop-dc") {
+        coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
+    }
+    let bytes = if parsed.has("--optimize") {
+        encode_coefficients_optimized(&coeffs).map_err(io_err)?
+    } else if restart > 0 {
+        encode_coefficients_with_restarts(&coeffs, restart).map_err(io_err)?
+    } else {
+        encode_coefficients(&coeffs).map_err(io_err)?
+    };
+    std::fs::write(&output, &bytes).map_err(io_err)?;
+    println!(
+        "{output}: {} bytes (quality {quality}, {sampling}{}{})",
+        bytes.len(),
+        if parsed.has("--drop-dc") { ", DC dropped" } else { "" },
+        if parsed.has("--optimize") { ", optimized tables" } else { "" },
+    );
+    Ok(())
+}
+
+fn decode(parsed: &Parsed) -> Result<(), String> {
+    let input = need(parsed, 1, "input .jpg path")?;
+    let output = need(parsed, 2, "output .ppm path")?;
+    let bytes = std::fs::read(&input).map_err(io_err)?;
+    let image = JpegDecoder::decode(&bytes).map_err(io_err)?;
+    write_image(&output, &image)?;
+    println!("{output}: {}x{}", image.width(), image.height());
+    Ok(())
+}
+
+/// Lossless bitstream surgery on an existing JPEG: entropy-decode,
+/// optionally drop DC, re-code with standard/optimised tables.
+fn transcode(parsed: &Parsed) -> Result<(), String> {
+    let input = need(parsed, 1, "input .jpg path")?;
+    let output = need(parsed, 2, "output .jpg path")?;
+    let bytes = std::fs::read(&input).map_err(io_err)?;
+    let mut coeffs = JpegDecoder::decode_coefficients(&bytes).map_err(io_err)?;
+    if parsed.has("--drop-dc") {
+        coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
+    }
+    let restart = parsed.int("--restart", 0)? as usize;
+    let out = if parsed.has("--optimize") {
+        encode_coefficients_optimized(&coeffs).map_err(io_err)?
+    } else if restart > 0 {
+        encode_coefficients_with_restarts(&coeffs, restart).map_err(io_err)?
+    } else {
+        encode_coefficients(&coeffs).map_err(io_err)?
+    };
+    std::fs::write(&output, &out).map_err(io_err)?;
+    println!(
+        "{output}: {} -> {} bytes ({:.1}%)",
+        bytes.len(),
+        out.len(),
+        100.0 * out.len() as f64 / bytes.len() as f64
+    );
+    Ok(())
+}
+
+fn recover(parsed: &Parsed) -> Result<(), String> {
+    let input = need(parsed, 1, "input .jpg path")?;
+    let output = need(parsed, 2, "output .ppm path")?;
+    let bytes = std::fs::read(&input).map_err(io_err)?;
+    let dropped = JpegDecoder::decode_coefficients(&bytes).map_err(io_err)?;
+    let method = parsed.value("--method").unwrap_or("mld");
+    let image = match method {
+        "tip2006" => Tip2006::new().recover(&dropped),
+        "smartcom" => SmartCom2019::new().recover(&dropped),
+        "icip" => Icip2022::new().recover(&dropped),
+        "mld" => {
+            // the masked-Laplacian refinement with a neutral prior — the
+            // training-free core of DCDiff's receiver
+            let threshold = parsed.float("--threshold", 10.0)?;
+            let sweeps = parsed.int("--sweeps", 300)? as usize;
+            refine_dc_offsets(&dropped, &dropped, threshold, 5e-4, sweeps.max(1)).to_image()
+        }
+        other => return Err(format!("unknown method '{other}'")),
+    };
+    write_image(&output, &image)?;
+    println!("{output}: recovered with {method}");
+    Ok(())
+}
+
+fn metrics(parsed: &Parsed) -> Result<(), String> {
+    let reference = read_image(&need(parsed, 1, "reference image")?)?;
+    let test = read_image(&need(parsed, 2, "test image")?)?;
+    if reference.dims() != test.dims() {
+        return Err(format!(
+            "size mismatch: {}x{} vs {}x{}",
+            reference.width(),
+            reference.height(),
+            test.width(),
+            test.height()
+        ));
+    }
+    println!("PSNR    {:.3} dB", psnr(&reference, &test));
+    println!("SSIM    {:.4}", ssim(&reference, &test));
+    if reference.width() >= 16 && reference.height() >= 16 {
+        println!("MS-SSIM {:.4}", ms_ssim(&reference, &test));
+    }
+    println!(
+        "LPIPS   {:.4}",
+        PerceptualDistance::default().distance(&reference, &test)
+    );
+    Ok(())
+}
+
+fn info(parsed: &Parsed) -> Result<(), String> {
+    let input = need(parsed, 1, "input .jpg path")?;
+    let bytes = std::fs::read(&input).map_err(io_err)?;
+    let coeffs = JpegDecoder::decode_coefficients(&bytes).map_err(io_err)?;
+    println!("{input}:");
+    println!("  size        {} bytes", bytes.len());
+    println!("  dimensions  {}x{}", coeffs.width(), coeffs.height());
+    println!("  components  {}", coeffs.channels());
+    println!("  sampling    {}", coeffs.sampling());
+    let luma = coeffs.plane(0);
+    println!("  luma blocks {}x{}", luma.blocks_x(), luma.blocks_y());
+    println!("  q0 (luma)   {}", coeffs.qtable(0).values()[0]);
+    println!(
+        "  est quality {}",
+        coeffs
+            .qtable(0)
+            .estimate_quality(&dcdiff_jpeg::quant::LUMA_BASE)
+    );
+    let zero_dc = (0..luma.blocks_y())
+        .flat_map(|by| (0..luma.blocks_x()).map(move |bx| (bx, by)))
+        .filter(|&(bx, by)| luma.dc(bx, by) == 0)
+        .count();
+    let total = luma.blocks_x() * luma.blocks_y();
+    println!(
+        "  zero DC     {zero_dc}/{total} luma blocks{}",
+        if zero_dc * 10 > total * 9 {
+            "  <- looks DC-dropped; try `dcdiff recover`"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn demo(parsed: &Parsed) -> Result<(), String> {
+    let output = need(parsed, 1, "output .ppm path")?;
+    let kind = match parsed.value("--scene").unwrap_or("natural") {
+        "smooth" => SceneKind::Smooth,
+        "natural" => SceneKind::Natural,
+        "texture" => SceneKind::Texture,
+        "urban" => SceneKind::Urban,
+        "aerial" => SceneKind::Aerial,
+        other => return Err(format!("unknown scene '{other}'")),
+    };
+    let (w, h) = parsed.size("--size", (96, 96))?;
+    if w == 0 || h == 0 {
+        return Err("--size must be positive".to_string());
+    }
+    let seed = parsed.int("--seed", 0)?;
+    let image = SceneGenerator::new(kind, w, h).generate(seed);
+    write_image(&output, &image)?;
+    println!("{output}: {kind:?} scene {w}x{h} (seed {seed})");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dcdiff-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn demo_encode_decode_metrics_pipeline() {
+        let scene = tmp("scene.ppm");
+        let jpg = tmp("scene.jpg");
+        let back = tmp("back.ppm");
+        run(&["demo", &scene, "--scene", "urban", "--size", "64x48", "--seed", "3"]).unwrap();
+        run(&["encode", &scene, &jpg, "--quality", "70"]).unwrap();
+        run(&["decode", &jpg, &back]).unwrap();
+        run(&["metrics", &scene, &back]).unwrap();
+        run(&["info", &jpg]).unwrap();
+        for f in [&scene, &jpg, &back] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn drop_dc_then_recover_pipeline() {
+        let scene = tmp("r-scene.ppm");
+        let jpg = tmp("r-scene.jpg");
+        let out = tmp("r-out.ppm");
+        run(&["demo", &scene, "--scene", "smooth", "--size", "64x64"]).unwrap();
+        run(&["encode", &scene, &jpg, "--drop-dc"]).unwrap();
+        for method in ["tip2006", "smartcom", "icip", "mld"] {
+            run(&["recover", &jpg, &out, "--method", method]).unwrap();
+        }
+        assert!(run(&["recover", &jpg, &out, "--method", "nope"]).is_err());
+        for f in [&scene, &jpg, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn budget_encoding_fits() {
+        let scene = tmp("b-scene.ppm");
+        let jpg = tmp("b-scene.jpg");
+        run(&["demo", &scene, "--size", "48x48"]).unwrap();
+        run(&["encode", &scene, &jpg, "--budget", "900"]).unwrap();
+        assert!(std::fs::metadata(&jpg).unwrap().len() <= 900);
+        assert!(run(&["encode", &scene, &jpg, "--budget", "10"]).is_err());
+        for f in [&scene, &jpg] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn transcode_pipeline() {
+        let scene = tmp("t-scene.ppm");
+        let jpg = tmp("t-scene.jpg");
+        let out = tmp("t-out.jpg");
+        run(&["demo", &scene, "--size", "48x48"]).unwrap();
+        run(&["encode", &scene, &jpg]).unwrap();
+        run(&["transcode", &jpg, &out, "--drop-dc", "--optimize"]).unwrap();
+        let before = std::fs::metadata(&jpg).unwrap().len();
+        let after = std::fs::metadata(&out).unwrap().len();
+        assert!(after < before, "transcode must shrink: {after} vs {before}");
+        run(&["info", &out]).unwrap();
+        for f in [&scene, &jpg, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn optimized_encoding_is_smaller_or_equal() {
+        let scene = tmp("o-scene.ppm");
+        let a = tmp("o-std.jpg");
+        let b = tmp("o-opt.jpg");
+        run(&["demo", &scene, "--scene", "texture", "--size", "64x64"]).unwrap();
+        run(&["encode", &scene, &a]).unwrap();
+        run(&["encode", &scene, &b, "--optimize"]).unwrap();
+        let sa = std::fs::metadata(&a).unwrap().len();
+        let sb = std::fs::metadata(&b).unwrap().len();
+        assert!(sb <= sa, "optimized {sb} > standard {sa}");
+        for f in [&scene, &a, &b] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn bad_quality_rejected() {
+        assert!(run(&["encode", "a", "b", "--quality", "0"]).is_err());
+        assert!(run(&["encode", "a", "b", "--quality", "101"]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `dcdiff` — command-line front end for the DCDiff reproduction.
+//!
+//! ```text
+//! dcdiff encode  <in.ppm> <out.jpg>  [--quality N] [--subsample 420]
+//!                                    [--optimize] [--restart N] [--drop-dc]
+//! dcdiff decode  <in.jpg> <out.ppm>
+//! dcdiff recover <in.jpg> <out.ppm>  [--method tip2006|smartcom|icip|mld]
+//! dcdiff metrics <ref.ppm> <test.ppm>
+//! dcdiff info    <in.jpg>
+//! dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
+//!                                    [--size WxH] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

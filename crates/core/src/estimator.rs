@@ -1,0 +1,604 @@
+//! The end-to-end DCDiff estimator.
+
+use dcdiff_diffusion::{DdimSampler, Fmpp, NoiseSchedule};
+use dcdiff_image::Image;
+use dcdiff_jpeg::{ChromaSampling, CoeffImage, DcDropMode};
+use dcdiff_tensor::optim::Adam;
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{seeded_rng, Rng, Tensor};
+use rand::Rng as _;
+
+use crate::mask::{high_frequency_mask, DEFAULT_THRESHOLD};
+use crate::projection::{image_to_tensor, project_dc, tensor_to_image};
+use crate::refine::refine_dc_offsets;
+use crate::stage1::Stage1;
+use crate::stage2::Stage2;
+use crate::{PatchDiscriminator, PerceptualLoss};
+
+/// Hyperparameters of the DCDiff system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcDiffConfig {
+    /// Stage-1 autoencoder width.
+    pub stage1_base: usize,
+    /// Latent channels of `z_0`.
+    pub latent_channels: usize,
+    /// U-Net width.
+    pub unet_base: usize,
+    /// Diffusion timesteps `T` of the training schedule.
+    pub diffusion_steps: usize,
+    /// DDIM steps at inference (the paper uses 50).
+    pub ddim_steps: usize,
+    /// Eq. 3 mask threshold `T` (the paper selects 10).
+    pub mask_threshold: f32,
+    /// Weight σ of the masked Laplacian loss in Eq. 6 (paper: 2e-4; we
+    /// use a larger value because our pixel scale is `[-1, 1]`).
+    pub sigma: f32,
+    /// Quadratic prior weight λ of the inference-time MLD refinement.
+    pub prior_weight: f32,
+    /// Gauss–Seidel sweeps of the refinement.
+    pub refine_sweeps: usize,
+    /// JPEG quality the system is trained for.
+    pub quality: u8,
+    /// EMA decay for the stage-2 weights (`None` disables averaging).
+    /// Sampling uses the averaged weights, the standard stabilisation for
+    /// diffusion training.
+    pub ema_decay: Option<f32>,
+}
+
+impl Default for DcDiffConfig {
+    fn default() -> Self {
+        Self {
+            stage1_base: 12,
+            latent_channels: 4,
+            unet_base: 16,
+            diffusion_steps: 200,
+            ddim_steps: 50,
+            mask_threshold: DEFAULT_THRESHOLD,
+            sigma: 0.05,
+            prior_weight: 0.001,
+            refine_sweeps: 150,
+            quality: 50,
+            ema_decay: Some(0.995),
+        }
+    }
+}
+
+/// Inference-time options (the ablation knobs of Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverOptions {
+    /// DDIM steps (overrides the config default).
+    pub ddim_steps: usize,
+    /// Use the FMPP frequency modulation (w/o FMPP sets `s = b = 1`).
+    pub use_fmpp: bool,
+    /// Apply the masked-Laplacian refinement (the inference-time
+    /// counterpart of the MLD loss).
+    pub use_mld: bool,
+    /// Apply the DC projection (keep AC bit-exact, take block means from
+    /// the generated image).
+    pub use_projection: bool,
+    /// Eq. 3 mask threshold `T` used by the refinement.
+    pub mask_threshold: f32,
+    /// Sampling seed (inference is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl RecoverOptions {
+    /// Defaults matching a [`DcDiffConfig`].
+    pub fn from_config(config: &DcDiffConfig) -> Self {
+        Self {
+            ddim_steps: config.ddim_steps,
+            use_fmpp: true,
+            use_mld: true,
+            use_projection: true,
+            mask_threshold: config.mask_threshold,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of a training run (loss trajectories for diagnostics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainReport {
+    /// Stage-1 generator losses per step.
+    pub stage1_losses: Vec<f32>,
+    /// Stage-2 `L_ldm` losses per step (both phases).
+    pub ldm_losses: Vec<f32>,
+    /// Stage-2 `L_m` values per phase-2 step.
+    pub mld_losses: Vec<f32>,
+    /// FMPP losses per step.
+    pub fmpp_losses: Vec<f32>,
+    /// Latent normalisation scale estimated after stage 1.
+    pub latent_scale: f32,
+}
+
+/// Training step budget for [`DcDiff::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainBudget {
+    /// Stage-1 autoencoder steps.
+    pub stage1_steps: usize,
+    /// Stage-2 phase-1 (`L_ldm` only) steps.
+    pub ldm_steps: usize,
+    /// Stage-2 phase-2 (`L_ldm + σ·L_m`) steps.
+    pub mld_steps: usize,
+    /// FMPP steps.
+    pub fmpp_steps: usize,
+    /// Batch size for every stage.
+    pub batch: usize,
+}
+
+impl Default for TrainBudget {
+    fn default() -> Self {
+        Self {
+            stage1_steps: 300,
+            ldm_steps: 300,
+            mld_steps: 150,
+            fmpp_steps: 60,
+            batch: 2,
+        }
+    }
+}
+
+/// The DCDiff system: stage-1 autoencoder, stage-2 controlled latent
+/// diffusion, FMPP, and the receiver-side recovery pipeline.
+///
+/// # Pipeline (inference)
+///
+/// 1. decode the DC-dropped stream to `x̃`;
+/// 2. FMPP predicts the FreeU scales `(s, b)` from `x̃`;
+/// 3. DDIM-sample the DC latent under control features from `x̃`;
+/// 4. decode with the stage-1 decoder and `E_AC(x̃)`;
+/// 5. **DC projection** — keep the transmitted AC bit-exact, take only
+///    per-block means from the generated image;
+/// 6. masked-Laplacian refinement of the projected DC map (see
+///    `DESIGN.md` for why this training-time constraint is also applied
+///    at inference in this scaled-down reproduction).
+#[derive(Debug)]
+pub struct DcDiff {
+    config: DcDiffConfig,
+    stage1: Stage1,
+    stage2: Stage2,
+    fmpp: Fmpp,
+    latent_scale: f32,
+    trained: bool,
+}
+
+impl DcDiff {
+    /// Build an untrained system.
+    pub fn new(config: DcDiffConfig, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let stage1 = Stage1::new(config.stage1_base, config.latent_channels, &mut rng);
+        let schedule = NoiseSchedule::linear(config.diffusion_steps, 1e-3, 2e-2);
+        let stage2 = Stage2::new(config.latent_channels, config.unet_base, schedule, &mut rng);
+        let fmpp = Fmpp::new(3, &mut rng);
+        Self {
+            config,
+            stage1,
+            stage2,
+            fmpp,
+            latent_scale: 1.0,
+            trained: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DcDiffConfig {
+        &self.config
+    }
+
+    /// Whether [`DcDiff::train`] completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Prepare an `(x0, x̃, mask)` training example from an original image.
+    fn example(&self, image: &Image) -> (Tensor, Tensor, dcdiff_image::Plane) {
+        let coeffs = CoeffImage::from_image(image, self.config.quality, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let x_tilde_img = dropped.to_image();
+        let x0 = image_to_tensor(&image.to_rgb());
+        let x_tilde = image_to_tensor(&x_tilde_img);
+        let mask = high_frequency_mask(&x_tilde_img, self.config.mask_threshold);
+        (x0, x_tilde, mask)
+    }
+
+    fn batch_tensors(
+        examples: &[(Tensor, Tensor, dcdiff_image::Plane)],
+        idx: &[usize],
+    ) -> (Tensor, Tensor, Vec<dcdiff_image::Plane>) {
+        let shape = examples[0].0.shape().to_vec();
+        let (c, h, w) = (shape[1], shape[2], shape[3]);
+        let mut x0 = Vec::with_capacity(idx.len() * c * h * w);
+        let mut xt = Vec::with_capacity(idx.len() * c * h * w);
+        let mut masks = Vec::with_capacity(idx.len());
+        for &i in idx {
+            x0.extend_from_slice(&examples[i].0.to_vec());
+            xt.extend_from_slice(&examples[i].1.to_vec());
+            masks.push(examples[i].2.clone());
+        }
+        (
+            Tensor::from_vec(vec![idx.len(), c, h, w], x0),
+            Tensor::from_vec(vec![idx.len(), c, h, w], xt),
+            masks,
+        )
+    }
+
+    /// Run the full three-stage training procedure of §III-E on
+    /// `images` (all the same 16-aligned size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or dimensions are not divisible by 16.
+    pub fn train(&mut self, images: &[Image], budget: TrainBudget, seed: u64) -> TrainReport {
+        assert!(!images.is_empty(), "need at least one training image");
+        for img in images {
+            assert!(
+                img.width() % 16 == 0 && img.height() % 16 == 0,
+                "training images must be 16-aligned, got {}x{}",
+                img.width(),
+                img.height()
+            );
+        }
+        let mut rng = seeded_rng(seed);
+        let mut report = TrainReport::default();
+        let examples: Vec<_> = images.iter().map(|img| self.example(img)).collect();
+        let sample_batch = |rng: &mut Rng| -> Vec<usize> {
+            (0..budget.batch.max(1))
+                .map(|_| rng.gen_range(0..examples.len()))
+                .collect()
+        };
+
+        // ---- stage 1: autoencoder (Eq. 5) ----
+        let perceptual = PerceptualLoss::default();
+        let mut disc_rng = seeded_rng(seed ^ 0xD15C);
+        let disc = PatchDiscriminator::new(3, &mut disc_rng);
+        let mut opt1 = Adam::new(self.stage1.params(), 2e-3);
+        let mut dopt = Adam::new(disc.params(), 1e-3);
+        for _ in 0..budget.stage1_steps {
+            let idx = sample_batch(&mut rng);
+            let (x0, xt, _) = Self::batch_tensors(&examples, &idx);
+            let loss = self
+                .stage1
+                .train_step(&x0, &xt, &perceptual, &disc, &mut opt1, &mut dopt, 0.005);
+            report.stage1_losses.push(loss);
+        }
+
+        // latent scale for unit-variance diffusion
+        let mut var_sum = 0.0f64;
+        let mut var_count = 0usize;
+        for (x0, _, _) in &examples {
+            let z = self.stage1.encode_dc(x0).detach();
+            for v in z.to_vec() {
+                var_sum += (v as f64) * (v as f64);
+                var_count += 1;
+            }
+        }
+        self.latent_scale = ((var_sum / var_count.max(1) as f64).sqrt() as f32).max(1e-3);
+        report.latent_scale = self.latent_scale;
+
+        // ---- stage 2 phase 1: L_ldm only ----
+        let mut opt2 = Adam::new(self.stage2.params(), 1e-3);
+        let mut ema = self
+            .config
+            .ema_decay
+            .map(|decay| dcdiff_tensor::optim::Ema::new(self.stage2.params(), decay));
+        for _ in 0..budget.ldm_steps {
+            let idx = sample_batch(&mut rng);
+            let (x0, xt, _) = Self::batch_tensors(&examples, &idx);
+            let z0 = self
+                .stage1
+                .encode_dc(&x0)
+                .detach()
+                .scale(1.0 / self.latent_scale);
+            let cond = Stage2::condition_from(&xt).detach();
+            let loss = self.stage2.train_step_ldm(&z0, &cond, &mut opt2, &mut rng);
+            if let Some(ema) = &mut ema {
+                ema.update();
+            }
+            report.ldm_losses.push(loss);
+        }
+
+        // ---- stage 2 phase 2: L_ldm + sigma * L_m ----
+        opt2.set_lr(2e-4);
+        for _ in 0..budget.mld_steps {
+            let idx = sample_batch(&mut rng);
+            let (x0, xt, masks) = Self::batch_tensors(&examples, &idx);
+            let z0 = self
+                .stage1
+                .encode_dc(&x0)
+                .detach()
+                .scale(1.0 / self.latent_scale);
+            let cond = Stage2::condition_from(&xt).detach();
+            let (ldm, mld) = self.stage2.train_step_mld(
+                &z0,
+                &cond,
+                &xt,
+                &masks,
+                &self.stage1,
+                self.config.sigma,
+                &mut opt2,
+                &mut rng,
+            );
+            if let Some(ema) = &mut ema {
+                ema.update();
+            }
+            report.ldm_losses.push(ldm);
+            report.mld_losses.push(mld);
+        }
+        // sample from the averaged weights
+        if let Some(ema) = &ema {
+            ema.apply_to_params();
+        }
+
+        // ---- FMPP: freeze everything else, minimise MSE of a one-step
+        // reconstruction under the predicted scales ----
+        let mut fopt = Adam::new(self.fmpp.params(), 5e-4);
+        for _ in 0..budget.fmpp_steps {
+            let idx = sample_batch(&mut rng);
+            let (x0, xt, _) = Self::batch_tensors(&examples, &idx);
+            let z0 = self
+                .stage1
+                .encode_dc(&x0)
+                .detach()
+                .scale(1.0 / self.latent_scale);
+            let cond = Stage2::condition_from(&xt).detach();
+            let control = self.stage2.control_features(&cond);
+            let control: Vec<Tensor> = control.iter().map(Tensor::detach).collect();
+            let t = self.stage2.schedule().steps() / 2;
+            let eps = Tensor::randn(z0.shape().to_vec(), 1.0, &mut rng);
+            let z_t = self.stage2.schedule().q_sample(&z0, t, &eps).detach();
+            fopt.zero_grad();
+            let (s, b) = self.fmpp.predict(&xt);
+            let n = z0.shape()[0];
+            let eps_hat = self
+                .stage2
+                .predict_noise(&z_t, &vec![t; n], &control, Some((&s, &b)));
+            let z0_hat = self.stage2.schedule().predict_z0(&z_t, t, &eps_hat);
+            let x_hat = self
+                .stage1
+                .decode(&z0_hat.scale(self.latent_scale), &xt.detach());
+            let loss = x_hat.mse(&x0);
+            loss.backward();
+            // freeze everything but FMPP
+            for p in self.stage1.params().iter().chain(self.stage2.params().iter()) {
+                p.zero_grad();
+            }
+            fopt.step();
+            report.fmpp_losses.push(loss.item());
+        }
+
+        self.trained = true;
+        report
+    }
+
+    /// Recover an image from a DC-dropped coefficient stream with default
+    /// options.
+    pub fn recover(&self, dropped: &CoeffImage) -> Image {
+        self.recover_with(dropped, &RecoverOptions::from_config(&self.config))
+    }
+
+    /// Recover with explicit [`RecoverOptions`] (the Table III ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.ddim_steps` is zero or exceeds the training
+    /// schedule.
+    pub fn recover_with(&self, dropped: &CoeffImage, options: &RecoverOptions) -> Image {
+        let x_tilde_img = dropped.to_image();
+        // pad to a 16-aligned canvas for the networks
+        let (w, h) = x_tilde_img.dims();
+        let pw = w.div_ceil(16) * 16;
+        let ph = h.div_ceil(16) * 16;
+        let padded = if (pw, ph) == (w, h) {
+            x_tilde_img.clone()
+        } else {
+            Image::from_planes(
+                x_tilde_img
+                    .planes()
+                    .iter()
+                    .map(|p| p.crop_clamped(0, 0, pw, ph))
+                    .collect(),
+                x_tilde_img.color_space(),
+            )
+            .expect("padded planes share dimensions")
+        };
+        let x_tilde = image_to_tensor(&padded);
+
+        // FreeU scales
+        let (s, b) = if options.use_fmpp {
+            self.fmpp.predict(&x_tilde)
+        } else {
+            (Tensor::full(vec![1], 1.0), Tensor::full(vec![1], 1.0))
+        };
+        let s = s.detach();
+        let b = b.detach();
+
+        // DDIM sampling of the DC latent
+        let cond = Stage2::condition_from(&x_tilde).detach();
+        let control = self.stage2.control_features(&cond);
+        let control: Vec<Tensor> = control.iter().map(Tensor::detach).collect();
+        let sampler = DdimSampler::new(self.stage2.schedule().clone(), options.ddim_steps);
+        let mut rng = seeded_rng(options.seed);
+        let latent_shape = [
+            1,
+            self.config.latent_channels,
+            ph / 8,
+            pw / 8,
+        ];
+        let z = sampler.sample(&latent_shape, &mut rng, |z_t, t| {
+            self.stage2
+                .predict_noise(z_t, &[t], &control, Some((&s, &b)))
+        });
+
+        // decode and crop
+        let x_hat = self
+            .stage1
+            .decode(&z.scale(self.latent_scale), &x_tilde)
+            .detach();
+        let generated = tensor_to_image(&x_hat).crop_to(w, h);
+
+        if !options.use_projection {
+            return generated;
+        }
+        let projected = project_dc(dropped, &generated);
+        if !options.use_mld {
+            return projected.to_image();
+        }
+        let refined = refine_dc_offsets(
+            dropped,
+            &projected,
+            options.mask_threshold,
+            self.config.prior_weight,
+            self.config.refine_sweeps,
+        );
+        refined.to_image()
+    }
+
+    /// Serialise every sub-network into a checkpoint.
+    pub fn save(&self) -> Checkpoint {
+        let mut ckpt = Checkpoint::new();
+        self.stage1.save(&mut ckpt);
+        self.stage2.save(&mut ckpt);
+        self.fmpp.save(&mut ckpt);
+        let scale = Tensor::from_vec(vec![1], vec![self.latent_scale]);
+        ckpt.insert("latent_scale", &scale);
+        ckpt
+    }
+
+    /// Restore every sub-network from a checkpoint written by
+    /// [`DcDiff::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on missing or mis-shaped tensors.
+    pub fn load(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.stage1.load(ckpt)?;
+        self.stage2.load(ckpt)?;
+        self.fmpp.load(ckpt)?;
+        let scale = Tensor::from_vec(vec![1], vec![1.0]);
+        ckpt.load_into("latent_scale", &scale)?;
+        self.latent_scale = scale.to_vec()[0];
+        self.trained = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_data::{DatasetProfile, SceneGenerator, SceneKind};
+    use dcdiff_metrics::psnr;
+
+    fn tiny_config() -> DcDiffConfig {
+        DcDiffConfig {
+            stage1_base: 8,
+            latent_channels: 4,
+            unet_base: 8,
+            diffusion_steps: 50,
+            ddim_steps: 5,
+            ..DcDiffConfig::default()
+        }
+    }
+
+    fn tiny_budget() -> TrainBudget {
+        TrainBudget {
+            stage1_steps: 40,
+            ldm_steps: 30,
+            mld_steps: 10,
+            fmpp_steps: 5,
+            batch: 2,
+        }
+    }
+
+    #[test]
+    fn untrained_recovery_still_produces_valid_output() {
+        let system = DcDiff::new(tiny_config(), 0);
+        let img = SceneGenerator::new(SceneKind::Smooth, 48, 48).generate(1);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let out = system.recover(&dropped);
+        assert_eq!(out.dims(), (48, 48));
+    }
+
+    #[test]
+    fn training_runs_and_losses_decrease() {
+        let mut system = DcDiff::new(tiny_config(), 1);
+        let images = DatasetProfile::set5().with_dims(32, 32).generate(10);
+        let report = system.train(&images, tiny_budget(), 7);
+        assert!(system.is_trained());
+        assert_eq!(report.stage1_losses.len(), 40);
+        let first: f32 = report.stage1_losses[..5].iter().sum();
+        let last: f32 = report.stage1_losses[35..].iter().sum();
+        assert!(last < first, "stage-1 loss should decrease: {first} -> {last}");
+        assert!(report.latent_scale > 0.0);
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery_even_lightly_trained() {
+        let mut system = DcDiff::new(tiny_config(), 2);
+        let images = DatasetProfile::set5().with_dims(48, 48).generate(50);
+        system.train(&images, tiny_budget(), 9);
+        let test = SceneGenerator::new(SceneKind::Smooth, 48, 48).generate(777);
+        let coeffs = CoeffImage::from_image(&test, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let reference = coeffs.to_image();
+        let p_rec = psnr(&reference, &system.recover(&dropped));
+        let p_none = psnr(&reference, &dropped.to_image());
+        assert!(p_rec > p_none + 5.0, "dcdiff {p_rec} vs none {p_none}");
+    }
+
+    #[test]
+    fn ablation_options_change_the_output() {
+        let system = DcDiff::new(tiny_config(), 3);
+        let img = SceneGenerator::new(SceneKind::Urban, 48, 48).generate(4);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let mut base_opts = RecoverOptions::from_config(system.config());
+        base_opts.ddim_steps = 3;
+        let full = system.recover_with(&dropped, &base_opts);
+        let no_mld = system.recover_with(
+            &dropped,
+            &RecoverOptions {
+                use_mld: false,
+                ..base_opts
+            },
+        );
+        let no_proj = system.recover_with(
+            &dropped,
+            &RecoverOptions {
+                use_projection: false,
+                use_mld: false,
+                ..base_opts
+            },
+        );
+        assert!(full.mean_abs_diff(&no_mld) > 1e-4);
+        assert!(full.mean_abs_diff(&no_proj) > 1e-4);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_recovery() {
+        let mut a = DcDiff::new(tiny_config(), 5);
+        let images = DatasetProfile::set5().with_dims(32, 32).generate(3);
+        a.train(
+            &images,
+            TrainBudget {
+                stage1_steps: 5,
+                ldm_steps: 5,
+                mld_steps: 2,
+                fmpp_steps: 2,
+                batch: 1,
+            },
+            11,
+        );
+        let ckpt = a.save();
+        let mut b = DcDiff::new(tiny_config(), 99);
+        b.load(&ckpt).unwrap();
+        let img = SceneGenerator::new(SceneKind::Smooth, 32, 32).generate(6);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let mut opts = RecoverOptions::from_config(a.config());
+        opts.ddim_steps = 3;
+        let ra = a.recover_with(&dropped, &opts);
+        let rb = b.recover_with(&dropped, &opts);
+        assert!(ra.mean_abs_diff(&rb) < 1e-3);
+    }
+}

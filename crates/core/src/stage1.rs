@@ -1,0 +1,386 @@
+//! Stage-1 training (§III-B, §III-E): DC encoder, AC encoder and decoder.
+//!
+//! `E_DC` compresses the original image into a small latent `z_0` that
+//! carries the DC (colour / brightness) information; `E_AC` extracts
+//! multi-scale features from the DC-less image `x̃`; the decoder `D`
+//! needs *both* to reconstruct, which forces `E_DC` to specialise on the
+//! information that `x̃` lacks — exactly the paper's argument for why the
+//! latent becomes a DC feature space.
+
+use dcdiff_nn::{Conv2d, Module, ResBlock, Upsample};
+use dcdiff_tensor::optim::Adam;
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{Rng, Tensor};
+
+use crate::{PatchDiscriminator, PerceptualLoss};
+
+/// The stage-1 autoencoder.
+#[derive(Debug)]
+pub struct Stage1 {
+    base: usize,
+    latent_channels: usize,
+    // E_DC: three stride-2 stages, 8× spatial reduction
+    dc1: Conv2d,
+    dc2: Conv2d,
+    dc3: Conv2d,
+    dc_out: Conv2d,
+    // E_AC: full-resolution stem + three stride-2 stages
+    ac0: Conv2d,
+    ac1: Conv2d,
+    ac2: Conv2d,
+    ac3: Conv2d,
+    // D: latent + AC features, U-Net-style decoding
+    d_in: Conv2d,
+    d_res3: ResBlock,
+    d_up3: Upsample,
+    d_res2: ResBlock,
+    d_up2: Upsample,
+    d_res1: ResBlock,
+    d_up1: Upsample,
+    d_res0: ResBlock,
+    d_out: Conv2d,
+}
+
+/// Multi-scale AC features (resolutions 1, 1/2, 1/4, 1/8).
+pub(crate) struct AcFeatures {
+    pub f0: Tensor,
+    pub f1: Tensor,
+    pub f2: Tensor,
+    pub f3: Tensor,
+}
+
+impl Stage1 {
+    /// Build the autoencoder with `base` feature channels and
+    /// `latent_channels` latent channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn new(base: usize, latent_channels: usize, rng: &mut Rng) -> Self {
+        assert!(base > 0 && latent_channels > 0);
+        let b2 = base * 2;
+        Self {
+            base,
+            latent_channels,
+            dc1: Conv2d::new(3, base, 3, 2, 1, rng),
+            dc2: Conv2d::new(base, b2, 3, 2, 1, rng),
+            dc3: Conv2d::new(b2, b2, 3, 2, 1, rng),
+            dc_out: Conv2d::new(b2, latent_channels, 1, 1, 0, rng),
+            ac0: Conv2d::new(3, base, 3, 1, 1, rng),
+            ac1: Conv2d::new(base, base, 3, 2, 1, rng),
+            ac2: Conv2d::new(base, b2, 3, 2, 1, rng),
+            ac3: Conv2d::new(b2, b2, 3, 2, 1, rng),
+            d_in: Conv2d::new(latent_channels, b2, 1, 1, 0, rng),
+            d_res3: ResBlock::new(b2 + b2, b2, None, rng),
+            d_up3: Upsample::new(b2, rng),
+            d_res2: ResBlock::new(b2 + b2, b2, None, rng),
+            d_up2: Upsample::new(b2, rng),
+            d_res1: ResBlock::new(b2 + base, base, None, rng),
+            d_up1: Upsample::new(base, rng),
+            d_res0: ResBlock::new(base + base, base, None, rng),
+            d_out: Conv2d::new(base, 3, 3, 1, 1, rng),
+        }
+    }
+
+    /// Latent channel count.
+    pub fn latent_channels(&self) -> usize {
+        self.latent_channels
+    }
+
+    /// Feature width of the first stage.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Encode the original image into the DC latent `z_0`
+    /// (`[N, zc, H/8, W/8]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dimensions are not divisible by 8.
+    pub fn encode_dc(&self, x0: &Tensor) -> Tensor {
+        let (h, w) = (x0.shape()[2], x0.shape()[3]);
+        assert!(h % 8 == 0 && w % 8 == 0, "input must be divisible by 8");
+        let h1 = self.dc1.forward(x0).silu();
+        let h2 = self.dc2.forward(&h1).silu();
+        let h3 = self.dc3.forward(&h2).silu();
+        self.dc_out.forward(&h3)
+    }
+
+    pub(crate) fn encode_ac(&self, x_tilde: &Tensor) -> AcFeatures {
+        let f0 = self.ac0.forward(x_tilde).silu();
+        let f1 = self.ac1.forward(&f0).silu();
+        let f2 = self.ac2.forward(&f1).silu();
+        let f3 = self.ac3.forward(&f2).silu();
+        AcFeatures { f0, f1, f2, f3 }
+    }
+
+    pub(crate) fn decode_features(&self, z: &Tensor, ac: &AcFeatures) -> Tensor {
+        let h = self.d_in.forward(z);
+        let h = self.d_res3.forward(&h.concat_channels(&ac.f3), None);
+        let h = self.d_up3.forward(&h);
+        let h = self.d_res2.forward(&h.concat_channels(&ac.f2), None);
+        let h = self.d_up2.forward(&h);
+        let h = self.d_res1.forward(&h.concat_channels(&ac.f1), None);
+        let h = self.d_up1.forward(&h);
+        let h = self.d_res0.forward(&h.concat_channels(&ac.f0), None);
+        self.d_out.forward(&h).tanh()
+    }
+
+    /// Full reconstruction `D(E_DC(x0), E_AC(x̃))` in `[-1, 1]`.
+    pub fn reconstruct(&self, x0: &Tensor, x_tilde: &Tensor) -> Tensor {
+        let z = self.encode_dc(x0);
+        let ac = self.encode_ac(x_tilde);
+        self.decode_features(&z, &ac)
+    }
+
+    /// Decode an externally produced latent (the diffusion output) with
+    /// AC features from `x̃`.
+    pub fn decode(&self, z: &Tensor, x_tilde: &Tensor) -> Tensor {
+        let ac = self.encode_ac(x_tilde);
+        self.decode_features(&z, &ac)
+    }
+
+    /// One optimisation step of the Eq. 5 objective on a batch
+    /// (`x0`, `x̃` both `[N, 3, H, W]` in `[-1, 1]`). Returns the
+    /// generator loss value.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step(
+        &self,
+        x0: &Tensor,
+        x_tilde: &Tensor,
+        perceptual: &PerceptualLoss,
+        disc: &PatchDiscriminator,
+        opt: &mut Adam,
+        disc_opt: &mut Adam,
+        adv_weight: f32,
+    ) -> f32 {
+        // generator step
+        opt.zero_grad();
+        let x_hat = self.reconstruct(x0, x_tilde);
+        let l_rec = x_hat.l1(&x0.detach());
+        let l_per = perceptual.loss(&x_hat, x0);
+        let l_adv = disc.loss_generator(&x_hat);
+        let loss = l_rec.add(&l_per.scale(0.5)).add(&l_adv.scale(adv_weight));
+        loss.backward();
+        opt.step();
+        // discriminator step
+        disc_opt.zero_grad();
+        disc.loss_discriminator(x0, &x_hat).backward();
+        disc_opt.step();
+        l_rec.item() + 0.5 * l_per.item()
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = Vec::new();
+        for conv in [
+            &self.dc1, &self.dc2, &self.dc3, &self.dc_out, &self.ac0, &self.ac1, &self.ac2,
+            &self.ac3, &self.d_in, &self.d_out,
+        ] {
+            p.extend(conv.params());
+        }
+        for res in [&self.d_res3, &self.d_res2, &self.d_res1, &self.d_res0] {
+            p.extend(res.params());
+        }
+        for up in [&self.d_up3, &self.d_up2, &self.d_up1] {
+            p.extend(up.params());
+        }
+        p
+    }
+
+    /// Save all weights under the `stage1` prefix.
+    pub fn save(&self, ckpt: &mut Checkpoint) {
+        for (name, conv) in [
+            ("dc1", &self.dc1),
+            ("dc2", &self.dc2),
+            ("dc3", &self.dc3),
+            ("dc_out", &self.dc_out),
+            ("ac0", &self.ac0),
+            ("ac1", &self.ac1),
+            ("ac2", &self.ac2),
+            ("ac3", &self.ac3),
+            ("d_in", &self.d_in),
+            ("d_out", &self.d_out),
+        ] {
+            conv.save(&format!("stage1.{name}"), ckpt);
+        }
+        for (name, res) in [
+            ("d_res3", &self.d_res3),
+            ("d_res2", &self.d_res2),
+            ("d_res1", &self.d_res1),
+            ("d_res0", &self.d_res0),
+        ] {
+            res.save(&format!("stage1.{name}"), ckpt);
+        }
+        for (name, up) in [
+            ("d_up3", &self.d_up3),
+            ("d_up2", &self.d_up2),
+            ("d_up1", &self.d_up1),
+        ] {
+            up.save(&format!("stage1.{name}"), ckpt);
+        }
+    }
+
+    /// Load weights written by [`Stage1::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on missing or mis-shaped tensors.
+    pub fn load(&self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        for (name, conv) in [
+            ("dc1", &self.dc1),
+            ("dc2", &self.dc2),
+            ("dc3", &self.dc3),
+            ("dc_out", &self.dc_out),
+            ("ac0", &self.ac0),
+            ("ac1", &self.ac1),
+            ("ac2", &self.ac2),
+            ("ac3", &self.ac3),
+            ("d_in", &self.d_in),
+            ("d_out", &self.d_out),
+        ] {
+            conv.load(&format!("stage1.{name}"), ckpt)?;
+        }
+        for (name, res) in [
+            ("d_res3", &self.d_res3),
+            ("d_res2", &self.d_res2),
+            ("d_res1", &self.d_res1),
+            ("d_res0", &self.d_res0),
+        ] {
+            res.load(&format!("stage1.{name}"), ckpt)?;
+        }
+        for (name, up) in [
+            ("d_up3", &self.d_up3),
+            ("d_up2", &self.d_up2),
+            ("d_up1", &self.d_up1),
+        ] {
+            up.load(&format!("stage1.{name}"), ckpt)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_tensor::seeded_rng;
+
+    #[test]
+    fn shapes_through_the_autoencoder() {
+        let mut rng = seeded_rng(0);
+        let s1 = Stage1::new(8, 4, &mut rng);
+        let x0 = Tensor::randn(vec![2, 3, 32, 32], 0.5, &mut rng);
+        let xt = Tensor::randn(vec![2, 3, 32, 32], 0.2, &mut rng);
+        let z = s1.encode_dc(&x0);
+        assert_eq!(z.shape(), &[2, 4, 4, 4]);
+        let out = s1.reconstruct(&x0, &xt);
+        assert_eq!(out.shape(), &[2, 3, 32, 32]);
+        // tanh keeps outputs in range
+        assert!(out.to_vec().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut rng = seeded_rng(1);
+        let s1 = Stage1::new(8, 4, &mut rng);
+        let perceptual = PerceptualLoss::default();
+        let disc = PatchDiscriminator::new(3, &mut rng);
+        let mut opt = Adam::new(s1.params(), 2e-3);
+        let mut dopt = Adam::new(disc.params(), 1e-3);
+        // one fixed sample pair, memorisation test
+        let x0 = Tensor::randn(vec![2, 3, 16, 16], 0.5, &mut rng);
+        let xt = x0.scale(0.3); // stand-in for the DC-less view
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..60 {
+            let l = s1.train_step(&x0, &xt, &perceptual, &disc, &mut opt, &mut dopt, 0.01);
+            if i == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        assert!(
+            last < first * 0.7,
+            "stage-1 loss should drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn latent_carries_brightness_information() {
+        // the paper's §III-B claim: because the decoder also receives AC
+        // features from x̃, E_DC is forced to encode what x̃ lacks — the
+        // brightness/colour (DC) content. After brief training, images
+        // differing ONLY in global brightness must map to distinct
+        // latents.
+        let mut rng = seeded_rng(10);
+        let s1 = Stage1::new(8, 4, &mut rng);
+        let perceptual = PerceptualLoss::default();
+        let disc = PatchDiscriminator::new(3, &mut rng);
+        let mut opt = Adam::new(s1.params(), 2e-3);
+        let mut dopt = Adam::new(disc.params(), 1e-3);
+        // x̃ identical for both, x0 differs only by brightness
+        let texture = Tensor::randn(vec![1, 3, 16, 16], 0.2, &mut rng);
+        let bright = texture.add_scalar(0.5);
+        let dark = texture.add_scalar(-0.5);
+        let x_tilde = texture.clone();
+        for _ in 0..80 {
+            for x0 in [&bright, &dark] {
+                s1.train_step(x0, &x_tilde, &perceptual, &disc, &mut opt, &mut dopt, 0.0);
+            }
+        }
+        let z_bright = s1.encode_dc(&bright);
+        let z_dark = s1.encode_dc(&dark);
+        let gap: f32 = z_bright
+            .to_vec()
+            .iter()
+            .zip(z_dark.to_vec())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / z_bright.len() as f32;
+        assert!(gap > 0.05, "latents must separate brightness, gap {gap}");
+        // and the decoder must reproduce the brightness difference
+        let rec_bright = s1.decode(&z_bright.detach(), &x_tilde);
+        let rec_dark = s1.decode(&z_dark.detach(), &x_tilde);
+        let mean_gap = rec_bright.to_vec().iter().sum::<f32>() / 768.0
+            - rec_dark.to_vec().iter().sum::<f32>() / 768.0;
+        assert!(
+            mean_gap > 0.3,
+            "decoded brightness must follow the latent, gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn decode_accepts_external_latents() {
+        let mut rng = seeded_rng(2);
+        let s1 = Stage1::new(8, 4, &mut rng);
+        let z = Tensor::randn(vec![1, 4, 4, 4], 1.0, &mut rng);
+        let xt = Tensor::randn(vec![1, 3, 32, 32], 0.2, &mut rng);
+        assert_eq!(s1.decode(&z, &xt).shape(), &[1, 3, 32, 32]);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut rng = seeded_rng(3);
+        let a = Stage1::new(8, 4, &mut rng);
+        let b = Stage1::new(8, 4, &mut rng);
+        let mut ckpt = Checkpoint::new();
+        a.save(&mut ckpt);
+        b.load(&ckpt).unwrap();
+        let x0 = Tensor::randn(vec![1, 3, 16, 16], 0.5, &mut rng);
+        let xt = x0.scale(0.5);
+        assert_eq!(
+            a.reconstruct(&x0, &xt).to_vec(),
+            b.reconstruct(&x0, &xt).to_vec()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 8")]
+    fn rejects_unaligned_input() {
+        let mut rng = seeded_rng(4);
+        let s1 = Stage1::new(8, 4, &mut rng);
+        let x = Tensor::zeros(vec![1, 3, 12, 12]);
+        s1.encode_dc(&x);
+    }
+}

@@ -1,0 +1,252 @@
+//! Stage-2 training (§III-E): the latent-diffusion noise predictor with
+//! ControlNet-style structure injection and the `L_ldm + σ·L_m`
+//! objective (Eq. 6).
+
+use dcdiff_diffusion::NoiseSchedule;
+use dcdiff_image::Plane;
+use dcdiff_nn::{ControlModule, Module, UNet, UNetConfig};
+use dcdiff_tensor::optim::Adam;
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{Rng, Tensor};
+use rand::Rng as _;
+
+use crate::mld::mld_loss;
+use crate::stage1::Stage1;
+
+/// The stage-2 model: U-Net `ε_θ` + control module over `x̃`.
+#[derive(Debug)]
+pub struct Stage2 {
+    unet: UNet,
+    control: ControlModule,
+    schedule: NoiseSchedule,
+}
+
+impl Stage2 {
+    /// Build the noise predictor.
+    ///
+    /// * `latent_channels` — channels of the stage-1 latent;
+    /// * `base` — U-Net width;
+    /// * `schedule` — training noise schedule.
+    pub fn new(latent_channels: usize, base: usize, schedule: NoiseSchedule, rng: &mut Rng) -> Self {
+        let config = UNetConfig {
+            in_channels: latent_channels,
+            out_channels: latent_channels,
+            base_channels: base,
+            channel_mults: vec![1, 2],
+            time_dim: 16,
+            attention: true,
+        };
+        let control = ControlModule::new(&config, 3, rng);
+        let unet = UNet::new(config, rng);
+        Self {
+            unet,
+            control,
+            schedule,
+        }
+    }
+
+    /// The training noise schedule.
+    pub fn schedule(&self) -> &NoiseSchedule {
+        &self.schedule
+    }
+
+    /// Control features for a conditioning image at latent resolution
+    /// (`[N, 3, H/8, W/8]` — callers downsample `x̃` with
+    /// [`Stage2::condition_from`]).
+    pub fn control_features(&self, cond: &Tensor) -> Vec<Tensor> {
+        self.control.forward(cond)
+    }
+
+    /// Downsample a full-resolution `x̃` tensor to the latent resolution
+    /// (three 2× average poolings).
+    pub fn condition_from(x_tilde: &Tensor) -> Tensor {
+        x_tilde.avg_pool2().avg_pool2().avg_pool2()
+    }
+
+    /// Predict noise for latent `z_t` at `timesteps` under control
+    /// features and optional FreeU scales.
+    pub fn predict_noise(
+        &self,
+        z_t: &Tensor,
+        timesteps: &[usize],
+        control: &[Tensor],
+        freeu: Option<(&Tensor, &Tensor)>,
+    ) -> Tensor {
+        self.unet.forward(z_t, timesteps, Some(control), freeu)
+    }
+
+    /// One `L_ldm`-only training step (the paper's first fine-tuning
+    /// phase). Returns the loss value.
+    pub fn train_step_ldm(
+        &self,
+        z0: &Tensor,
+        cond: &Tensor,
+        opt: &mut Adam,
+        rng: &mut Rng,
+    ) -> f32 {
+        let n = z0.shape()[0];
+        let t: usize = rng.gen_range(0..self.schedule.steps());
+        let eps = Tensor::randn(z0.shape().to_vec(), 1.0, rng);
+        let z_t = self.schedule.q_sample(&z0.detach(), t, &eps);
+        let control = self.control_features(cond);
+        opt.zero_grad();
+        let eps_hat = self.predict_noise(&z_t, &vec![t; n], &control, None);
+        let loss = eps_hat.mse(&eps);
+        loss.backward();
+        opt.step();
+        loss.item()
+    }
+
+    /// One `L_ldm + σ·L_m` training step (the paper's second phase):
+    /// the predicted noise is projected to `ẑ_0`, decoded through the
+    /// *frozen* stage-1 decoder, and the masked Laplacian loss on the
+    /// decoded pixels is added with weight `sigma`.
+    ///
+    /// `masks` are the Eq. 3 masks of the batch (one per sample, full
+    /// image resolution). Returns `(ldm, mld)` loss values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_mld(
+        &self,
+        z0: &Tensor,
+        cond: &Tensor,
+        x_tilde: &Tensor,
+        masks: &[Plane],
+        stage1: &Stage1,
+        sigma: f32,
+        opt: &mut Adam,
+        rng: &mut Rng,
+    ) -> (f32, f32) {
+        let n = z0.shape()[0];
+        let t: usize = rng.gen_range(0..self.schedule.steps());
+        let eps = Tensor::randn(z0.shape().to_vec(), 1.0, rng);
+        let z_t = self.schedule.q_sample(&z0.detach(), t, &eps);
+        let control = self.control_features(cond);
+        opt.zero_grad();
+        let eps_hat = self.predict_noise(&z_t, &vec![t; n], &control, None);
+        let l_ldm = eps_hat.mse(&eps);
+        // z_t -> ẑ0 -> pixels through the frozen decoder
+        let z0_hat = self.schedule.predict_z0(&z_t, t, &eps_hat);
+        let x_hat = stage1.decode(&z0_hat, &x_tilde.detach());
+        let l_mld = mld_loss(&x_hat, masks);
+        l_ldm.add(&l_mld.scale(sigma)).backward();
+        // freeze stage-1: simply do not step its optimiser (gradients into
+        // its parameters are cleared below)
+        for p in stage1.params() {
+            p.zero_grad();
+        }
+        opt.step();
+        (l_ldm.item(), l_mld.item())
+    }
+
+    /// Trainable parameters (U-Net + control module).
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.unet.params();
+        p.extend(self.control.params());
+        p
+    }
+
+    /// Save weights under the `stage2` prefix.
+    pub fn save(&self, ckpt: &mut Checkpoint) {
+        self.unet.save("stage2.unet", ckpt);
+        self.control.save("stage2.control", ckpt);
+    }
+
+    /// Load weights written by [`Stage2::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on missing or mis-shaped tensors.
+    pub fn load(&self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.unet.load("stage2.unet", ckpt)?;
+        self.control.load("stage2.control", ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_tensor::seeded_rng;
+
+    fn tiny_stage2(rng: &mut dcdiff_tensor::Rng) -> Stage2 {
+        Stage2::new(4, 8, NoiseSchedule::linear(50, 1e-3, 2e-2), rng)
+    }
+
+    #[test]
+    fn noise_prediction_shapes() {
+        let mut rng = seeded_rng(0);
+        let s2 = tiny_stage2(&mut rng);
+        let z = Tensor::randn(vec![2, 4, 4, 4], 1.0, &mut rng);
+        let cond = Tensor::randn(vec![2, 3, 4, 4], 1.0, &mut rng);
+        let ctrl = s2.control_features(&cond);
+        let eps = s2.predict_noise(&z, &[3, 10], &ctrl, None);
+        assert_eq!(eps.shape(), z.shape());
+    }
+
+    #[test]
+    fn condition_downsamples_8x() {
+        let x = Tensor::zeros(vec![1, 3, 32, 32]);
+        assert_eq!(Stage2::condition_from(&x).shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn ldm_training_reduces_loss_on_fixed_latent() {
+        let mut rng = seeded_rng(1);
+        let s2 = tiny_stage2(&mut rng);
+        let mut opt = Adam::new(s2.params(), 2e-3);
+        let z0 = Tensor::randn(vec![2, 4, 4, 4], 1.0, &mut rng);
+        let cond = Tensor::randn(vec![2, 3, 4, 4], 0.3, &mut rng);
+        let mut early = 0.0;
+        let mut late = 0.0;
+        let probes = 10;
+        for i in 0..80 {
+            let l = s2.train_step_ldm(&z0, &cond, &mut opt, &mut rng);
+            if i < probes {
+                early += l;
+            }
+            if i >= 80 - probes {
+                late += l;
+            }
+        }
+        assert!(
+            late < early,
+            "ldm loss should trend down: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn mld_step_runs_and_freezes_stage1() {
+        let mut rng = seeded_rng(2);
+        let s2 = tiny_stage2(&mut rng);
+        let stage1 = Stage1::new(8, 4, &mut rng);
+        let before: Vec<Vec<f32>> = stage1.params().iter().map(|p| p.to_vec()).collect();
+        let mut opt = Adam::new(s2.params(), 1e-3);
+        let z0 = Tensor::randn(vec![1, 4, 4, 4], 1.0, &mut rng);
+        let cond = Tensor::randn(vec![1, 3, 4, 4], 0.3, &mut rng);
+        let x_tilde = Tensor::randn(vec![1, 3, 32, 32], 0.2, &mut rng);
+        let masks = vec![Plane::filled(32, 32, 1.0)];
+        let (ldm, mld) = s2.train_step_mld(
+            &z0, &cond, &x_tilde, &masks, &stage1, 2e-4, &mut opt, &mut rng,
+        );
+        assert!(ldm.is_finite() && mld.is_finite());
+        let after: Vec<Vec<f32>> = stage1.params().iter().map(|p| p.to_vec()).collect();
+        assert_eq!(before, after, "stage-1 weights must stay frozen");
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut rng = seeded_rng(3);
+        let a = tiny_stage2(&mut rng);
+        let b = tiny_stage2(&mut rng);
+        let mut ckpt = Checkpoint::new();
+        a.save(&mut ckpt);
+        b.load(&ckpt).unwrap();
+        let z = Tensor::randn(vec![1, 4, 4, 4], 1.0, &mut rng);
+        let cond = Tensor::randn(vec![1, 3, 4, 4], 1.0, &mut rng);
+        let ca = a.control_features(&cond);
+        let cb = b.control_features(&cond);
+        assert_eq!(
+            a.predict_noise(&z, &[7], &ca, None).to_vec(),
+            b.predict_noise(&z, &[7], &cb, None).to_vec()
+        );
+    }
+}

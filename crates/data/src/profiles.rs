@@ -1,0 +1,198 @@
+use dcdiff_image::Image;
+
+use crate::scenes::{SceneGenerator, SceneKind};
+
+/// A named synthetic stand-in for one of the paper's six test datasets.
+///
+/// # Example
+///
+/// ```
+/// let kodak = dcdiff_data::DatasetProfile::kodak();
+/// let images = kodak.generate(0);
+/// assert_eq!(images.len(), kodak.count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetProfile {
+    name: &'static str,
+    kind: SceneKind,
+    count: usize,
+    width: usize,
+    height: usize,
+}
+
+impl DatasetProfile {
+    /// Set5 stand-in: 5 smooth, object-centric images.
+    pub fn set5() -> Self {
+        Self {
+            name: "Set5",
+            kind: SceneKind::Smooth,
+            count: 5,
+            width: 96,
+            height: 96,
+        }
+    }
+
+    /// Set14 stand-in: 14 mixed-content images.
+    pub fn set14() -> Self {
+        Self {
+            name: "Set14",
+            kind: SceneKind::Natural,
+            count: 14,
+            width: 96,
+            height: 96,
+        }
+    }
+
+    /// Kodak stand-in: 24 natural photographic scenes.
+    pub fn kodak() -> Self {
+        Self {
+            name: "Kodak",
+            kind: SceneKind::Natural,
+            count: 24,
+            width: 128,
+            height: 96,
+        }
+    }
+
+    /// BSDS200 stand-in: texture-heavy scenes (count reduced from 200 to
+    /// 40 for runtime; see `EXPERIMENTS.md`).
+    pub fn bsds200() -> Self {
+        Self {
+            name: "BSDS200",
+            kind: SceneKind::Texture,
+            count: 40,
+            width: 96,
+            height: 64,
+        }
+    }
+
+    /// Urban100 stand-in: rectilinear building scenes (count reduced from
+    /// 100 to 25).
+    pub fn urban100() -> Self {
+        Self {
+            name: "Urban100",
+            kind: SceneKind::Urban,
+            count: 25,
+            width: 128,
+            height: 96,
+        }
+    }
+
+    /// Inria aerial stand-in: 15 road/roof grid scenes.
+    pub fn inria() -> Self {
+        Self {
+            name: "Inria",
+            kind: SceneKind::Aerial,
+            count: 15,
+            width: 96,
+            height: 96,
+        }
+    }
+
+    /// Display name (matches the paper's dataset column).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Scene class generated for this profile.
+    pub fn kind(&self) -> SceneKind {
+        self.kind
+    }
+
+    /// Number of images in the profile.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Image dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// A copy with a different image count (for quick smoke runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_count(mut self, count: usize) -> Self {
+        assert!(count > 0, "dataset must keep at least one image");
+        self.count = count;
+        self
+    }
+
+    /// A copy with different dimensions.
+    pub fn with_dims(mut self, width: usize, height: usize) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Generate every image of the profile; `base_seed` offsets the whole
+    /// set so train/test splits can be disjoint.
+    pub fn generate(&self, base_seed: u64) -> Vec<Image> {
+        let gen = SceneGenerator::new(self.kind, self.width, self.height);
+        (0..self.count)
+            .map(|i| gen.generate(base_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B9)))
+            .collect()
+    }
+}
+
+/// The six profiles in the paper's Table I column order.
+pub fn all_profiles() -> [DatasetProfile; 6] {
+    [
+        DatasetProfile::set5(),
+        DatasetProfile::set14(),
+        DatasetProfile::kodak(),
+        DatasetProfile::bsds200(),
+        DatasetProfile::urban100(),
+        DatasetProfile::inria(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_paper_order_and_names() {
+        let names: Vec<_> = all_profiles().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["Set5", "Set14", "Kodak", "BSDS200", "Urban100", "Inria"]
+        );
+    }
+
+    #[test]
+    fn counts_and_dims_are_positive_and_block_aligned() {
+        for p in all_profiles() {
+            assert!(p.count() > 0);
+            let (w, h) = p.dims();
+            assert_eq!(w % 16, 0, "{}: width {w} must be 16-aligned", p.name());
+            assert_eq!(h % 16, 0, "{}: height {h} must be 16-aligned", p.name());
+        }
+    }
+
+    #[test]
+    fn generation_matches_count_and_dims() {
+        let p = DatasetProfile::set5();
+        let images = p.generate(0);
+        assert_eq!(images.len(), 5);
+        for img in &images {
+            assert_eq!(img.dims(), p.dims());
+        }
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_sets() {
+        let p = DatasetProfile::set5();
+        let a = p.generate(0);
+        let b = p.generate(1000);
+        assert!(a[0].mean_abs_diff(&b[0]) > 1.0);
+    }
+
+    #[test]
+    fn with_count_shrinks_the_set() {
+        let p = DatasetProfile::kodak().with_count(3);
+        assert_eq!(p.generate(0).len(), 3);
+    }
+}

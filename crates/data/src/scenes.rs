@@ -1,0 +1,465 @@
+//! Procedural scene generation with natural-image statistics.
+//!
+//! Scenes are built from layered primitives — smooth multi-octave value
+//! noise, gradients, filled rectangles/ellipses with soft or hard edges,
+//! periodic textures and rectilinear grids — so that adjacent-pixel
+//! differences are mostly Laplacian-small with a heavy tail at object
+//! boundaries, exactly the structure the DC-recovery literature assumes.
+
+use dcdiff_image::{ColorSpace, Image, Plane};
+use rand::Rng;
+
+type StdRng = rand::rngs::StdRng;
+
+/// Content class of a generated scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// Large smooth regions with a few soft blobs (Set5-like).
+    Smooth,
+    /// Mixed smooth regions and moderate texture (Set14/Kodak-like).
+    Natural,
+    /// Dense stochastic texture with many sharp transitions (BSDS-like).
+    Texture,
+    /// Rectilinear buildings, windows, hard edges (Urban100-like).
+    Urban,
+    /// Aerial view: road grids, roof rectangles, field patches
+    /// (Inria-like).
+    Aerial,
+}
+
+/// Deterministic scene generator.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_data::{SceneGenerator, SceneKind};
+///
+/// let gen = SceneGenerator::new(SceneKind::Urban, 64, 64);
+/// let a = gen.generate(7);
+/// let b = gen.generate(7);
+/// assert_eq!(a.plane(0).as_slice(), b.plane(0).as_slice());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneGenerator {
+    kind: SceneKind,
+    width: usize,
+    height: usize,
+}
+
+impl SceneGenerator {
+    /// Create a generator producing `width × height` RGB scenes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(kind: SceneKind, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "scene dimensions must be nonzero");
+        Self {
+            kind,
+            width,
+            height,
+        }
+    }
+
+    /// The content class.
+    pub fn kind(&self) -> SceneKind {
+        self.kind
+    }
+
+    /// Scene dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Generate the scene for `seed` (deterministic).
+    pub fn generate(&self, seed: u64) -> Image {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.kind as u64) << 32);
+        let (w, h) = (self.width, self.height);
+        match self.kind {
+            SceneKind::Smooth => smooth_scene(w, h, &mut rng),
+            SceneKind::Natural => natural_scene(w, h, &mut rng),
+            SceneKind::Texture => texture_scene(w, h, &mut rng),
+            SceneKind::Urban => urban_scene(w, h, &mut rng),
+            SceneKind::Aerial => aerial_scene(w, h, &mut rng),
+        }
+    }
+}
+
+/// Multi-octave value noise in `[0, 1]` (bilinear interpolation of coarse
+/// random grids).
+pub(crate) fn value_noise(w: usize, h: usize, octaves: usize, rng: &mut StdRng) -> Plane {
+    let mut out = Plane::new(w, h);
+    let mut amplitude = 1.0f32;
+    let mut total_amp = 0.0f32;
+    for octave in 0..octaves {
+        let cells = 2usize << octave; // 2, 4, 8, ...
+        let gw = cells + 2;
+        let gh = cells + 2;
+        let grid: Vec<f32> = (0..gw * gh).map(|_| rng.gen::<f32>()).collect();
+        let fx = cells as f32 / w as f32;
+        let fy = cells as f32 / h as f32;
+        for y in 0..h {
+            for x in 0..w {
+                let gx = x as f32 * fx;
+                let gy = y as f32 * fy;
+                let x0 = gx as usize;
+                let y0 = gy as usize;
+                let tx = gx - x0 as f32;
+                let ty = gy - y0 as f32;
+                // smoothstep interpolation weights
+                let sx = tx * tx * (3.0 - 2.0 * tx);
+                let sy = ty * ty * (3.0 - 2.0 * ty);
+                let v00 = grid[y0 * gw + x0];
+                let v10 = grid[y0 * gw + x0 + 1];
+                let v01 = grid[(y0 + 1) * gw + x0];
+                let v11 = grid[(y0 + 1) * gw + x0 + 1];
+                let v = v00 * (1.0 - sx) * (1.0 - sy)
+                    + v10 * sx * (1.0 - sy)
+                    + v01 * (1.0 - sx) * sy
+                    + v11 * sx * sy;
+                out.set(x, y, out.get(x, y) + amplitude * v);
+            }
+        }
+        total_amp += amplitude;
+        amplitude *= 0.5;
+    }
+    out.map(|v| v / total_amp)
+}
+
+fn base_gradient(w: usize, h: usize, rng: &mut StdRng) -> [Plane; 3] {
+    let dir = rng.gen::<f32>() * std::f32::consts::TAU;
+    let (dx, dy) = (dir.cos(), dir.sin());
+    let base: [f32; 3] = [
+        60.0 + rng.gen::<f32>() * 140.0,
+        60.0 + rng.gen::<f32>() * 140.0,
+        60.0 + rng.gen::<f32>() * 140.0,
+    ];
+    let slope: [f32; 3] = [
+        (rng.gen::<f32>() - 0.5) * 180.0,
+        (rng.gen::<f32>() - 0.5) * 180.0,
+        (rng.gen::<f32>() - 0.5) * 180.0,
+    ];
+    std::array::from_fn(|c| {
+        Plane::from_fn(w, h, |x, y| {
+            let t = (x as f32 * dx + y as f32 * dy) / (w + h) as f32;
+            base[c] + slope[c] * t * 2.0
+        })
+    })
+}
+
+fn paint_ellipse(planes: &mut [Plane; 3], rng: &mut StdRng, soft: bool) {
+    let (w, h) = planes[0].dims();
+    let cx = rng.gen::<f32>() * w as f32;
+    let cy = rng.gen::<f32>() * h as f32;
+    let rx = (0.08 + rng.gen::<f32>() * 0.25) * w as f32;
+    let ry = (0.08 + rng.gen::<f32>() * 0.25) * h as f32;
+    let color: [f32; 3] = [
+        rng.gen::<f32>() * 255.0,
+        rng.gen::<f32>() * 255.0,
+        rng.gen::<f32>() * 255.0,
+    ];
+    let edge = if soft { 0.35 } else { 0.03 };
+    for y in 0..h {
+        for x in 0..w {
+            let nx = (x as f32 - cx) / rx;
+            let ny = (y as f32 - cy) / ry;
+            let d = (nx * nx + ny * ny).sqrt();
+            if d < 1.0 + edge {
+                let alpha = ((1.0 + edge - d) / edge).clamp(0.0, 1.0);
+                for (c, plane) in planes.iter_mut().enumerate() {
+                    let old = plane.get(x, y);
+                    plane.set(x, y, old * (1.0 - alpha) + color[c] * alpha);
+                }
+            }
+        }
+    }
+}
+
+fn paint_rect(planes: &mut [Plane; 3], rng: &mut StdRng, color: [f32; 3]) -> (usize, usize, usize, usize) {
+    let (w, h) = planes[0].dims();
+    let rw = rng.gen_range(w / 10..w / 2).max(2);
+    let rh = rng.gen_range(h / 10..h / 2).max(2);
+    let x0 = rng.gen_range(0..w - rw.min(w - 1));
+    let y0 = rng.gen_range(0..h - rh.min(h - 1));
+    for y in y0..(y0 + rh).min(h) {
+        for x in x0..(x0 + rw).min(w) {
+            for (c, plane) in planes.iter_mut().enumerate() {
+                plane.set(x, y, color[c]);
+            }
+        }
+    }
+    (x0, y0, rw, rh)
+}
+
+fn add_noise(planes: &mut [Plane; 3], amp: f32, rng: &mut StdRng) {
+    for plane in planes.iter_mut() {
+        for v in plane.as_mut_slice() {
+            *v += (rng.gen::<f32>() - 0.5) * amp;
+        }
+    }
+}
+
+fn finish(mut planes: [Plane; 3]) -> Image {
+    for p in &mut planes {
+        p.clamp_in_place(0.0, 255.0);
+    }
+    Image::from_planes(planes.to_vec(), ColorSpace::Rgb).expect("planes share dimensions")
+}
+
+fn smooth_scene(w: usize, h: usize, rng: &mut StdRng) -> Image {
+    let mut planes = base_gradient(w, h, rng);
+    let blobs = rng.gen_range(2..5);
+    for _ in 0..blobs {
+        paint_ellipse(&mut planes, rng, true);
+    }
+    // low-frequency brightness variation (large-scale contrast is what
+    // gives natural photos their costly DC differentials)
+    let noise = value_noise(w, h, 2, rng);
+    for plane in planes.iter_mut() {
+        for (v, &n) in plane.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+            *v += (n - 0.5) * 70.0;
+        }
+    }
+    add_noise(&mut planes, 2.0, rng);
+    finish(planes)
+}
+
+fn natural_scene(w: usize, h: usize, rng: &mut StdRng) -> Image {
+    let mut planes = base_gradient(w, h, rng);
+    // horizon split: sky above, textured ground below
+    let horizon = (h as f32 * (0.3 + rng.gen::<f32>() * 0.4)) as usize;
+    let ground = value_noise(w, h, 4, rng);
+    let tint: [f32; 3] = [
+        40.0 + rng.gen::<f32>() * 120.0,
+        60.0 + rng.gen::<f32>() * 120.0,
+        30.0 + rng.gen::<f32>() * 80.0,
+    ];
+    for y in horizon..h {
+        for x in 0..w {
+            let n = ground.get(x, y);
+            for (c, plane) in planes.iter_mut().enumerate() {
+                plane.set(x, y, tint[c] * (0.5 + n));
+            }
+        }
+    }
+    for _ in 0..rng.gen_range(2..6) {
+        let soft = rng.gen_bool(0.5);
+        paint_ellipse(&mut planes, rng, soft);
+    }
+    // large-scale illumination variation
+    let glow = value_noise(w, h, 2, rng);
+    for plane in planes.iter_mut() {
+        for (v, &n) in plane.as_mut_slice().iter_mut().zip(glow.as_slice()) {
+            *v += (n - 0.5) * 60.0;
+        }
+    }
+    add_noise(&mut planes, 2.0, rng);
+    finish(planes)
+}
+
+fn texture_scene(w: usize, h: usize, rng: &mut StdRng) -> Image {
+    let mut planes = base_gradient(w, h, rng);
+    let fine = value_noise(w, h, 5, rng);
+    let coarse = value_noise(w, h, 2, rng);
+    let freq_x = 0.3 + rng.gen::<f32>() * 1.2;
+    let freq_y = 0.3 + rng.gen::<f32>() * 1.2;
+    for y in 0..h {
+        for x in 0..w {
+            let t = (x as f32 * freq_x).sin() * (y as f32 * freq_y).cos();
+            let n = fine.get(x, y) - 0.5;
+            let c0 = coarse.get(x, y);
+            for plane in planes.iter_mut() {
+                let old = plane.get(x, y);
+                plane.set(x, y, old * 0.4 + 110.0 * c0 + 30.0 * n + 18.0 * t + 40.0);
+            }
+        }
+    }
+    add_noise(&mut planes, 3.0, rng);
+    finish(planes)
+}
+
+fn urban_scene(w: usize, h: usize, rng: &mut StdRng) -> Image {
+    let mut planes = base_gradient(w, h, rng);
+    // buildings: stacked rectangles with window grids
+    let buildings = rng.gen_range(3..7);
+    for b in 0..buildings {
+        // alternate dark and light facades so block boundaries are crisp
+        let shade = if b % 2 == 0 {
+            35.0 + rng.gen::<f32>() * 50.0
+        } else {
+            160.0 + rng.gen::<f32>() * 70.0
+        };
+        let color = [shade, shade * 0.95, shade * 1.05];
+        let (x0, y0, rw, rh) = paint_rect(&mut planes, rng, color);
+        // window grid with guaranteed contrast against the facade
+        let win = if shade > 128.0 { shade - 95.0 } else { shade + 95.0 };
+        let step_x = rng.gen_range(4..9);
+        let step_y = rng.gen_range(4..9);
+        for y in (y0 + 2..(y0 + rh).min(h)).step_by(step_y) {
+            for x in (x0 + 2..(x0 + rw).min(w)).step_by(step_x) {
+                for dy in 0..2usize {
+                    for dx in 0..2usize {
+                        let (px, py) = (x + dx, y + dy);
+                        if px < w.min(x0 + rw) && py < h.min(y0 + rh) {
+                            for plane in planes.iter_mut() {
+                                plane.set(px, py, win);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    add_noise(&mut planes, 2.0, rng);
+    finish(planes)
+}
+
+fn aerial_scene(w: usize, h: usize, rng: &mut StdRng) -> Image {
+    // field base
+    let field = value_noise(w, h, 3, rng);
+    let mut planes: [Plane; 3] = std::array::from_fn(|c| {
+        let tint = match c {
+            0 => 90.0,
+            1 => 120.0,
+            _ => 70.0,
+        };
+        Plane::from_fn(w, h, |x, y| tint * (0.6 + field.get(x, y) * 0.8))
+    });
+    // road grid
+    let road = 60.0 + rng.gen::<f32>() * 40.0;
+    let spacing_x = rng.gen_range(w / 6..w / 3).max(4);
+    let spacing_y = rng.gen_range(h / 6..h / 3).max(4);
+    let road_w = rng.gen_range(2..4);
+    let off_x = rng.gen_range(0..spacing_x);
+    let off_y = rng.gen_range(0..spacing_y);
+    for y in 0..h {
+        for x in 0..w {
+            let on_v = (x + off_x) % spacing_x < road_w;
+            let on_h = (y + off_y) % spacing_y < road_w;
+            if on_v || on_h {
+                for plane in planes.iter_mut() {
+                    plane.set(x, y, road);
+                }
+            }
+        }
+    }
+    // roofs inside the grid cells
+    let roofs = rng.gen_range(4..10);
+    for _ in 0..roofs {
+        let shade = 130.0 + rng.gen::<f32>() * 110.0;
+        paint_rect(&mut planes, rng, [shade, shade * 0.8, shade * 0.7]);
+    }
+    add_noise(&mut planes, 2.0, rng);
+    finish(planes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_metrics::laplacian::{laplacian_fit_distance, laplacian_scale};
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in [
+            SceneKind::Smooth,
+            SceneKind::Natural,
+            SceneKind::Texture,
+            SceneKind::Urban,
+            SceneKind::Aerial,
+        ] {
+            let gen = SceneGenerator::new(kind, 48, 48);
+            assert_eq!(
+                gen.generate(3).plane(1).as_slice(),
+                gen.generate(3).plane(1).as_slice(),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = SceneGenerator::new(SceneKind::Natural, 48, 48);
+        let a = gen.generate(1);
+        let b = gen.generate(2);
+        assert!(a.mean_abs_diff(&b) > 1.0);
+    }
+
+    #[test]
+    fn scenes_stay_in_pixel_range() {
+        for kind in [
+            SceneKind::Smooth,
+            SceneKind::Natural,
+            SceneKind::Texture,
+            SceneKind::Urban,
+            SceneKind::Aerial,
+        ] {
+            let img = SceneGenerator::new(kind, 64, 64).generate(11);
+            for c in 0..3 {
+                assert!(img.plane(c).min() >= 0.0);
+                assert!(img.plane(c).max() <= 255.0);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_scenes_have_smaller_laplacian_scale_than_texture() {
+        let smooth: f32 = (0..4)
+            .map(|s| {
+                laplacian_scale(
+                    &SceneGenerator::new(SceneKind::Smooth, 64, 64).generate(s),
+                    None,
+                )
+            })
+            .sum::<f32>()
+            / 4.0;
+        let texture: f32 = (0..4)
+            .map(|s| {
+                laplacian_scale(
+                    &SceneGenerator::new(SceneKind::Texture, 64, 64).generate(s),
+                    None,
+                )
+            })
+            .sum::<f32>()
+            / 4.0;
+        assert!(
+            smooth < texture,
+            "smooth scale {smooth} must be below texture {texture}"
+        );
+    }
+
+    #[test]
+    fn scenes_have_natural_image_statistics() {
+        // adjacent-pixel differences should be roughly Laplacian
+        for kind in [SceneKind::Smooth, SceneKind::Natural, SceneKind::Urban] {
+            let img = SceneGenerator::new(kind, 96, 96).generate(5);
+            let d = laplacian_fit_distance(&img);
+            assert!(d < 0.45, "{kind:?} fit distance {d}");
+        }
+    }
+
+    #[test]
+    fn urban_scenes_contain_hard_edges() {
+        let img = SceneGenerator::new(SceneKind::Urban, 64, 64).generate(9);
+        let luma = img.to_gray();
+        let p = luma.plane(0);
+        let mut big_jumps = 0;
+        for y in 0..64 {
+            for x in 1..64 {
+                if (p.get(x, y) - p.get(x - 1, y)).abs() > 40.0 {
+                    big_jumps += 1;
+                }
+            }
+        }
+        assert!(big_jumps > 20, "urban scene needs hard edges, got {big_jumps}");
+    }
+
+    #[test]
+    fn value_noise_is_normalised() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = value_noise(32, 32, 4, &mut rng);
+        assert!(n.min() >= 0.0 && n.max() <= 1.0);
+        assert!(n.variance() > 1e-4, "noise must not be constant");
+    }
+}

@@ -1,0 +1,129 @@
+use dcdiff_nn::{Module, ResNet, ResNetConfig};
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{Rng, Tensor};
+
+/// Frequency-modulation parameter predictor (§III-D).
+///
+/// A small ResNet takes the DC-less image `x̃` and predicts two scale
+/// factors per sample, `(s, b)`, squashed into `(0, 2)` by a scaled
+/// sigmoid as in the paper ("we constrain the scale factor between 0 and
+/// 2"). During DDIM sampling, `s` re-weights the U-Net's backbone
+/// features and `b` its skip features at decoder concatenations —
+/// adapting the FreeU re-weighting to each image's frequency content
+/// instead of using fixed manual hyperparameters.
+#[derive(Debug)]
+pub struct Fmpp {
+    net: ResNet,
+}
+
+impl Fmpp {
+    /// Build a predictor for conditioning images with `in_channels`.
+    pub fn new(in_channels: usize, rng: &mut Rng) -> Self {
+        let config = ResNetConfig {
+            in_channels,
+            base_channels: 12,
+            stage_mults: vec![1, 2],
+            out_dim: 2,
+        };
+        Self {
+            net: ResNet::new(config, rng),
+        }
+    }
+
+    /// Predict `(s, b)` scale vectors (each `[N]`, values in `(0, 2)`)
+    /// from the conditioning image `x̃` of shape `[N, C, H, W]`.
+    pub fn predict(&self, x_tilde: &Tensor) -> (Tensor, Tensor) {
+        let n = x_tilde.shape()[0];
+        let raw = self.net.forward(x_tilde).sigmoid().scale(2.0);
+        // differentiable column split via constant selectors, so FMPP
+        // training can backpropagate through the sampled reconstruction
+        let sel_s = Tensor::from_vec(vec![2, 1], vec![1.0, 0.0]);
+        let sel_b = Tensor::from_vec(vec![2, 1], vec![0.0, 1.0]);
+        let s = raw.matmul(&sel_s).reshape(vec![n]);
+        let b = raw.matmul(&sel_b).reshape(vec![n]);
+        (s, b)
+    }
+
+    /// Trainable parameters (for the FMPP training stage).
+    pub fn params(&self) -> Vec<Tensor> {
+        self.net.params()
+    }
+
+    /// Save weights under the `fmpp` prefix.
+    pub fn save(&self, ckpt: &mut Checkpoint) {
+        self.net.save("fmpp", ckpt);
+    }
+
+    /// Load weights written by [`Fmpp::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on missing or mis-shaped tensors.
+    pub fn load(&self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.net.load("fmpp", ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_tensor::seeded_rng;
+
+    #[test]
+    fn predictions_are_in_range() {
+        let mut rng = seeded_rng(0);
+        let fmpp = Fmpp::new(3, &mut rng);
+        let x = Tensor::randn(vec![3, 3, 16, 16], 1.0, &mut rng);
+        let (s, b) = fmpp.predict(&x);
+        assert_eq!(s.shape(), &[3]);
+        assert_eq!(b.shape(), &[3]);
+        for v in s.to_vec().iter().chain(b.to_vec().iter()) {
+            assert!((0.0..2.0).contains(v), "scale {v} outside (0, 2)");
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_scales() {
+        let mut rng = seeded_rng(1);
+        let fmpp = Fmpp::new(1, &mut rng);
+        let flat = Tensor::zeros(vec![1, 1, 16, 16]);
+        let busy = Tensor::randn(vec![1, 1, 16, 16], 2.0, &mut rng);
+        let (s1, _) = fmpp.predict(&flat);
+        let (s2, _) = fmpp.predict(&busy);
+        assert!(
+            (s1.to_vec()[0] - s2.to_vec()[0]).abs() > 1e-5,
+            "FMPP must adapt to image content"
+        );
+    }
+
+    #[test]
+    fn scales_are_trainable() {
+        // push s towards 1.5 for a fixed input
+        let mut rng = seeded_rng(2);
+        let fmpp = Fmpp::new(1, &mut rng);
+        let x = Tensor::randn(vec![1, 1, 16, 16], 1.0, &mut rng);
+        let mut opt = dcdiff_tensor::optim::Adam::new(fmpp.params(), 0.003);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let (s, _) = fmpp.predict(&x);
+            s.add_scalar(-1.5).square().mean_all().backward();
+            opt.step();
+        }
+        let (s, _) = fmpp.predict(&x);
+        assert!((s.to_vec()[0] - 1.5).abs() < 0.1, "s = {}", s.to_vec()[0]);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut rng = seeded_rng(3);
+        let a = Fmpp::new(3, &mut rng);
+        let b = Fmpp::new(3, &mut rng);
+        let mut ckpt = Checkpoint::new();
+        a.save(&mut ckpt);
+        b.load(&ckpt).unwrap();
+        let x = Tensor::randn(vec![2, 3, 16, 16], 1.0, &mut rng);
+        let (sa, _) = a.predict(&x);
+        let (sb, _) = b.predict(&x);
+        assert_eq!(sa.to_vec(), sb.to_vec());
+    }
+}

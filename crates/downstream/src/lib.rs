@@ -1,0 +1,256 @@
+//! Downstream remote-sensing classification (Table V).
+//!
+//! The paper checks that reconstructions from each DC-recovery method
+//! barely affect a remote-sensing classifier. This crate provides that
+//! classifier: a small [`dcdiff_nn::ResNet`] trained on the synthetic
+//! aerial dataset of [`dcdiff_data::AerialDataset`], plus the evaluation
+//! loop that measures accuracy on (possibly degraded) images.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dcdiff_data::AerialDataset;
+//! use dcdiff_downstream::Classifier;
+//!
+//! let dataset = AerialDataset::new(32, 12);
+//! let train = dataset.generate(0);
+//! let test = dataset.generate(1_000);
+//! let mut clf = Classifier::new(32, 4, 0);
+//! clf.train(&train, 15, 0);
+//! let acc = clf.accuracy(&test);
+//! assert!(acc > 0.8);
+//! ```
+
+use dcdiff_image::Image;
+use dcdiff_nn::{Module, ResNet, ResNetConfig};
+use dcdiff_tensor::optim::Adam;
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{seeded_rng, Tensor};
+use rand::seq::SliceRandom;
+
+/// A small CNN image classifier for square RGB tiles.
+#[derive(Debug)]
+pub struct Classifier {
+    net: ResNet,
+    tile: usize,
+    classes: usize,
+    trained: bool,
+}
+
+impl Classifier {
+    /// Create a classifier for `tile × tile` RGB inputs and `classes`
+    /// output classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is not divisible by 4 (two pooling stages) or
+    /// `classes` is zero.
+    pub fn new(tile: usize, classes: usize, seed: u64) -> Self {
+        assert!(tile % 4 == 0, "tile must be divisible by 4");
+        assert!(classes > 0, "need at least one class");
+        let mut rng = seeded_rng(seed);
+        let net = ResNet::new(
+            ResNetConfig {
+                in_channels: 3,
+                base_channels: 12,
+                stage_mults: vec![1, 2, 2],
+                out_dim: classes,
+            },
+            &mut rng,
+        );
+        Self {
+            net,
+            tile,
+            classes,
+            trained: false,
+        }
+    }
+
+    /// Tile side length the classifier expects.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Whether training has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    fn to_tensor(&self, images: &[&Image]) -> Tensor {
+        let t = self.tile;
+        let mut data = Vec::with_capacity(images.len() * 3 * t * t);
+        for img in images {
+            let rgb = img.to_rgb();
+            assert_eq!(rgb.dims(), (t, t), "tile size mismatch");
+            for c in 0..3 {
+                data.extend(rgb.plane(c).as_slice().iter().map(|&v| v / 127.5 - 1.0));
+            }
+        }
+        Tensor::from_vec(vec![images.len(), 3, t, t], data)
+    }
+
+    /// Train on labelled samples for `epochs` passes (batch size 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, a label is out of range, or tiles
+    /// have the wrong size.
+    pub fn train(&mut self, samples: &[(Image, usize)], epochs: usize, seed: u64) {
+        assert!(!samples.is_empty(), "need training samples");
+        assert!(
+            samples.iter().all(|(_, l)| *l < self.classes),
+            "label out of range"
+        );
+        let mut rng = seeded_rng(seed);
+        let mut opt = Adam::new(self.net.params(), 1e-3);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(8) {
+                let images: Vec<&Image> = chunk.iter().map(|&i| &samples[i].0).collect();
+                let labels: Vec<usize> = chunk.iter().map(|&i| samples[i].1).collect();
+                let x = self.to_tensor(&images);
+                opt.zero_grad();
+                self.net.forward(&x).softmax_cross_entropy(&labels).backward();
+                opt.step();
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Predict the class of a single tile.
+    pub fn predict(&self, image: &Image) -> usize {
+        let x = self.to_tensor(&[image]);
+        let scores = self.net.forward(&x).to_vec();
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Classification accuracy over labelled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn accuracy(&self, samples: &[(Image, usize)]) -> f32 {
+        assert!(!samples.is_empty(), "need evaluation samples");
+        let correct = samples
+            .iter()
+            .filter(|(img, label)| self.predict(img) == *label)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+
+    /// Accuracy after passing every tile through `degrade` (the Table V
+    /// protocol: JPEG → drop DC → recovery method → classify).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn accuracy_under(
+        &self,
+        samples: &[(Image, usize)],
+        mut degrade: impl FnMut(&Image) -> Image,
+    ) -> f32 {
+        assert!(!samples.is_empty(), "need evaluation samples");
+        let correct = samples
+            .iter()
+            .filter(|(img, label)| self.predict(&degrade(img)) == *label)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+
+    /// Save weights under the `classifier` prefix.
+    pub fn save(&self, ckpt: &mut Checkpoint) {
+        self.net.save("classifier", ckpt);
+    }
+
+    /// Load weights written by [`Classifier::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on missing or mis-shaped tensors.
+    pub fn load(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.net.load("classifier", ckpt)?;
+        self.trained = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_data::AerialDataset;
+
+    #[test]
+    fn learns_the_aerial_classes() {
+        let dataset = AerialDataset::new(32, 10);
+        let train = dataset.generate(0);
+        let test = dataset.generate(5_000);
+        let mut clf = Classifier::new(32, 4, 1);
+        clf.train(&train, 10, 2);
+        let acc = clf.accuracy(&test);
+        assert!(acc > 0.8, "clean accuracy {acc} too low");
+    }
+
+    #[test]
+    fn accuracy_under_identity_matches_accuracy() {
+        let dataset = AerialDataset::new(32, 3);
+        let test = dataset.generate(9);
+        let clf = Classifier::new(32, 4, 3);
+        let a = clf.accuracy(&test);
+        let b = clf.accuracy_under(&test, |img| img.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_degradation_hurts_accuracy() {
+        let dataset = AerialDataset::new(32, 8);
+        let train = dataset.generate(0);
+        let test = dataset.generate(7_000);
+        let mut clf = Classifier::new(32, 4, 4);
+        clf.train(&train, 8, 5);
+        let clean = clf.accuracy(&test);
+        // destroy all content: mid-gray images
+        let destroyed = clf.accuracy_under(&test, |img| {
+            dcdiff_image::Image::filled(img.width(), img.height(), img.color_space(), 128.0)
+        });
+        assert!(
+            destroyed < clean,
+            "destroying content must hurt: {destroyed} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let dataset = AerialDataset::new(32, 2);
+        let samples = dataset.generate(0);
+        let mut a = Classifier::new(32, 4, 6);
+        a.train(&samples, 2, 7);
+        let mut ckpt = Checkpoint::new();
+        a.save(&mut ckpt);
+        let mut b = Classifier::new(32, 4, 99);
+        b.load(&ckpt).unwrap();
+        for (img, _) in &samples {
+            assert_eq!(a.predict(img), b.predict(img));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let dataset = AerialDataset::new(32, 1);
+        let mut samples = dataset.generate(0);
+        samples[0].1 = 9;
+        let mut clf = Classifier::new(32, 4, 8);
+        clf.train(&samples, 1, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! JPEG (JFIF) full-range BT.601 colour conversion.
+//!
+//! These are the exact affine transforms used by baseline JPEG: luma and
+//! chroma all span `0..=255`, with chroma centred at 128.
+
+/// Convert one RGB pixel to full-range YCbCr.
+///
+/// Inputs are nominally in `[0, 255]`; outputs are clamped to that range.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::rgb_to_ycbcr_pixel;
+/// let (y, cb, cr) = rgb_to_ycbcr_pixel(255.0, 255.0, 255.0);
+/// assert!((y - 255.0).abs() < 0.5);
+/// assert!((cb - 128.0).abs() < 0.5);
+/// assert!((cr - 128.0).abs() < 0.5);
+/// ```
+#[inline]
+pub fn rgb_to_ycbcr_pixel(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = -0.168_735_9 * r - 0.331_264_1 * g + 0.5 * b + 128.0;
+    let cr = 0.5 * r - 0.418_687_6 * g - 0.081_312_4 * b + 128.0;
+    (clamp255(y), clamp255(cb), clamp255(cr))
+}
+
+/// Convert one full-range YCbCr pixel back to RGB.
+///
+/// Outputs are clamped to `[0, 255]`.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel};
+/// let (y, cb, cr) = rgb_to_ycbcr_pixel(10.0, 200.0, 50.0);
+/// let (r, g, b) = ycbcr_to_rgb_pixel(y, cb, cr);
+/// assert!((r - 10.0).abs() < 1.0 && (g - 200.0).abs() < 1.0 && (b - 50.0).abs() < 1.0);
+/// ```
+#[inline]
+pub fn ycbcr_to_rgb_pixel(y: f32, cb: f32, cr: f32) -> (f32, f32, f32) {
+    let cb = cb - 128.0;
+    let cr = cr - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
+    let b = y + 1.772 * cb;
+    (clamp255(r), clamp255(g), clamp255(b))
+}
+
+#[inline]
+fn clamp255(v: f32) -> f32 {
+    v.clamp(0.0, 255.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_standard_luma() {
+        let (y, _, _) = rgb_to_ycbcr_pixel(255.0, 0.0, 0.0);
+        assert!((y - 76.245).abs() < 0.1);
+        let (y, _, _) = rgb_to_ycbcr_pixel(0.0, 255.0, 0.0);
+        assert!((y - 149.685).abs() < 0.1);
+        let (y, _, _) = rgb_to_ycbcr_pixel(0.0, 0.0, 255.0);
+        assert!((y - 29.07).abs() < 0.1);
+    }
+
+    #[test]
+    fn black_and_white_are_neutral() {
+        assert_eq!(rgb_to_ycbcr_pixel(0.0, 0.0, 0.0), (0.0, 128.0, 128.0));
+        let (y, cb, cr) = rgb_to_ycbcr_pixel(255.0, 255.0, 255.0);
+        assert!((y - 255.0).abs() < 1e-3);
+        assert!((cb - 128.0).abs() < 1e-3);
+        assert!((cr - 128.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn round_trip_all_grid() {
+        for r in (0..=255).step_by(51) {
+            for g in (0..=255).step_by(51) {
+                for b in (0..=255).step_by(51) {
+                    let (y, cb, cr) = rgb_to_ycbcr_pixel(r as f32, g as f32, b as f32);
+                    let (r2, g2, b2) = ycbcr_to_rgb_pixel(y, cb, cr);
+                    assert!((r as f32 - r2).abs() < 1.0, "r {r} {g} {b}");
+                    assert!((g as f32 - g2).abs() < 1.0, "g {r} {g} {b}");
+                    assert!((b as f32 - b2).abs() < 1.0, "b {r} {g} {b}");
+                }
+            }
+        }
+    }
+}

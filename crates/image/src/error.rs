@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for image construction and I/O.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Requested dimensions were zero or inconsistent with the sample count.
+    InvalidDimensions {
+        /// Width that was requested.
+        width: usize,
+        /// Height that was requested.
+        height: usize,
+        /// Number of samples supplied.
+        samples: usize,
+    },
+    /// Operation mixes planes/images of different sizes.
+    SizeMismatch {
+        /// Expected `(width, height)`.
+        expected: (usize, usize),
+        /// Actual `(width, height)`.
+        actual: (usize, usize),
+    },
+    /// Operation expected a different number of channels.
+    ChannelMismatch {
+        /// Expected channel count.
+        expected: usize,
+        /// Actual channel count.
+        actual: usize,
+    },
+    /// A file did not parse as the expected NetPBM format.
+    ParsePnm(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions {
+                width,
+                height,
+                samples,
+            } => write!(
+                f,
+                "invalid dimensions {width}x{height} for {samples} samples"
+            ),
+            ImageError::SizeMismatch { expected, actual } => write!(
+                f,
+                "size mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            ImageError::ChannelMismatch { expected, actual } => {
+                write!(f, "channel mismatch: expected {expected}, got {actual}")
+            }
+            ImageError::ParsePnm(msg) => write!(f, "failed to parse pnm file: {msg}"),
+            ImageError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(err: std::io::Error) -> Self {
+        ImageError::Io(err)
+    }
+}

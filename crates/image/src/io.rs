@@ -1,0 +1,222 @@
+//! Binary NetPBM (PPM/PGM) readers and writers.
+//!
+//! The experiment binaries dump qualitative results (Figure 5) as PPM so
+//! they can be inspected with any viewer without extra dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{ColorSpace, Image, ImageError, Plane};
+
+/// Write an image as binary PPM (`P6`).
+///
+/// Non-RGB images are converted to RGB first; samples are rounded and
+/// clamped to `[0, 255]`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure.
+pub fn write_ppm(path: impl AsRef<Path>, image: &Image) -> Result<(), ImageError> {
+    let rgb = image.to_rgb();
+    let (w, h) = rgb.dims();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(file, "P6\n{w} {h}\n255\n")?;
+    let mut buf = Vec::with_capacity(w * h * 3);
+    for i in 0..w * h {
+        for c in 0..3 {
+            buf.push(quantize(rgb.plane(c).as_slice()[i]));
+        }
+    }
+    file.write_all(&buf)?;
+    Ok(())
+}
+
+/// Write a grayscale image as binary PGM (`P5`).
+///
+/// Multi-channel images are converted to luma first.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem failure.
+pub fn write_pgm(path: impl AsRef<Path>, image: &Image) -> Result<(), ImageError> {
+    let gray = image.to_gray();
+    let (w, h) = gray.dims();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(file, "P5\n{w} {h}\n255\n")?;
+    let buf: Vec<u8> = gray.plane(0).as_slice().iter().map(|&v| quantize(v)).collect();
+    file.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read a binary PPM (`P6`) file into an RGB image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ParsePnm`] for malformed headers or truncated
+/// payloads and [`ImageError::Io`] on filesystem failure.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<Image, ImageError> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let (magic, w, h, maxval) = read_pnm_header(&mut reader)?;
+    if magic != "P6" {
+        return Err(ImageError::ParsePnm(format!("expected P6, got {magic}")));
+    }
+    let mut buf = vec![0u8; w * h * 3];
+    reader.read_exact(&mut buf).map_err(|_| {
+        ImageError::ParsePnm("truncated ppm payload".to_string())
+    })?;
+    let scale = 255.0 / maxval as f32;
+    let mut planes: Vec<Plane> = (0..3).map(|_| Plane::new(w, h)).collect();
+    for i in 0..w * h {
+        for (c, plane) in planes.iter_mut().enumerate() {
+            plane.as_mut_slice()[i] = buf[i * 3 + c] as f32 * scale;
+        }
+    }
+    Image::from_planes(planes, ColorSpace::Rgb)
+}
+
+/// Read a binary PGM (`P5`) file into a grayscale image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ParsePnm`] for malformed headers or truncated
+/// payloads and [`ImageError::Io`] on filesystem failure.
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<Image, ImageError> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let (magic, w, h, maxval) = read_pnm_header(&mut reader)?;
+    if magic != "P5" {
+        return Err(ImageError::ParsePnm(format!("expected P5, got {magic}")));
+    }
+    let mut buf = vec![0u8; w * h];
+    reader.read_exact(&mut buf).map_err(|_| {
+        ImageError::ParsePnm("truncated pgm payload".to_string())
+    })?;
+    let scale = 255.0 / maxval as f32;
+    let mut plane = Plane::new(w, h);
+    for (dst, &src) in plane.as_mut_slice().iter_mut().zip(&buf) {
+        *dst = src as f32 * scale;
+    }
+    Ok(Image::from_gray(plane))
+}
+
+fn quantize(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Parse `magic width height maxval` allowing `#` comments and arbitrary
+/// whitespace, consuming exactly one whitespace byte after maxval.
+fn read_pnm_header<R: BufRead>(reader: &mut R) -> Result<(String, usize, usize, u32), ImageError> {
+    let mut tokens = Vec::new();
+    while tokens.len() < 4 {
+        let tok = read_token(reader)?;
+        if tok.is_empty() {
+            return Err(ImageError::ParsePnm("unexpected end of header".to_string()));
+        }
+        tokens.push(tok);
+    }
+    let magic = tokens[0].clone();
+    let w: usize = tokens[1]
+        .parse()
+        .map_err(|_| ImageError::ParsePnm(format!("bad width {}", tokens[1])))?;
+    let h: usize = tokens[2]
+        .parse()
+        .map_err(|_| ImageError::ParsePnm(format!("bad height {}", tokens[2])))?;
+    let maxval: u32 = tokens[3]
+        .parse()
+        .map_err(|_| ImageError::ParsePnm(format!("bad maxval {}", tokens[3])))?;
+    if w == 0 || h == 0 || maxval == 0 || maxval > 255 {
+        return Err(ImageError::ParsePnm(format!(
+            "unsupported header {w}x{h} maxval {maxval}"
+        )));
+    }
+    Ok((magic, w, h, maxval))
+}
+
+fn read_token<R: BufRead>(reader: &mut R) -> Result<String, ImageError> {
+    let mut tok = String::new();
+    let mut byte = [0u8; 1];
+    // skip whitespace and comments
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            return Ok(tok);
+        }
+        match byte[0] {
+            b'#' => {
+                // comment to end of line
+                let mut junk = String::new();
+                reader.read_line(&mut junk)?;
+            }
+            b if b.is_ascii_whitespace() => {}
+            b => {
+                tok.push(b as char);
+                break;
+            }
+        }
+    }
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0].is_ascii_whitespace() {
+            break;
+        }
+        tok.push(byte[0] as char);
+    }
+    Ok(tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dcdiff-image-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = Image::from_planes(
+            vec![
+                Plane::from_fn(5, 3, |x, _| (x * 50) as f32),
+                Plane::from_fn(5, 3, |_, y| (y * 80) as f32),
+                Plane::filled(5, 3, 7.0),
+            ],
+            ColorSpace::Rgb,
+        )
+        .unwrap();
+        let path = temp_path("rt.ppm");
+        write_ppm(&path, &img).unwrap();
+        let back = read_ppm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.dims(), (5, 3));
+        assert!(img.mean_abs_diff(&back) < 0.5);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = Image::from_gray(Plane::from_fn(4, 4, |x, y| ((x + y) * 30) as f32));
+        let path = temp_path("rt.pgm");
+        write_pgm(&path, &img).unwrap();
+        let back = read_pgm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(img.mean_abs_diff(&back) < 0.5);
+    }
+
+    #[test]
+    fn header_with_comments_parses() {
+        let data = b"P5\n# a comment\n2 2\n255\n\x00\x40\x80\xff";
+        let mut reader = std::io::BufReader::new(&data[..]);
+        let (magic, w, h, maxval) = read_pnm_header(&mut reader).unwrap();
+        assert_eq!((magic.as_str(), w, h, maxval), ("P5", 2, 2, 255));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("bad.ppm");
+        std::fs::write(&path, b"P3\n1 1\n255\n0 0 0\n").unwrap();
+        let err = read_ppm(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, ImageError::ParsePnm(_)));
+    }
+}

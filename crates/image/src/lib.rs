@@ -1,0 +1,36 @@
+//! Planar floating-point image containers shared across the DCDiff workspace.
+//!
+//! The JPEG pipeline, the neural substrates and the metrics all operate on
+//! [`Plane`] (a single 2-D channel of `f32` samples) and [`Image`] (one to
+//! three planes plus a [`ColorSpace`] tag). Samples are kept in the nominal
+//! `0.0..=255.0` range used by baseline JPEG; conversion helpers in
+//! [`color`] move between RGB and the JPEG (BT.601 full-range) YCbCr space.
+//!
+//! # Example
+//!
+//! ```
+//! use dcdiff_image::{Image, ColorSpace};
+//!
+//! let img = Image::filled(16, 8, ColorSpace::Rgb, 128.0);
+//! assert_eq!(img.width(), 16);
+//! assert_eq!(img.height(), 8);
+//! let ycbcr = img.to_ycbcr();
+//! assert_eq!(ycbcr.color_space(), ColorSpace::YCbCr);
+//! ```
+
+mod blocks;
+mod color;
+mod error;
+mod image;
+mod io;
+mod plane;
+
+pub use blocks::{Block8, BlockGrid};
+pub use color::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel};
+pub use error::ImageError;
+pub use image::{ColorSpace, Image};
+pub use io::{read_pgm, read_ppm, write_pgm, write_ppm};
+pub use plane::Plane;
+
+/// Size (in samples) of the JPEG minimum coded block along each axis.
+pub const BLOCK: usize = 8;

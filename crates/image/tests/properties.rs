@@ -1,0 +1,101 @@
+//! Property-based tests for the image containers and colour transforms.
+
+use dcdiff_image::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel, BlockGrid, ColorSpace, Image, Plane};
+use proptest::prelude::*;
+
+fn arbitrary_plane() -> impl Strategy<Value = Plane> {
+    (1usize..40, 1usize..40, any::<u32>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        Plane::from_fn(w, h, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 16) as f32 % 256.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn color_round_trip_is_tight(r in 0.0f32..=255.0, g in 0.0f32..=255.0, b in 0.0f32..=255.0) {
+        let (y, cb, cr) = rgb_to_ycbcr_pixel(r, g, b);
+        prop_assert!((0.0..=255.0).contains(&y));
+        prop_assert!((0.0..=255.0).contains(&cb));
+        prop_assert!((0.0..=255.0).contains(&cr));
+        let (r2, g2, b2) = ycbcr_to_rgb_pixel(y, cb, cr);
+        prop_assert!((r - r2).abs() < 1.0, "r {} -> {}", r, r2);
+        prop_assert!((g - g2).abs() < 1.0, "g {} -> {}", g, g2);
+        prop_assert!((b - b2).abs() < 1.0, "b {} -> {}", b, b2);
+    }
+
+    #[test]
+    fn luma_is_a_convex_combination(r in 0.0f32..=255.0, g in 0.0f32..=255.0, b in 0.0f32..=255.0) {
+        let (y, _, _) = rgb_to_ycbcr_pixel(r, g, b);
+        let lo = r.min(g).min(b);
+        let hi = r.max(g).max(b);
+        prop_assert!(y >= lo - 0.5 && y <= hi + 0.5, "y {} outside [{}, {}]", y, lo, hi);
+    }
+
+    #[test]
+    fn pad_then_crop_is_identity(plane in arbitrary_plane()) {
+        let (w, h) = plane.dims();
+        let padded = plane.pad_to_block_multiple();
+        prop_assert_eq!(padded.width() % 8, 0);
+        prop_assert_eq!(padded.height() % 8, 0);
+        prop_assert_eq!(padded.crop_to(w, h), plane);
+    }
+
+    #[test]
+    fn block_grid_round_trip(plane in arbitrary_plane()) {
+        let (w, h) = plane.dims();
+        let grid = BlockGrid::from_plane(&plane);
+        prop_assert_eq!(grid.to_plane().crop_to(w, h), plane);
+    }
+
+    #[test]
+    fn block_mean_equals_plane_region_mean(plane in arbitrary_plane()) {
+        let grid = BlockGrid::from_plane(&plane);
+        let rebuilt = grid.to_plane();
+        for ((bx, by), block) in grid.iter() {
+            let mut sum = 0.0f32;
+            for y in 0..8 {
+                for x in 0..8 {
+                    sum += rebuilt.get(bx * 8 + x, by * 8 + y);
+                }
+            }
+            prop_assert!((block.mean() - sum / 64.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gray_conversions_are_idempotent(plane in arbitrary_plane()) {
+        let img = Image::from_gray(plane);
+        let once = img.to_gray();
+        let twice = once.to_gray();
+        prop_assert_eq!(once.plane(0).as_slice(), twice.plane(0).as_slice());
+        // gray -> rgb -> gray preserves luma exactly (replicated channels)
+        let back = img.to_rgb().to_gray();
+        for (&a, &b) in img.plane(0).as_slice().iter().zip(back.plane(0).as_slice()) {
+            prop_assert!((a - b).abs() < 0.51);
+        }
+    }
+
+    #[test]
+    fn mean_abs_diff_is_a_metric(p1 in arbitrary_plane()) {
+        let img = Image::from_gray(p1.clone());
+        prop_assert_eq!(img.mean_abs_diff(&img), 0.0);
+        let shifted = Image::from_gray(p1.map(|v| v + 3.0));
+        let d = img.mean_abs_diff(&shifted);
+        prop_assert!((d - 3.0).abs() < 1e-3);
+        prop_assert!((shifted.mean_abs_diff(&img) - d).abs() < 1e-6, "symmetry");
+    }
+
+    #[test]
+    fn clamp_bounds_all_samples(plane in arbitrary_plane(), lo in 0.0f32..100.0, width in 1.0f32..100.0) {
+        let hi = lo + width;
+        let mut img = Image::from_gray(plane);
+        img.clamp_in_place(lo, hi);
+        prop_assert!(img.plane(0).min() >= lo);
+        prop_assert!(img.plane(0).max() <= hi);
+    }
+}

@@ -1,0 +1,660 @@
+use dcdiff_image::{ColorSpace, Image, Plane};
+
+use crate::codec::ChromaSampling;
+use crate::dct::{fdct, idct};
+use crate::quant::QuantTable;
+use crate::{BLOCK, BLOCK_AREA};
+
+/// Which DC coefficients the sender drops before entropy coding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcDropMode {
+    /// Zero every DC coefficient (the original TIP-2006 setting).
+    All,
+    /// Zero every DC coefficient except the four corner blocks — the
+    /// setting of the paper's Table II ("all DC coefficients to zero
+    /// except 4 corner blocks"), which anchors the receiver's recovery.
+    KeepCorners,
+}
+
+/// Quantised DCT coefficients for one image component.
+///
+/// Blocks are stored in natural (row-major coefficient) order; the
+/// `(0, 0)` entry of each block is its DC level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoeffPlane {
+    blocks_x: usize,
+    blocks_y: usize,
+    /// Component dimensions in samples (pre-padding).
+    width: usize,
+    height: usize,
+    blocks: Vec<[i32; BLOCK_AREA]>,
+}
+
+impl CoeffPlane {
+    /// Forward-transform a sample plane: pad to block multiples, level
+    /// shift by −128, 8×8 FDCT and quantise with `qtable`.
+    pub fn from_plane(plane: &Plane, qtable: &QuantTable) -> Self {
+        Self::from_plane_padded(plane, qtable, BLOCK)
+    }
+
+    /// Like [`CoeffPlane::from_plane`] but pads dimensions to a multiple
+    /// of `align` samples (16 for 4:2:0 luma).
+    pub(crate) fn from_plane_padded(plane: &Plane, qtable: &QuantTable, align: usize) -> Self {
+        Self::from_plane_padded_xy(plane, qtable, align, align)
+    }
+
+    /// Like [`CoeffPlane::from_plane`] with independent horizontal and
+    /// vertical padding alignment (4:2:2 luma pads 16×8).
+    pub(crate) fn from_plane_padded_xy(
+        plane: &Plane,
+        qtable: &QuantTable,
+        align_x: usize,
+        align_y: usize,
+    ) -> Self {
+        let width = plane.width();
+        let height = plane.height();
+        let pw = width.div_ceil(align_x) * align_x;
+        let ph = height.div_ceil(align_y) * align_y;
+        let padded = plane.crop_clamped(0, 0, pw, ph);
+        let blocks_x = pw / BLOCK;
+        let blocks_y = ph / BLOCK;
+        let mut blocks = Vec::with_capacity(blocks_x * blocks_y);
+        let mut samples = [0.0f32; BLOCK_AREA];
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                for y in 0..BLOCK {
+                    for x in 0..BLOCK {
+                        samples[y * BLOCK + x] =
+                            padded.get(bx * BLOCK + x, by * BLOCK + y) - 128.0;
+                    }
+                }
+                blocks.push(qtable.quantize(&fdct(&samples)));
+            }
+        }
+        Self {
+            blocks_x,
+            blocks_y,
+            width,
+            height,
+            blocks,
+        }
+    }
+
+    /// Create an all-zero coefficient plane (decoder scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block count is zero.
+    pub fn zeros(blocks_x: usize, blocks_y: usize, width: usize, height: usize) -> Self {
+        assert!(blocks_x > 0 && blocks_y > 0, "coefficient plane must be nonempty");
+        Self {
+            blocks_x,
+            blocks_y,
+            width,
+            height,
+            blocks: vec![[0i32; BLOCK_AREA]; blocks_x * blocks_y],
+        }
+    }
+
+    /// Number of block columns.
+    pub fn blocks_x(&self) -> usize {
+        self.blocks_x
+    }
+
+    /// Number of block rows.
+    pub fn blocks_y(&self) -> usize {
+        self.blocks_y
+    }
+
+    /// Component width in samples (before padding).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Component height in samples (before padding).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrow the quantised block at `(bx, by)` in natural order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn block(&self, bx: usize, by: usize) -> &[i32; BLOCK_AREA] {
+        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of bounds");
+        &self.blocks[by * self.blocks_x + bx]
+    }
+
+    /// Mutably borrow the quantised block at `(bx, by)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn block_mut(&mut self, bx: usize, by: usize) -> &mut [i32; BLOCK_AREA] {
+        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of bounds");
+        &mut self.blocks[by * self.blocks_x + bx]
+    }
+
+    /// DC level of block `(bx, by)`.
+    pub fn dc(&self, bx: usize, by: usize) -> i32 {
+        self.block(bx, by)[0]
+    }
+
+    /// Overwrite the DC level of block `(bx, by)`.
+    pub fn set_dc(&mut self, bx: usize, by: usize, level: i32) {
+        self.block_mut(bx, by)[0] = level;
+    }
+
+    /// Zero DC levels according to `mode`; corner blocks are the four
+    /// extreme blocks of the grid.
+    pub fn drop_dc(&mut self, mode: DcDropMode) {
+        let corners = [
+            (0, 0),
+            (self.blocks_x - 1, 0),
+            (0, self.blocks_y - 1),
+            (self.blocks_x - 1, self.blocks_y - 1),
+        ];
+        for by in 0..self.blocks_y {
+            for bx in 0..self.blocks_x {
+                let keep =
+                    mode == DcDropMode::KeepCorners && corners.contains(&(bx, by));
+                if !keep {
+                    self.set_dc(bx, by, 0);
+                }
+            }
+        }
+    }
+
+    /// Inverse-transform back to a sample plane (dequantise, IDCT, +128,
+    /// clamp to `[0, 255]`, crop padding).
+    pub fn to_plane(&self, qtable: &QuantTable) -> Plane {
+        let mut out = Plane::new(self.blocks_x * BLOCK, self.blocks_y * BLOCK);
+        for by in 0..self.blocks_y {
+            for bx in 0..self.blocks_x {
+                let coeffs = qtable.dequantize(self.block(bx, by));
+                let samples = idct(&coeffs);
+                for y in 0..BLOCK {
+                    for x in 0..BLOCK {
+                        let v = (samples[y * BLOCK + x] + 128.0).clamp(0.0, 255.0);
+                        out.set(bx * BLOCK + x, by * BLOCK + y, v);
+                    }
+                }
+            }
+        }
+        out.crop_to(self.width, self.height)
+    }
+
+    /// Level-shifted AC-only pixels of every block: the IDCT of each
+    /// block with its DC level forced to zero. This is the receiver's
+    /// `x̃` decomposition that all DC-recovery methods reason over —
+    /// block pixels are `ac_pixels + dc_level * q0 / 8`.
+    pub fn ac_pixels(&self, qtable: &QuantTable) -> Vec<[f32; BLOCK_AREA]> {
+        self.blocks
+            .iter()
+            .map(|levels| {
+                let mut levels = *levels;
+                levels[0] = 0;
+                crate::dct::idct(&qtable.dequantize(&levels))
+            })
+            .collect()
+    }
+
+    /// The DC levels as a `blocks_x × blocks_y` plane (DC-map view used by
+    /// the recovery algorithms).
+    pub fn dc_map(&self) -> Plane {
+        Plane::from_fn(self.blocks_x, self.blocks_y, |bx, by| self.dc(bx, by) as f32)
+    }
+
+    /// Count of nonzero coefficient levels (a cheap proxy for coded size).
+    pub fn nonzero_coeffs(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.iter().filter(|&&v| v != 0).count())
+            .sum()
+    }
+}
+
+/// Quantised coefficients for a whole image: one [`CoeffPlane`] per
+/// component plus the quantisation tables and chroma sampling used.
+///
+/// This is the representation exchanged between the sender (which may
+/// call [`CoeffImage::drop_dc`]) and the receiver-side recovery methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoeffImage {
+    planes: Vec<CoeffPlane>,
+    qtables: Vec<QuantTable>,
+    sampling: ChromaSampling,
+    width: usize,
+    height: usize,
+}
+
+impl CoeffImage {
+    /// Transform an image into quantised coefficients at `quality`
+    /// (1..=100) with the given chroma sampling.
+    ///
+    /// RGB inputs are converted to YCbCr; grayscale stays single-plane.
+    pub fn from_image(image: &Image, quality: u8, sampling: ChromaSampling) -> Self {
+        let (width, height) = image.dims();
+        match image.color_space() {
+            ColorSpace::Gray => {
+                let q = QuantTable::luma(quality);
+                let plane = CoeffPlane::from_plane(image.plane(0), &q);
+                Self {
+                    planes: vec![plane],
+                    qtables: vec![q],
+                    sampling: ChromaSampling::Cs444,
+                    width,
+                    height,
+                }
+            }
+            _ => {
+                let ycbcr = image.to_ycbcr();
+                let ql = QuantTable::luma(quality);
+                let qc = QuantTable::chroma(quality);
+                match sampling {
+                    ChromaSampling::Cs444 => {
+                        let planes = vec![
+                            CoeffPlane::from_plane(ycbcr.plane(0), &ql),
+                            CoeffPlane::from_plane(ycbcr.plane(1), &qc),
+                            CoeffPlane::from_plane(ycbcr.plane(2), &qc),
+                        ];
+                        Self {
+                            planes,
+                            qtables: vec![ql, qc.clone(), qc],
+                            sampling,
+                            width,
+                            height,
+                        }
+                    }
+                    ChromaSampling::Cs422 => {
+                        let luma = CoeffPlane::from_plane_padded_xy(
+                            ycbcr.plane(0),
+                            &ql,
+                            2 * BLOCK,
+                            BLOCK,
+                        );
+                        let cb =
+                            CoeffPlane::from_plane(&downsample_horizontal(ycbcr.plane(1)), &qc);
+                        let cr =
+                            CoeffPlane::from_plane(&downsample_horizontal(ycbcr.plane(2)), &qc);
+                        Self {
+                            planes: vec![luma, cb, cr],
+                            qtables: vec![ql, qc.clone(), qc],
+                            sampling,
+                            width,
+                            height,
+                        }
+                    }
+                    ChromaSampling::Cs420 => {
+                        let luma =
+                            CoeffPlane::from_plane_padded(ycbcr.plane(0), &ql, 2 * BLOCK);
+                        let cb = CoeffPlane::from_plane(&downsample2(ycbcr.plane(1)), &qc);
+                        let cr = CoeffPlane::from_plane(&downsample2(ycbcr.plane(2)), &qc);
+                        Self {
+                            planes: vec![luma, cb, cr],
+                            qtables: vec![ql, qc.clone(), qc],
+                            sampling,
+                            width,
+                            height,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assemble a coefficient image from raw parts (decoder use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if plane and table counts differ or are empty.
+    pub fn from_parts(
+        planes: Vec<CoeffPlane>,
+        qtables: Vec<QuantTable>,
+        sampling: ChromaSampling,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(!planes.is_empty(), "at least one component");
+        assert_eq!(planes.len(), qtables.len(), "one quant table per plane");
+        Self {
+            planes,
+            qtables,
+            sampling,
+            width,
+            height,
+        }
+    }
+
+    /// Number of components (1 or 3).
+    pub fn channels(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Original image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Original image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Chroma sampling of the coded stream.
+    pub fn sampling(&self) -> ChromaSampling {
+        self.sampling
+    }
+
+    /// Borrow component `c`'s coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn plane(&self, c: usize) -> &CoeffPlane {
+        &self.planes[c]
+    }
+
+    /// Mutably borrow component `c`'s coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn plane_mut(&mut self, c: usize) -> &mut CoeffPlane {
+        &mut self.planes[c]
+    }
+
+    /// Quantisation table of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn qtable(&self, c: usize) -> &QuantTable {
+        &self.qtables[c]
+    }
+
+    /// Sender-side DC dropping: returns a copy with DC levels zeroed in
+    /// every component according to `mode`.
+    pub fn drop_dc(&self, mode: DcDropMode) -> CoeffImage {
+        let mut out = self.clone();
+        for p in &mut out.planes {
+            p.drop_dc(mode);
+        }
+        out
+    }
+
+    /// Reconstruct the pixel image (inverse quantise + IDCT + colour
+    /// conversion + chroma upsampling). Output colour space matches the
+    /// component count: RGB for 3 components, grayscale for 1.
+    pub fn to_image(&self) -> Image {
+        if self.planes.len() == 1 {
+            return Image::from_gray(self.planes[0].to_plane(&self.qtables[0]));
+        }
+        let y = self.planes[0].to_plane(&self.qtables[0]);
+        let mut cb = self.planes[1].to_plane(&self.qtables[1]);
+        let mut cr = self.planes[2].to_plane(&self.qtables[2]);
+        match self.sampling {
+            ChromaSampling::Cs420 => {
+                cb = upsample2(&cb, self.width, self.height);
+                cr = upsample2(&cr, self.width, self.height);
+            }
+            ChromaSampling::Cs422 => {
+                cb = upsample_horizontal(&cb, self.width, self.height);
+                cr = upsample_horizontal(&cr, self.width, self.height);
+            }
+            ChromaSampling::Cs444 => {}
+        }
+        let ycbcr = Image::from_planes(vec![y, cb, cr], ColorSpace::YCbCr)
+            .expect("component planes share dimensions");
+        ycbcr.to_rgb()
+    }
+
+    /// Decode a DC-only thumbnail: one pixel per 8×8 block taken from the
+    /// DC levels alone, skipping the IDCT entirely. This is the classic
+    /// fast-preview trick JPEG browsers use — and it visualises exactly
+    /// the information the DC-drop pipeline removes.
+    pub fn dc_thumbnail(&self) -> Image {
+        let planes: Vec<Plane> = (0..self.planes.len())
+            .map(|c| {
+                let p = &self.planes[c];
+                let q0 = self.qtables[c].values()[0] as f32;
+                Plane::from_fn(p.blocks_x(), p.blocks_y(), |bx, by| {
+                    (p.dc(bx, by) as f32 * q0 / 8.0 + 128.0).clamp(0.0, 255.0)
+                })
+            })
+            .collect();
+        if planes.len() == 1 {
+            return Image::from_gray(planes.into_iter().next().expect("one plane"));
+        }
+        // chroma grids may be smaller under 4:2:0; upsample to the luma grid
+        let (lw, lh) = planes[0].dims();
+        let resized: Vec<Plane> = planes
+            .iter()
+            .map(|p| {
+                if p.dims() == (lw, lh) {
+                    p.clone()
+                } else {
+                    Plane::from_fn(lw, lh, |x, y| {
+                        p.get_clamped(
+                            (x * p.width() / lw) as isize,
+                            (y * p.height() / lh) as isize,
+                        )
+                    })
+                }
+            })
+            .collect();
+        Image::from_planes(resized, ColorSpace::YCbCr)
+            .expect("planes share dimensions")
+            .to_rgb()
+    }
+
+    /// The receiver's view before recovery: reconstruction using the
+    /// coefficients as-is (call on a [`CoeffImage::drop_dc`] result to get
+    /// the paper's `x̃`).
+    pub fn reconstruct_without_recovery(&self) -> Image {
+        self.to_image()
+    }
+}
+
+/// 2× box-filter downsample (chroma subsampling).
+fn downsample2(plane: &Plane) -> Plane {
+    let w2 = plane.width().div_ceil(2);
+    let h2 = plane.height().div_ceil(2);
+    Plane::from_fn(w2, h2, |x, y| {
+        let x0 = (2 * x) as isize;
+        let y0 = (2 * y) as isize;
+        (plane.get_clamped(x0, y0)
+            + plane.get_clamped(x0 + 1, y0)
+            + plane.get_clamped(x0, y0 + 1)
+            + plane.get_clamped(x0 + 1, y0 + 1))
+            / 4.0
+    })
+}
+
+/// 2× nearest upsample back to `width × height` (chroma reconstruction).
+fn upsample2(plane: &Plane, width: usize, height: usize) -> Plane {
+    Plane::from_fn(width, height, |x, y| {
+        plane.get_clamped((x / 2) as isize, (y / 2) as isize)
+    })
+}
+
+/// Horizontal-only 2× box downsample (4:2:2 chroma).
+fn downsample_horizontal(plane: &Plane) -> Plane {
+    let w2 = plane.width().div_ceil(2);
+    Plane::from_fn(w2, plane.height(), |x, y| {
+        let x0 = (2 * x) as isize;
+        (plane.get_clamped(x0, y as isize) + plane.get_clamped(x0 + 1, y as isize)) / 2.0
+    })
+}
+
+/// Horizontal-only nearest upsample (4:2:2 chroma reconstruction).
+fn upsample_horizontal(plane: &Plane, width: usize, height: usize) -> Plane {
+    Plane::from_fn(width, height, |x, y| {
+        plane.get_clamped((x / 2) as isize, y as isize)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::{ColorSpace, Image};
+
+    fn gradient_image(w: usize, h: usize) -> Image {
+        Image::from_planes(
+            vec![
+                Plane::from_fn(w, h, |x, y| (x * 7 + y * 3) as f32 % 256.0),
+                Plane::from_fn(w, h, |x, y| (x * 2 + y * 11) as f32 % 256.0),
+                Plane::from_fn(w, h, |x, _| (x * 5) as f32 % 256.0),
+            ],
+            ColorSpace::Rgb,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coeff_round_trip_is_close_at_high_quality() {
+        let img = gradient_image(32, 24);
+        let coeffs = CoeffImage::from_image(&img, 95, ChromaSampling::Cs444);
+        let back = coeffs.to_image();
+        assert_eq!(back.dims(), (32, 24));
+        assert!(img.mean_abs_diff(&back) < 4.0);
+    }
+
+    #[test]
+    fn lower_quality_increases_error_and_sparsity() {
+        let img = gradient_image(32, 32);
+        let hi = CoeffImage::from_image(&img, 90, ChromaSampling::Cs444);
+        let lo = CoeffImage::from_image(&img, 10, ChromaSampling::Cs444);
+        let err_hi = img.mean_abs_diff(&hi.to_image());
+        let err_lo = img.mean_abs_diff(&lo.to_image());
+        assert!(err_lo > err_hi, "{err_lo} vs {err_hi}");
+        assert!(lo.plane(0).nonzero_coeffs() < hi.plane(0).nonzero_coeffs());
+    }
+
+    #[test]
+    fn dc_equals_scaled_block_mean() {
+        // constant 200 block: level shift 72, DC = 72*8 = 576, q=16 -> 36
+        let img = Image::from_gray(Plane::filled(8, 8, 200.0));
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        assert_eq!(coeffs.plane(0).dc(0, 0), 36);
+    }
+
+    #[test]
+    fn drop_dc_all_zeroes_everything() {
+        let img = gradient_image(32, 32);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::All);
+        for c in 0..3 {
+            let p = dropped.plane(c);
+            for by in 0..p.blocks_y() {
+                for bx in 0..p.blocks_x() {
+                    assert_eq!(p.dc(bx, by), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_dc_keep_corners_preserves_four_anchors() {
+        let img = gradient_image(40, 32);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let p = dropped.plane(0);
+        let orig = coeffs.plane(0);
+        let (bx_max, by_max) = (p.blocks_x() - 1, p.blocks_y() - 1);
+        for (bx, by) in [(0, 0), (bx_max, 0), (0, by_max), (bx_max, by_max)] {
+            assert_eq!(p.dc(bx, by), orig.dc(bx, by), "corner {bx},{by}");
+        }
+        assert_eq!(p.dc(1, 1), 0);
+    }
+
+    #[test]
+    fn ac_survives_dc_drop() {
+        let img = gradient_image(24, 24);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::All);
+        for c in 0..3 {
+            for by in 0..coeffs.plane(c).blocks_y() {
+                for bx in 0..coeffs.plane(c).blocks_x() {
+                    assert_eq!(
+                        coeffs.plane(c).block(bx, by)[1..],
+                        dropped.plane(c).block(bx, by)[1..],
+                        "ac changed at {c} {bx},{by}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cs420_shapes() {
+        let img = gradient_image(40, 24);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs420);
+        // luma padded to 48x32 -> 6x4 blocks; chroma 20x12 -> padded 24x16 -> 3x2
+        assert_eq!(coeffs.plane(0).blocks_x(), 6);
+        assert_eq!(coeffs.plane(0).blocks_y(), 4);
+        assert_eq!(coeffs.plane(1).blocks_x(), 3);
+        assert_eq!(coeffs.plane(1).blocks_y(), 2);
+        let back = coeffs.to_image();
+        assert_eq!(back.dims(), (40, 24));
+    }
+
+    #[test]
+    fn cs422_shapes_and_round_trip() {
+        let img = gradient_image(40, 24);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs422);
+        // luma padded to 48 wide (16-align) x 24: 6x3 blocks
+        assert_eq!(coeffs.plane(0).blocks_x(), 6);
+        assert_eq!(coeffs.plane(0).blocks_y(), 3);
+        // chroma 20x24 -> padded 24x24: 3x3 blocks
+        assert_eq!(coeffs.plane(1).blocks_x(), 3);
+        assert_eq!(coeffs.plane(1).blocks_y(), 3);
+        let back = coeffs.to_image();
+        assert_eq!(back.dims(), (40, 24));
+        assert!(img.mean_abs_diff(&back) < 12.0);
+    }
+
+    #[test]
+    fn grayscale_single_plane() {
+        let img = Image::from_gray(Plane::from_fn(16, 16, |x, y| ((x + y) * 8) as f32));
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs420);
+        assert_eq!(coeffs.channels(), 1);
+        assert_eq!(coeffs.sampling(), ChromaSampling::Cs444);
+        let back = coeffs.to_image();
+        assert!(img.mean_abs_diff(&back) < 10.0);
+    }
+
+    #[test]
+    fn dc_thumbnail_matches_block_means() {
+        let img = Image::from_gray(Plane::filled(32, 16, 200.0));
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let thumb = coeffs.dc_thumbnail();
+        assert_eq!(thumb.dims(), (4, 2));
+        // constant 200 image: every thumbnail pixel ~200
+        for y in 0..2 {
+            for x in 0..4 {
+                assert!((thumb.plane(0).get(x, y) - 200.0).abs() < 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_thumbnail_of_dropped_is_gray() {
+        let img = gradient_image(32, 32);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let thumb = coeffs.drop_dc(DcDropMode::All).dc_thumbnail();
+        for c in 0..3 {
+            assert!((thumb.plane(c).mean() - 128.0).abs() < 2.0, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn dc_map_matches_levels() {
+        let img = gradient_image(32, 16);
+        let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+        let map = coeffs.plane(0).dc_map();
+        assert_eq!(map.dims(), (4, 2));
+        assert_eq!(map.get(2, 1), coeffs.plane(0).dc(2, 1) as f32);
+    }
+}

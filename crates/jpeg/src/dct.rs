@@ -1,0 +1,238 @@
+//! 8×8 forward and inverse discrete cosine transforms.
+//!
+//! Two implementations are provided:
+//!
+//! * [`fdct_ref`] / [`idct_ref`] — the textbook `O(N^4)` type-II/III DCT,
+//!   used as the correctness oracle in tests;
+//! * [`fdct`] / [`idct`] — a separable row/column transform with
+//!   precomputed cosine tables (the practical encoder path; ~8× fewer
+//!   multiplies than the reference).
+//!
+//! Both operate on level-shifted samples (caller subtracts 128) and use
+//! the orthonormal JPEG normalisation: `C(0) = 1/sqrt(2)`, scale `1/2`
+//! per 1-D pass.
+
+use crate::{BLOCK, BLOCK_AREA};
+
+/// Precomputed `cos((2x+1) u pi / 16)` table, `COS[u][x]`.
+fn cos_table() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; BLOCK]; BLOCK];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn c(u: usize) -> f32 {
+    if u == 0 {
+        std::f32::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Reference forward DCT (type II), `O(N^4)`.
+///
+/// Input and output are row-major 64-element blocks; the `(0,0)` output
+/// is the DC coefficient, equal to `8 * mean(samples)` under this
+/// normalisation.
+pub fn fdct_ref(samples: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut sum = 0.0f32;
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    sum += samples[y * BLOCK + x]
+                        * cos_table()[u][x]
+                        * cos_table()[v][y];
+                }
+            }
+            out[v * BLOCK + u] = 0.25 * c(u) * c(v) * sum;
+        }
+    }
+    out
+}
+
+/// Reference inverse DCT (type III), `O(N^4)`.
+pub fn idct_ref(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut sum = 0.0f32;
+            for v in 0..BLOCK {
+                for u in 0..BLOCK {
+                    sum += c(u)
+                        * c(v)
+                        * coeffs[v * BLOCK + u]
+                        * cos_table()[u][x]
+                        * cos_table()[v][y];
+                }
+            }
+            out[y * BLOCK + x] = 0.25 * sum;
+        }
+    }
+    out
+}
+
+/// 1-D 8-point forward DCT on a strided slice.
+#[inline]
+fn fdct_1d(data: &mut [f32; BLOCK_AREA], offset: usize, stride: usize) {
+    let mut tmp = [0.0f32; BLOCK];
+    let t = cos_table();
+    for (u, out) in tmp.iter_mut().enumerate() {
+        let mut sum = 0.0f32;
+        for x in 0..BLOCK {
+            sum += data[offset + x * stride] * t[u][x];
+        }
+        *out = 0.5 * c(u) * sum;
+    }
+    for (u, &v) in tmp.iter().enumerate() {
+        data[offset + u * stride] = v;
+    }
+}
+
+/// 1-D 8-point inverse DCT on a strided slice.
+#[inline]
+fn idct_1d(data: &mut [f32; BLOCK_AREA], offset: usize, stride: usize) {
+    let mut tmp = [0.0f32; BLOCK];
+    let t = cos_table();
+    for (x, out) in tmp.iter_mut().enumerate() {
+        let mut sum = 0.0f32;
+        for u in 0..BLOCK {
+            sum += c(u) * data[offset + u * stride] * t[u][x];
+        }
+        *out = 0.5 * sum;
+    }
+    for (x, &v) in tmp.iter().enumerate() {
+        data[offset + x * stride] = v;
+    }
+}
+
+/// Separable forward DCT (rows then columns).
+///
+/// Matches [`fdct_ref`] to floating-point precision while doing two 1-D
+/// passes instead of a full 4-D sum.
+pub fn fdct(samples: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut data = *samples;
+    for row in 0..BLOCK {
+        fdct_1d(&mut data, row * BLOCK, 1);
+    }
+    for col in 0..BLOCK {
+        fdct_1d(&mut data, col, BLOCK);
+    }
+    data
+}
+
+/// Separable inverse DCT (columns then rows). Inverse of [`fdct`].
+pub fn idct(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut data = *coeffs;
+    for col in 0..BLOCK {
+        idct_1d(&mut data, col, BLOCK);
+    }
+    for row in 0..BLOCK {
+        idct_1d(&mut data, row * BLOCK, 1);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u32) -> [f32; BLOCK_AREA] {
+        let mut b = [0.0f32; BLOCK_AREA];
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for v in &mut b {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = (state >> 16) as f32 % 256.0 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let block = [10.0f32; BLOCK_AREA];
+        let coeffs = fdct(&block);
+        // DC = 1/4 * (1/sqrt2)^2 * sum = sum/8 = 80 for constant 10
+        assert!((coeffs[0] - 80.0).abs() < 1e-3, "dc {}", coeffs[0]);
+        for (i, &ac) in coeffs.iter().enumerate().skip(1) {
+            assert!(ac.abs() < 1e-3, "ac[{i}] = {ac}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_forward() {
+        for seed in 0..5 {
+            let block = sample_block(seed);
+            let fast = fdct(&block);
+            let slow = fdct_ref(&block);
+            for i in 0..BLOCK_AREA {
+                assert!(
+                    (fast[i] - slow[i]).abs() < 1e-2,
+                    "coeff {i}: fast {} vs ref {}",
+                    fast[i],
+                    slow[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_inverse() {
+        for seed in 5..10 {
+            let coeffs = sample_block(seed);
+            let fast = idct(&coeffs);
+            let slow = idct_ref(&coeffs);
+            for i in 0..BLOCK_AREA {
+                assert!((fast[i] - slow[i]).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for seed in 10..15 {
+            let block = sample_block(seed);
+            let back = idct(&fdct(&block));
+            for i in 0..BLOCK_AREA {
+                assert!(
+                    (block[i] - back[i]).abs() < 1e-2,
+                    "sample {i}: {} vs {}",
+                    block[i],
+                    back[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let block = sample_block(42);
+        let coeffs = fdct(&block);
+        let es: f32 = block.iter().map(|v| v * v).sum();
+        let ec: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((es - ec).abs() / es < 1e-4, "{es} vs {ec}");
+    }
+
+    #[test]
+    fn single_basis_function_round_trips() {
+        // An impulse in coefficient space produces the basis image; IDCT
+        // then FDCT must recover the impulse.
+        let mut coeffs = [0.0f32; BLOCK_AREA];
+        coeffs[3 * BLOCK + 5] = 100.0;
+        let img = idct(&coeffs);
+        let back = fdct(&img);
+        for i in 0..BLOCK_AREA {
+            let expect = if i == 3 * BLOCK + 5 { 100.0 } else { 0.0 };
+            assert!((back[i] - expect).abs() < 1e-2);
+        }
+    }
+}

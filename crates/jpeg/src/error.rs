@@ -1,0 +1,25 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for JPEG encoding and decoding.
+#[derive(Debug)]
+pub enum JpegError {
+    /// The image cannot be encoded (e.g. unsupported channel count).
+    UnsupportedImage(String),
+    /// The byte stream is not a decodable baseline JPEG.
+    InvalidStream(String),
+    /// The entropy-coded data ended unexpectedly.
+    TruncatedScan,
+}
+
+impl fmt::Display for JpegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JpegError::UnsupportedImage(msg) => write!(f, "unsupported image: {msg}"),
+            JpegError::InvalidStream(msg) => write!(f, "invalid jpeg stream: {msg}"),
+            JpegError::TruncatedScan => write!(f, "entropy-coded scan ended unexpectedly"),
+        }
+    }
+}
+
+impl Error for JpegError {}

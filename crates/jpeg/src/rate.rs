@@ -1,0 +1,191 @@
+//! Rate-controlled encoding: hit a byte budget by searching the quality
+//! factor.
+//!
+//! IoT uplinks are provisioned in bytes, not quality factors; this module
+//! provides the sender-side policy the paper's scenario implies — encode
+//! the largest quality that fits the budget, optionally after DC dropping
+//! and/or with optimised tables.
+
+use dcdiff_image::Image;
+
+use crate::codec::{encode_coefficients, ChromaSampling, JpegEncoder};
+use crate::coeff::DcDropMode;
+use crate::optimize::encode_coefficients_optimized;
+use crate::JpegError;
+
+/// Options for [`encode_to_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateControl {
+    /// Byte budget the coded stream must not exceed.
+    pub max_bytes: usize,
+    /// Chroma sampling to encode with.
+    pub sampling: ChromaSampling,
+    /// Drop DC coefficients (keeping the corner anchors) before coding.
+    pub drop_dc: bool,
+    /// Use two-pass optimised Huffman tables.
+    pub optimize: bool,
+}
+
+impl RateControl {
+    /// Budget-only constructor with 4:4:4, no dropping, standard tables.
+    pub fn new(max_bytes: usize) -> Self {
+        Self {
+            max_bytes,
+            sampling: ChromaSampling::Cs444,
+            drop_dc: false,
+            optimize: false,
+        }
+    }
+}
+
+/// Result of a rate-controlled encode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateControlled {
+    /// The coded stream (within budget).
+    pub bytes: Vec<u8>,
+    /// The quality factor selected.
+    pub quality: u8,
+}
+
+/// Encode `image` at the highest quality whose coded size fits
+/// `control.max_bytes` (binary search over the IJG quality factor,
+/// monotone in coded size to within entropy-coding noise).
+///
+/// # Errors
+///
+/// Returns [`JpegError::UnsupportedImage`] when even quality 1 exceeds
+/// the budget, and propagates encoder errors.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::{ColorSpace, Image};
+/// use dcdiff_jpeg::rate::{encode_to_budget, RateControl};
+///
+/// let img = Image::filled(64, 64, ColorSpace::Rgb, 130.0);
+/// let out = encode_to_budget(&img, RateControl::new(900))?;
+/// assert!(out.bytes.len() <= 900);
+/// # Ok::<(), dcdiff_jpeg::JpegError>(())
+/// ```
+pub fn encode_to_budget(image: &Image, control: RateControl) -> Result<RateControlled, JpegError> {
+    let encode_at = |quality: u8| -> Result<Vec<u8>, JpegError> {
+        let encoder = JpegEncoder::new(quality).with_sampling(control.sampling);
+        let mut coeffs = encoder.to_coefficients(image);
+        if control.drop_dc {
+            coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
+        }
+        if control.optimize {
+            encode_coefficients_optimized(&coeffs)
+        } else {
+            encode_coefficients(&coeffs)
+        }
+    };
+    // binary search the largest fitting quality in 1..=100
+    let mut lo = 1u8;
+    let mut hi = 100u8;
+    let mut best: Option<RateControlled> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let bytes = encode_at(mid)?;
+        if bytes.len() <= control.max_bytes {
+            best = Some(RateControlled {
+                bytes,
+                quality: mid,
+            });
+            if mid == 100 {
+                break;
+            }
+            lo = mid + 1;
+        } else {
+            if mid == 1 {
+                break;
+            }
+            hi = mid - 1;
+        }
+    }
+    best.ok_or_else(|| {
+        JpegError::UnsupportedImage(format!(
+            "budget of {} bytes unreachable even at quality 1",
+            control.max_bytes
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_data::{SceneGenerator, SceneKind};
+    use crate::codec::JpegDecoder;
+
+    fn scene() -> Image {
+        SceneGenerator::new(SceneKind::Natural, 64, 64).generate(0)
+    }
+
+    #[test]
+    fn fits_the_budget_and_maximises_quality() {
+        let img = scene();
+        let loose = encode_to_budget(&img, RateControl::new(100_000)).unwrap();
+        assert_eq!(loose.quality, 100, "unbounded budget should pick Q100");
+        let tight_budget = loose.bytes.len() / 2;
+        let tight = encode_to_budget(&img, RateControl::new(tight_budget)).unwrap();
+        assert!(tight.bytes.len() <= tight_budget);
+        assert!(tight.quality < 100);
+        // one quality step up must overflow the budget (maximality), up to
+        // entropy non-monotonicity of a single step
+        if tight.quality < 99 {
+            let encoder = JpegEncoder::new(tight.quality + 2);
+            let bigger = encoder.encode(&img).unwrap();
+            assert!(
+                bigger.len() > tight_budget,
+                "quality {} should not also fit",
+                tight.quality + 2
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_budget_is_an_error() {
+        let img = scene();
+        assert!(encode_to_budget(&img, RateControl::new(10)).is_err());
+    }
+
+    #[test]
+    fn dropping_dc_raises_the_affordable_quality() {
+        let img = scene();
+        let budget = JpegEncoder::new(50).encode(&img).unwrap().len();
+        let plain = encode_to_budget(&img, RateControl::new(budget)).unwrap();
+        let dropped = encode_to_budget(
+            &img,
+            RateControl {
+                drop_dc: true,
+                ..RateControl::new(budget)
+            },
+        )
+        .unwrap();
+        assert!(
+            dropped.quality >= plain.quality,
+            "dropping DC must afford at least the same quality: {} vs {}",
+            dropped.quality,
+            plain.quality
+        );
+    }
+
+    #[test]
+    fn optimised_tables_raise_the_affordable_quality() {
+        let img = scene();
+        let budget = JpegEncoder::new(40).encode(&img).unwrap().len();
+        let plain = encode_to_budget(&img, RateControl::new(budget)).unwrap();
+        let optimised = encode_to_budget(
+            &img,
+            RateControl {
+                optimize: true,
+                ..RateControl::new(budget)
+            },
+        )
+        .unwrap();
+        assert!(optimised.quality >= plain.quality);
+        // the stream still decodes
+        let decoded = JpegDecoder::decode(&optimised.bytes).unwrap();
+        assert_eq!(decoded.dims(), (64, 64));
+    }
+}

@@ -1,0 +1,78 @@
+//! Zig-zag coefficient ordering (ITU-T T.81 Figure 5).
+
+use crate::BLOCK_AREA;
+
+/// `ZIGZAG[i]` is the natural (row-major) index of the `i`-th coefficient
+/// in zig-zag scan order.
+pub const ZIGZAG: [usize; BLOCK_AREA] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorder a natural-order block into zig-zag order.
+pub fn to_zigzag<T: Copy + Default>(natural: &[T; BLOCK_AREA]) -> [T; BLOCK_AREA] {
+    let mut out = [T::default(); BLOCK_AREA];
+    for (i, &nat) in ZIGZAG.iter().enumerate() {
+        out[i] = natural[nat];
+    }
+    out
+}
+
+/// Reorder a zig-zag-order block back to natural order.
+pub fn from_zigzag<T: Copy + Default>(zz: &[T; BLOCK_AREA]) -> [T; BLOCK_AREA] {
+    let mut out = [T::default(); BLOCK_AREA];
+    for (i, &nat) in ZIGZAG.iter().enumerate() {
+        out[nat] = zz[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_AREA];
+        for &idx in &ZIGZAG {
+            assert!(!seen[idx], "duplicate index {idx}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_entries_match_standard() {
+        // DC first, then (0,1), (1,0), (2,0), (1,1), (0,2) ...
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut natural = [0i32; BLOCK_AREA];
+        for (i, v) in natural.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 17;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&natural)), natural);
+    }
+
+    #[test]
+    fn diagonal_neighbours_are_adjacent_in_scan() {
+        // positions i and i+1 in scan order must be 8-neighbours in 2-D
+        for i in 0..BLOCK_AREA - 1 {
+            let (a, b) = (ZIGZAG[i], ZIGZAG[i + 1]);
+            let (ax, ay) = (a % 8, a / 8);
+            let (bx, by) = (b % 8, b / 8);
+            let dx = ax.abs_diff(bx);
+            let dy = ay.abs_diff(by);
+            assert!(dx <= 1 && dy <= 1, "scan jump at {i}: {a} -> {b}");
+        }
+    }
+}

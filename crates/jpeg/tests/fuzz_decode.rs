@@ -1,0 +1,59 @@
+//! Decoder robustness: arbitrary and corrupted byte streams must produce
+//! errors, never panics or unbounded work.
+
+use dcdiff_image::{ColorSpace, Image, Plane};
+use dcdiff_jpeg::{JpegDecoder, JpegEncoder};
+use proptest::prelude::*;
+
+fn valid_stream() -> Vec<u8> {
+    let img = Image::from_planes(
+        vec![
+            Plane::from_fn(32, 24, |x, y| ((x * 9 + y * 5) % 256) as f32),
+            Plane::from_fn(32, 24, |x, y| ((x * 3 + y * 11) % 256) as f32),
+            Plane::from_fn(32, 24, |x, y| ((x + y * 2) % 256) as f32),
+        ],
+        ColorSpace::Rgb,
+    )
+    .unwrap();
+    JpegEncoder::new(50).encode(&img).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = JpegDecoder::decode(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_with_soi_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut stream = vec![0xFF, 0xD8];
+        stream.extend(bytes);
+        let _ = JpegDecoder::decode(&stream);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(pos_frac in 0.0f64..1.0, value in any::<u8>()) {
+        let mut bytes = valid_stream();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = value;
+        // decode may fail or may succeed with altered pixels — both fine
+        let _ = JpegDecoder::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(keep_frac in 0.0f64..1.0) {
+        let bytes = valid_stream();
+        let keep = (bytes.len() as f64 * keep_frac) as usize;
+        let _ = JpegDecoder::decode(&bytes[..keep]);
+    }
+
+    #[test]
+    fn byte_deletion_never_panics(pos_frac in 0.0f64..1.0) {
+        let mut bytes = valid_stream();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes.remove(pos);
+        let _ = JpegDecoder::decode(&bytes);
+    }
+}

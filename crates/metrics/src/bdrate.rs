@@ -1,0 +1,209 @@
+//! Bjøntegaard-delta (BD) rate and PSNR — the standard way codecs
+//! summarise rate–distortion comparisons (used by the `rd_curve`
+//! extension experiment).
+//!
+//! Both curves are interpolated with a cubic polynomial in
+//! (log-rate, PSNR) space over their overlapping range; the BD-rate is
+//! the average horizontal gap (percent bitrate change at equal quality),
+//! the BD-PSNR the average vertical gap (dB change at equal rate).
+
+/// One rate–distortion point: `(bits, psnr_db)`.
+pub type RdPoint = (f64, f64);
+
+/// Fit a cubic polynomial `y = a0 + a1 x + a2 x² + a3 x³` by least
+/// squares (Gaussian elimination on the 4×4 normal equations).
+fn fit_cubic(xs: &[f64], ys: &[f64]) -> [f64; 4] {
+    let n = xs.len();
+    assert!(n >= 4, "cubic fit needs at least 4 points");
+    // normal equations A^T A c = A^T y with A[i][j] = x_i^j
+    let mut ata = [[0.0f64; 4]; 4];
+    let mut aty = [0.0f64; 4];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let powers = [1.0, x, x * x, x * x * x];
+        for i in 0..4 {
+            aty[i] += powers[i] * y;
+            for j in 0..4 {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting
+    let mut m = [[0.0f64; 5]; 4];
+    for i in 0..4 {
+        m[i][..4].copy_from_slice(&ata[i]);
+        m[i][4] = aty[i];
+    }
+    for col in 0..4 {
+        let pivot = (col..4)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))
+            .expect("nonempty");
+        m.swap(col, pivot);
+        let p = m[col][col];
+        assert!(p.abs() > 1e-12, "singular normal equations");
+        for j in col..5 {
+            m[col][j] /= p;
+        }
+        for row in 0..4 {
+            if row != col {
+                let f = m[row][col];
+                for j in col..5 {
+                    m[row][j] -= f * m[col][j];
+                }
+            }
+        }
+    }
+    [m[0][4], m[1][4], m[2][4], m[3][4]]
+}
+
+fn integrate_cubic(c: &[f64; 4], lo: f64, hi: f64) -> f64 {
+    let anti = |x: f64| c[0] * x + c[1] * x * x / 2.0 + c[2] * x.powi(3) / 3.0 + c[3] * x.powi(4) / 4.0;
+    anti(hi) - anti(lo)
+}
+
+/// BD-rate of `test` relative to `anchor` in percent: negative means the
+/// test curve needs fewer bits for the same PSNR.
+///
+/// # Panics
+///
+/// Panics unless both curves have ≥ 4 points with positive rates and the
+/// PSNR ranges overlap.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_metrics::bdrate::bd_rate;
+///
+/// let anchor = [(100.0, 30.0), (200.0, 33.0), (400.0, 36.0), (800.0, 39.0)];
+/// // test needs half the bits everywhere -> BD-rate ~ -50%
+/// let test = [(50.0, 30.0), (100.0, 33.0), (200.0, 36.0), (400.0, 39.0)];
+/// let bd = bd_rate(&anchor, &test);
+/// assert!((bd + 50.0).abs() < 1.0, "bd = {bd}");
+/// ```
+pub fn bd_rate(anchor: &[RdPoint], test: &[RdPoint]) -> f64 {
+    assert!(anchor.len() >= 4 && test.len() >= 4, "need >= 4 RD points");
+    let to_logs = |curve: &[RdPoint]| -> (Vec<f64>, Vec<f64>) {
+        let mut log_rate = Vec::with_capacity(curve.len());
+        let mut psnr = Vec::with_capacity(curve.len());
+        for &(r, p) in curve {
+            assert!(r > 0.0, "rates must be positive");
+            log_rate.push(r.ln());
+            psnr.push(p);
+        }
+        (log_rate, psnr)
+    };
+    let (la, pa) = to_logs(anchor);
+    let (lt, pt) = to_logs(test);
+    // integrate log-rate as a function of PSNR over the common PSNR range
+    let lo = pa
+        .iter()
+        .chain(pt.iter())
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(pa.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .min(pt.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let lo_bound = pa
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(pt.iter().cloned().fold(f64::INFINITY, f64::min));
+    let hi_bound = pa
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(pt.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let _ = lo;
+    assert!(hi_bound > lo_bound, "PSNR ranges do not overlap");
+    let ca = fit_cubic(&pa, &la);
+    let ct = fit_cubic(&pt, &lt);
+    let span = hi_bound - lo_bound;
+    let avg_diff =
+        (integrate_cubic(&ct, lo_bound, hi_bound) - integrate_cubic(&ca, lo_bound, hi_bound)) / span;
+    (avg_diff.exp() - 1.0) * 100.0
+}
+
+/// BD-PSNR of `test` relative to `anchor` in dB: positive means the test
+/// curve is better at equal rate.
+///
+/// # Panics
+///
+/// As for [`bd_rate`], with overlap required in log-rate instead.
+pub fn bd_psnr(anchor: &[RdPoint], test: &[RdPoint]) -> f64 {
+    assert!(anchor.len() >= 4 && test.len() >= 4, "need >= 4 RD points");
+    let la: Vec<f64> = anchor.iter().map(|&(r, _)| r.ln()).collect();
+    let pa: Vec<f64> = anchor.iter().map(|&(_, p)| p).collect();
+    let lt: Vec<f64> = test.iter().map(|&(r, _)| r.ln()).collect();
+    let pt: Vec<f64> = test.iter().map(|&(_, p)| p).collect();
+    let lo = la
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(lt.iter().cloned().fold(f64::INFINITY, f64::min));
+    let hi = la
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .min(lt.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    assert!(hi > lo, "rate ranges do not overlap");
+    let ca = fit_cubic(&la, &pa);
+    let ct = fit_cubic(&lt, &pt);
+    (integrate_cubic(&ct, lo, hi) - integrate_cubic(&ca, lo, hi)) / (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor() -> Vec<RdPoint> {
+        vec![(100.0, 30.0), (200.0, 33.0), (400.0, 36.0), (800.0, 39.0)]
+    }
+
+    #[test]
+    fn identical_curves_are_zero() {
+        let a = anchor();
+        assert!(bd_rate(&a, &a).abs() < 1e-6);
+        assert!(bd_psnr(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_curve_has_negative_bd_rate() {
+        let a = anchor();
+        let better: Vec<RdPoint> = a.iter().map(|&(r, p)| (r * 0.8, p)).collect();
+        let bd = bd_rate(&a, &better);
+        assert!((bd + 20.0).abs() < 1.0, "bd = {bd}");
+    }
+
+    #[test]
+    fn higher_quality_curve_has_positive_bd_psnr() {
+        let a = anchor();
+        let better: Vec<RdPoint> = a.iter().map(|&(r, p)| (r, p + 1.5)).collect();
+        let bd = bd_psnr(&a, &better);
+        assert!((bd - 1.5).abs() < 0.05, "bd = {bd}");
+    }
+
+    #[test]
+    fn bd_rate_is_antisymmetric_in_sign() {
+        let a = anchor();
+        let b: Vec<RdPoint> = a.iter().map(|&(r, p)| (r * 0.7, p + 0.4)).collect();
+        let ab = bd_rate(&a, &b);
+        let ba = bd_rate(&b, &a);
+        assert!(ab < 0.0 && ba > 0.0, "{ab} vs {ba}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 4")]
+    fn too_few_points_rejected() {
+        let a = anchor();
+        bd_rate(&a, &a[..2]);
+    }
+
+    #[test]
+    fn cubic_fit_reproduces_polynomial() {
+        let xs: Vec<f64> = (0..8).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+        let c = fit_cubic(&xs, &ys);
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        assert!((c[1] + 2.0).abs() < 1e-6);
+        assert!((c[2] - 0.5).abs() < 1e-6);
+        assert!(c[3].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Gradient Magnitude Similarity Deviation (Xue et al., IEEE TIP 2014).
+//!
+//! A fast full-reference quality metric: Prewitt gradient magnitudes of
+//! the two images are compared with a similarity map, whose *standard
+//! deviation* is the score — lower is better (0 = identical gradients).
+//! Included as a fifth quality measure for the extension experiments; it
+//! is particularly sensitive to the block-boundary discontinuities that
+//! DC-recovery errors create.
+
+use dcdiff_image::{Image, Plane};
+
+/// Stabilisation constant from the GMSD paper, scaled to the 0..255
+/// pixel range.
+const C: f32 = 170.0;
+
+/// Prewitt gradient magnitude of a luma plane.
+fn gradient_magnitude(p: &Plane) -> Plane {
+    let (w, h) = p.dims();
+    Plane::from_fn(w, h, |x, y| {
+        let v = |dx: isize, dy: isize| p.get_clamped(x as isize + dx, y as isize + dy);
+        let gx = (v(1, -1) + v(1, 0) + v(1, 1)) - (v(-1, -1) + v(-1, 0) + v(-1, 1));
+        let gy = (v(-1, 1) + v(0, 1) + v(1, 1)) - (v(-1, -1) + v(0, -1) + v(1, -1));
+        ((gx / 3.0).powi(2) + (gy / 3.0).powi(2)).sqrt()
+    })
+}
+
+/// 2× average-pooled luma, as the GMSD paper prescribes.
+fn pooled_luma(image: &Image) -> Plane {
+    let luma = image.to_gray().into_planes().remove(0);
+    let w2 = (luma.width() / 2).max(1);
+    let h2 = (luma.height() / 2).max(1);
+    Plane::from_fn(w2, h2, |x, y| {
+        let x0 = (2 * x) as isize;
+        let y0 = (2 * y) as isize;
+        (luma.get_clamped(x0, y0)
+            + luma.get_clamped(x0 + 1, y0)
+            + luma.get_clamped(x0, y0 + 1)
+            + luma.get_clamped(x0 + 1, y0 + 1))
+            / 4.0
+    })
+}
+
+/// Gradient magnitude similarity deviation — lower is better, 0 for
+/// identical images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::{ColorSpace, Image};
+/// use dcdiff_metrics::gmsd;
+///
+/// let a = Image::filled(32, 32, ColorSpace::Gray, 120.0);
+/// assert_eq!(gmsd(&a, &a), 0.0);
+/// ```
+pub fn gmsd(reference: &Image, test: &Image) -> f32 {
+    assert_eq!(reference.dims(), test.dims(), "image size mismatch");
+    let gr = gradient_magnitude(&pooled_luma(reference));
+    let gt = gradient_magnitude(&pooled_luma(test));
+    let n = gr.len();
+    let mut similarity = Vec::with_capacity(n);
+    for (&a, &b) in gr.as_slice().iter().zip(gt.as_slice()) {
+        similarity.push((2.0 * a * b + C) / (a * a + b * b + C));
+    }
+    let mean: f32 = similarity.iter().sum::<f32>() / n as f32;
+    (similarity.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::ColorSpace;
+
+    fn textured(w: usize, h: usize) -> Image {
+        Image::from_gray(Plane::from_fn(w, h, |x, y| {
+            128.0 + 60.0 * ((x as f32 * 0.5).sin() * (y as f32 * 0.4).cos())
+        }))
+    }
+
+    #[test]
+    fn identical_images_score_zero() {
+        let a = textured(32, 32);
+        assert_eq!(gmsd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = textured(32, 32);
+        let b = Image::filled(32, 32, ColorSpace::Gray, 128.0);
+        assert!((gmsd(&a, &b) - gmsd(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_artifacts_are_detected() {
+        let a = textured(64, 64);
+        // add block-boundary steps (the DC-recovery failure signature)
+        let blocky = Image::from_gray(Plane::from_fn(64, 64, |x, y| {
+            let step = ((x / 8 + y / 8) % 2) as f32 * 16.0 - 8.0;
+            a.plane(0).get(x, y) + step
+        }));
+        // same energy as a global offset
+        let offset = Image::from_gray(a.plane(0).map(|v| v + 8.0));
+        assert!(
+            gmsd(&a, &blocky) > gmsd(&a, &offset) + 1e-4,
+            "block steps must score worse than a flat offset"
+        );
+    }
+
+    #[test]
+    fn monotone_in_blur_strength() {
+        let a = textured(48, 48);
+        let blur = |passes: usize| -> Image {
+            let mut p = a.plane(0).clone();
+            for _ in 0..passes {
+                p = Plane::from_fn(48, 48, |x, y| {
+                    let mut acc = 0.0;
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            acc += p.get_clamped(x as isize + dx, y as isize + dy);
+                        }
+                    }
+                    acc / 9.0
+                });
+            }
+            Image::from_gray(p)
+        };
+        let light = gmsd(&a, &blur(1));
+        let heavy = gmsd(&a, &blur(4));
+        assert!(heavy > light, "{heavy} vs {light}");
+    }
+
+    #[test]
+    fn bounded_by_construction() {
+        let a = textured(32, 32);
+        let b = Image::filled(32, 32, ColorSpace::Gray, 0.0);
+        let d = gmsd(&a, &b);
+        assert!((0.0..=1.0).contains(&d), "gmsd {d} out of range");
+    }
+}

@@ -1,0 +1,233 @@
+//! Diagnostics for the Laplacian property of adjacent-pixel differences.
+//!
+//! Every statistical DC-recovery method rests on the observation (Uehara
+//! et al., 2006) that the difference between neighbouring pixels of a
+//! natural image follows a zero-mean Laplacian distribution with a small
+//! scale. Figure 4 of the paper shows that *masking out high-frequency
+//! regions* makes this distribution dramatically tighter. The functions
+//! here measure that: difference histograms, Laplacian maximum-likelihood
+//! scale fits, and the masked variants used by the Fig. 4 reproduction.
+
+use dcdiff_image::{Image, Plane};
+
+/// A histogram of adjacent-pixel differences over `[-range, +range]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffHistogram {
+    /// Bin counts; bin `i` covers difference `i - range`.
+    pub counts: Vec<u64>,
+    /// Half-width of the histogram support.
+    pub range: usize,
+    /// Total samples, including those clamped into the edge bins.
+    pub total: u64,
+}
+
+impl DiffHistogram {
+    /// Probability mass of each bin.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let t = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Fraction of differences with `|d| <= tol`.
+    pub fn mass_within(&self, tol: usize) -> f64 {
+        let centre = self.range;
+        let lo = centre.saturating_sub(tol);
+        let hi = (centre + tol).min(self.counts.len() - 1);
+        let inside: u64 = self.counts[lo..=hi].iter().sum();
+        inside as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Iterate horizontal and vertical adjacent-pixel differences of `plane`,
+/// restricted to positions where both pixels are unmasked (mask > 0.5).
+/// A `None` mask selects every pixel pair.
+fn for_each_diff(plane: &Plane, mask: Option<&Plane>, mut f: impl FnMut(f32)) {
+    let (w, h) = plane.dims();
+    let selected = |x: usize, y: usize| -> bool {
+        mask.map(|m| m.get(x, y) > 0.5).unwrap_or(true)
+    };
+    for y in 0..h {
+        for x in 1..w {
+            if selected(x, y) && selected(x - 1, y) {
+                f(plane.get(x, y) - plane.get(x - 1, y));
+            }
+        }
+    }
+    for y in 1..h {
+        for x in 0..w {
+            if selected(x, y) && selected(x, y - 1) {
+                f(plane.get(x, y) - plane.get(x, y - 1));
+            }
+        }
+    }
+}
+
+/// Histogram of adjacent-pixel differences of the luma plane.
+///
+/// `mask` (optional, same size) restricts the statistics to unmasked
+/// pixels — pass the DCDiff high-frequency mask to reproduce the
+/// "w/ mask" curve of Fig. 4.
+///
+/// # Panics
+///
+/// Panics if the mask size differs from the image or `range == 0`.
+pub fn diff_histogram(image: &Image, mask: Option<&Plane>, range: usize) -> DiffHistogram {
+    assert!(range > 0, "histogram range must be positive");
+    let luma = image.to_gray().into_planes().remove(0);
+    if let Some(m) = mask {
+        assert_eq!(m.dims(), luma.dims(), "mask size mismatch");
+    }
+    let mut counts = vec![0u64; 2 * range + 1];
+    let mut total = 0u64;
+    for_each_diff(&luma, mask, |d| {
+        let bin = (d.round() as i64 + range as i64).clamp(0, 2 * range as i64) as usize;
+        counts[bin] += 1;
+        total += 1;
+    });
+    DiffHistogram {
+        counts,
+        range,
+        total,
+    }
+}
+
+/// Maximum-likelihood Laplacian scale `b = mean(|d|)` of adjacent-pixel
+/// differences (optionally masked). Smaller scale means the Laplacian
+/// prior predicts neighbours better.
+///
+/// Returns 0 when no pixel pair is selected.
+pub fn laplacian_scale(image: &Image, mask: Option<&Plane>) -> f32 {
+    let luma = image.to_gray().into_planes().remove(0);
+    if let Some(m) = mask {
+        assert_eq!(m.dims(), luma.dims(), "mask size mismatch");
+    }
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    for_each_diff(&luma, mask, |d| {
+        sum += d.abs() as f64;
+        count += 1;
+    });
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// Kolmogorov–Smirnov-style distance between the empirical difference
+/// distribution and the fitted Laplacian (a goodness-of-fit diagnostic
+/// used by the dataset-validation tests).
+pub fn laplacian_fit_distance(image: &Image) -> f32 {
+    let hist = diff_histogram(image, None, 64);
+    let b = laplacian_scale(image, None).max(1e-3);
+    let probs = hist.probabilities();
+    // CDF comparison on bin centres
+    let mut emp_cdf = 0.0f64;
+    let mut max_gap = 0.0f64;
+    for (i, &p) in probs.iter().enumerate() {
+        emp_cdf += p;
+        let x = i as f64 - hist.range as f64 + 0.5;
+        let model_cdf = if x < 0.0 {
+            0.5 * (x / b as f64).exp()
+        } else {
+            1.0 - 0.5 * (-x / b as f64).exp()
+        };
+        max_gap = max_gap.max((emp_cdf - model_cdf).abs());
+    }
+    max_gap as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::{ColorSpace, Image};
+
+    #[test]
+    fn constant_image_has_zero_scale() {
+        let img = Image::filled(16, 16, ColorSpace::Gray, 77.0);
+        assert_eq!(laplacian_scale(&img, None), 0.0);
+        let h = diff_histogram(&img, None, 8);
+        assert_eq!(h.mass_within(0), 1.0);
+    }
+
+    #[test]
+    fn smooth_gradient_has_small_scale() {
+        let img = Image::from_gray(Plane::from_fn(32, 32, |x, y| (x + y) as f32));
+        let s = laplacian_scale(&img, None);
+        assert!((s - 1.0).abs() < 0.01, "gradient scale {s}");
+    }
+
+    #[test]
+    fn edges_increase_the_scale() {
+        let smooth = Image::from_gray(Plane::from_fn(32, 32, |x, _| x as f32));
+        let edgy = Image::from_gray(Plane::from_fn(32, 32, |x, _| {
+            if x % 8 < 4 {
+                0.0
+            } else {
+                200.0
+            }
+        }));
+        assert!(laplacian_scale(&edgy, None) > laplacian_scale(&smooth, None) * 5.0);
+    }
+
+    #[test]
+    fn masking_high_frequency_regions_tightens_distribution() {
+        // left half smooth, right half alternating stripes
+        let img = Image::from_gray(Plane::from_fn(32, 32, |x, y| {
+            if x < 16 {
+                (x + y) as f32
+            } else if (x + y) % 2 == 0 {
+                0.0
+            } else {
+                255.0
+            }
+        }));
+        let mask = Plane::from_fn(32, 32, |x, _| if x < 16 { 1.0 } else { 0.0 });
+        let full = laplacian_scale(&img, None);
+        let masked = laplacian_scale(&img, Some(&mask));
+        assert!(
+            masked < full / 4.0,
+            "mask should shrink scale: {masked} vs {full}"
+        );
+    }
+
+    #[test]
+    fn histogram_total_counts_every_pair() {
+        let img = Image::filled(4, 3, ColorSpace::Gray, 1.0);
+        let h = diff_histogram(&img, None, 4);
+        // horizontal pairs: 3*3, vertical: 4*2
+        assert_eq!(h.total, 9 + 8);
+    }
+
+    #[test]
+    fn histogram_is_symmetric_for_symmetric_pattern() {
+        let img = Image::from_gray(Plane::from_fn(33, 1, |x, _| {
+            if x % 2 == 0 {
+                100.0
+            } else {
+                104.0
+            }
+        }));
+        let h = diff_histogram(&img, None, 8);
+        assert_eq!(h.counts[8 + 4], h.counts[8 - 4]);
+    }
+
+    #[test]
+    fn laplacian_fit_is_good_for_laplacian_like_data() {
+        // build an image whose differences are roughly two-sided geometric
+        let mut v = 128.0f32;
+        let img = Image::from_gray(Plane::from_fn(256, 16, |x, y| {
+            let step = match (x * 7 + y * 13) % 8 {
+                0 => 3.0,
+                1 => -3.0,
+                2 | 3 => 1.0,
+                4 | 5 => -1.0,
+                _ => 0.0,
+            };
+            v = (v + step).clamp(0.0, 255.0);
+            v
+        }));
+        let d = laplacian_fit_distance(&img);
+        assert!(d < 0.35, "fit distance {d}");
+    }
+}

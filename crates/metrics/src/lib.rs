@@ -1,0 +1,72 @@
+//! Image-quality metrics used throughout the DCDiff evaluation.
+//!
+//! Implements the paper's four quantitative measures (§IV-A):
+//!
+//! * [`psnr`] — peak signal-to-noise ratio over all channels;
+//! * [`ssim`] — structural similarity (Gaussian 11×11 window, standard
+//!   `K1/K2` constants) on luma;
+//! * [`ms_ssim`] — multi-scale SSIM with the standard five-scale weights,
+//!   adaptively reduced for small images;
+//! * [`PerceptualDistance`] — the LPIPS stand-in: a frozen random-feature
+//!   multi-scale convolutional metric (see `DESIGN.md` for the
+//!   substitution rationale). Lower is better, like LPIPS.
+//!
+//! plus [`laplacian`] — diagnostics for the Laplacian property of
+//! adjacent-pixel differences that underpins all statistical DC-recovery
+//! methods (Fig. 4 of the paper).
+
+pub mod bdrate;
+pub mod laplacian;
+
+mod gmsd;
+mod perceptual;
+mod pixelwise;
+mod structural;
+
+pub use gmsd::gmsd;
+pub use perceptual::PerceptualDistance;
+pub use pixelwise::{mse, psnr};
+pub use structural::{ms_ssim, ssim};
+
+/// A bundle of the four paper metrics for one image pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Peak signal-to-noise ratio in dB (higher is better).
+    pub psnr: f32,
+    /// Structural similarity in `[-1, 1]` (higher is better).
+    pub ssim: f32,
+    /// Multi-scale structural similarity (higher is better).
+    pub ms_ssim: f32,
+    /// Perceptual distance (lower is better).
+    pub lpips: f32,
+}
+
+impl QualityReport {
+    /// Evaluate all four metrics of `reconstructed` against `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images have different dimensions.
+    pub fn evaluate(
+        reference: &dcdiff_image::Image,
+        reconstructed: &dcdiff_image::Image,
+        perceptual: &PerceptualDistance,
+    ) -> Self {
+        Self {
+            psnr: psnr(reference, reconstructed),
+            ssim: ssim(reference, reconstructed),
+            ms_ssim: ms_ssim(reference, reconstructed),
+            lpips: perceptual.distance(reference, reconstructed),
+        }
+    }
+}
+
+impl std::fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PSNR {:.2} dB | SSIM {:.4} | MS-SSIM {:.4} | LPIPS {:.4}",
+            self.psnr, self.ssim, self.ms_ssim, self.lpips
+        )
+    }
+}

@@ -1,0 +1,86 @@
+use dcdiff_image::Image;
+
+/// Mean squared error over all channels.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions or channel counts.
+pub fn mse(a: &Image, b: &Image) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "image size mismatch");
+    assert_eq!(a.channels(), b.channels(), "channel mismatch");
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for c in 0..a.channels() {
+        for (&x, &y) in a.plane(c).as_slice().iter().zip(b.plane(c).as_slice()) {
+            let d = x as f64 - y as f64;
+            sum += d * d;
+            count += 1;
+        }
+    }
+    (sum / count as f64) as f32
+}
+
+/// Peak signal-to-noise ratio in dB over all channels with peak 255.
+///
+/// Returns `f32::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions or channel counts.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::{ColorSpace, Image};
+/// use dcdiff_metrics::psnr;
+///
+/// let a = Image::filled(8, 8, ColorSpace::Gray, 100.0);
+/// let mut b = a.clone();
+/// b.plane_mut(0).set(0, 0, 110.0);
+/// assert!(psnr(&a, &b) > 40.0);
+/// assert!(psnr(&a, &a).is_infinite());
+/// ```
+pub fn psnr(a: &Image, b: &Image) -> f32 {
+    let err = mse(a, b);
+    if err == 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * ((255.0f32 * 255.0) / err).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::{ColorSpace, Image, Plane};
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let a = Image::filled(4, 4, ColorSpace::Gray, 100.0);
+        let b = Image::filled(4, 4, ColorSpace::Gray, 104.0);
+        assert_eq!(mse(&a, &b), 16.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // mse 16 -> 10*log10(65025/16) = 36.09 dB
+        let a = Image::filled(4, 4, ColorSpace::Gray, 100.0);
+        let b = Image::filled(4, 4, ColorSpace::Gray, 104.0);
+        assert!((psnr(&a, &b) - 36.0896).abs() < 0.01);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = Image::from_gray(Plane::from_fn(16, 16, |x, y| ((x + y) * 8) as f32));
+        let small = Image::from_gray(a.plane(0).map(|v| v + 1.0));
+        let large = Image::from_gray(a.plane(0).map(|v| v + 10.0));
+        assert!(psnr(&a, &small) > psnr(&a, &large));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let a = Image::filled(4, 4, ColorSpace::Gray, 0.0);
+        let b = Image::filled(5, 4, ColorSpace::Gray, 0.0);
+        mse(&a, &b);
+    }
+}

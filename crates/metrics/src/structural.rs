@@ -1,0 +1,249 @@
+use dcdiff_image::{Image, Plane};
+
+const K1: f32 = 0.01;
+const K2: f32 = 0.03;
+const PEAK: f32 = 255.0;
+/// Standard 5-scale MS-SSIM weights (Wang et al. 2003).
+const MS_WEIGHTS: [f32; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// 11-tap Gaussian window with sigma 1.5 (the SSIM reference window).
+fn gaussian_window() -> [f32; 11] {
+    let sigma = 1.5f32;
+    let mut w = [0.0f32; 11];
+    let mut sum = 0.0;
+    for (i, v) in w.iter_mut().enumerate() {
+        let d = i as f32 - 5.0;
+        *v = (-d * d / (2.0 * sigma * sigma)).exp();
+        sum += *v;
+    }
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// Separable Gaussian blur with replicate padding.
+fn blur(plane: &Plane) -> Plane {
+    let w = gaussian_window();
+    let (pw, ph) = plane.dims();
+    // horizontal pass
+    let mut tmp = Plane::new(pw, ph);
+    for y in 0..ph {
+        for x in 0..pw {
+            let mut acc = 0.0;
+            for (k, &wk) in w.iter().enumerate() {
+                acc += wk * plane.get_clamped(x as isize + k as isize - 5, y as isize);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    let mut out = Plane::new(pw, ph);
+    for y in 0..ph {
+        for x in 0..pw {
+            let mut acc = 0.0;
+            for (k, &wk) in w.iter().enumerate() {
+                acc += wk * tmp.get_clamped(x as isize, y as isize + k as isize - 5);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+fn mul_planes(a: &Plane, b: &Plane) -> Plane {
+    let (w, h) = a.dims();
+    Plane::from_fn(w, h, |x, y| a.get(x, y) * b.get(x, y))
+}
+
+/// Per-pixel SSIM statistics: returns `(mean luminance-contrast-structure,
+/// mean contrast-structure)` — the latter feeds MS-SSIM's coarse scales.
+fn ssim_maps(a: &Plane, b: &Plane) -> (f32, f32) {
+    let c1 = (K1 * PEAK) * (K1 * PEAK);
+    let c2 = (K2 * PEAK) * (K2 * PEAK);
+    let mu_a = blur(a);
+    let mu_b = blur(b);
+    let sigma_aa = blur(&mul_planes(a, a));
+    let sigma_bb = blur(&mul_planes(b, b));
+    let sigma_ab = blur(&mul_planes(a, b));
+    let (w, h) = a.dims();
+    let mut ssim_sum = 0.0f64;
+    let mut cs_sum = 0.0f64;
+    for y in 0..h {
+        for x in 0..w {
+            let ma = mu_a.get(x, y);
+            let mb = mu_b.get(x, y);
+            let saa = (sigma_aa.get(x, y) - ma * ma).max(0.0);
+            let sbb = (sigma_bb.get(x, y) - mb * mb).max(0.0);
+            let sab = sigma_ab.get(x, y) - ma * mb;
+            let cs = (2.0 * sab + c2) / (saa + sbb + c2);
+            let lum = (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+            ssim_sum += (lum * cs) as f64;
+            cs_sum += cs as f64;
+        }
+    }
+    let n = (w * h) as f64;
+    ((ssim_sum / n) as f32, (cs_sum / n) as f32)
+}
+
+fn to_luma(image: &Image) -> Plane {
+    image.to_gray().into_planes().remove(0)
+}
+
+fn downsample(plane: &Plane) -> Plane {
+    let w2 = (plane.width() / 2).max(1);
+    let h2 = (plane.height() / 2).max(1);
+    Plane::from_fn(w2, h2, |x, y| {
+        let x0 = (2 * x) as isize;
+        let y0 = (2 * y) as isize;
+        (plane.get_clamped(x0, y0)
+            + plane.get_clamped(x0 + 1, y0)
+            + plane.get_clamped(x0, y0 + 1)
+            + plane.get_clamped(x0 + 1, y0 + 1))
+            / 4.0
+    })
+}
+
+/// Structural similarity index on luma (Gaussian 11×11 window).
+///
+/// Returns a value in `[-1, 1]`; 1 means identical structure.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_image::{ColorSpace, Image};
+/// use dcdiff_metrics::ssim;
+///
+/// let a = Image::filled(32, 32, ColorSpace::Gray, 90.0);
+/// assert!((ssim(&a, &a) - 1.0).abs() < 1e-6);
+/// ```
+pub fn ssim(a: &Image, b: &Image) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "image size mismatch");
+    let (s, _) = ssim_maps(&to_luma(a), &to_luma(b));
+    s
+}
+
+/// Multi-scale SSIM on luma with the standard five-scale weights.
+///
+/// For images too small for five dyadic scales the scale count shrinks and
+/// the weights are renormalised, so any image of at least 16×16 samples is
+/// accepted.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions or are smaller than
+/// 16×16.
+pub fn ms_ssim(a: &Image, b: &Image) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "image size mismatch");
+    let (w, h) = a.dims();
+    assert!(w >= 16 && h >= 16, "ms-ssim needs at least 16x16 images");
+    // choose the largest scale count (<= 5) that keeps the coarsest scale
+    // at >= 8 samples per side
+    let mut scales = 1usize;
+    let mut size = w.min(h);
+    while scales < 5 && size / 2 >= 8 {
+        scales += 1;
+        size /= 2;
+    }
+    let weight_sum: f32 = MS_WEIGHTS[..scales].iter().sum();
+
+    let mut pa = to_luma(a);
+    let mut pb = to_luma(b);
+    let mut result = 1.0f32;
+    for s in 0..scales {
+        let (ssim_full, cs) = ssim_maps(&pa, &pb);
+        let wgt = MS_WEIGHTS[s] / weight_sum;
+        if s + 1 == scales {
+            // the final (coarsest) scale uses the full SSIM
+            result *= sign_pow(ssim_full, wgt);
+        } else {
+            result *= sign_pow(cs, wgt);
+            pa = downsample(&pa);
+            pb = downsample(&pb);
+        }
+    }
+    result
+}
+
+/// `|v|^p * sign(v)` — keeps MS-SSIM defined for (rare) negative factors.
+fn sign_pow(v: f32, p: f32) -> f32 {
+    v.abs().powf(p).copysign(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_image::{ColorSpace, Image};
+
+    fn textured(w: usize, h: usize, phase: f32) -> Image {
+        Image::from_gray(Plane::from_fn(w, h, |x, y| {
+            128.0 + 60.0 * ((x as f32 * 0.4 + phase).sin() + (y as f32 * 0.3).cos()) / 2.0
+        }))
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let a = textured(32, 32, 0.0);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-5);
+        assert!((ms_ssim(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ssim_penalises_structure_loss_more_than_offset() {
+        let a = textured(48, 48, 0.0);
+        // constant luminance shift preserves structure
+        let shifted = Image::from_gray(a.plane(0).map(|v| (v + 12.0).min(255.0)));
+        // blurring destroys structure
+        let blurred = Image::from_gray(super::blur(&super::blur(&super::blur(a.plane(0)))));
+        let s_shift = ssim(&a, &shifted);
+        let s_blur = ssim(&a, &blurred);
+        assert!(
+            s_shift > s_blur,
+            "shift {s_shift} should beat blur {s_blur}"
+        );
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = textured(32, 32, 0.0);
+        let b = textured(32, 32, 1.2);
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ms_ssim_orders_degradations() {
+        let a = textured(64, 64, 0.0);
+        let slight = Image::from_gray(a.plane(0).map(|v| v + 3.0));
+        let heavy = Image::from_gray(super::blur(&super::blur(a.plane(0))));
+        assert!(ms_ssim(&a, &slight) > ms_ssim(&a, &heavy));
+    }
+
+    #[test]
+    fn ms_ssim_small_image_uses_fewer_scales() {
+        let a = textured(16, 16, 0.0);
+        let b = textured(16, 16, 0.4);
+        let v = ms_ssim(&a, &b);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16x16")]
+    fn ms_ssim_rejects_tiny_images() {
+        let a = Image::filled(8, 8, ColorSpace::Gray, 0.0);
+        ms_ssim(&a, &a);
+    }
+
+    #[test]
+    fn rgb_images_compare_on_luma() {
+        let mut a = Image::filled(32, 32, ColorSpace::Rgb, 128.0);
+        // structured pattern on all channels
+        for c in 0..3 {
+            let p = Plane::from_fn(32, 32, |x, y| 100.0 + ((x * 7 + y * 5) % 64) as f32);
+            *a.plane_mut(c) = p;
+        }
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the quality metrics: bounds, symmetry and
+//! monotonicity on arbitrary content.
+
+use dcdiff_image::{ColorSpace, Image, Plane};
+use dcdiff_metrics::{ms_ssim, psnr, ssim, PerceptualDistance};
+use proptest::prelude::*;
+
+fn arbitrary_image(min: usize) -> impl Strategy<Value = Image> {
+    (min..48usize, min..48usize, any::<u32>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        let mut planes = Vec::new();
+        for _ in 0..3 {
+            planes.push(Plane::from_fn(w, h, |_, _| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 16) as f32 % 256.0
+            }));
+        }
+        Image::from_planes(planes, ColorSpace::Rgb).expect("planes share dimensions")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn psnr_identity_and_symmetry(img in arbitrary_image(4)) {
+        prop_assert!(psnr(&img, &img).is_infinite());
+        let noisy = Image::from_planes(
+            img.planes().iter().map(|p| p.map(|v| (v + 5.0).min(255.0))).collect(),
+            ColorSpace::Rgb,
+        ).expect("same dims");
+        let ab = psnr(&img, &noisy);
+        let ba = psnr(&noisy, &img);
+        prop_assert!((ab - ba).abs() < 1e-4);
+        prop_assert!(ab.is_finite() && ab > 0.0);
+    }
+
+    #[test]
+    fn ssim_bounds_and_identity(img in arbitrary_image(8)) {
+        prop_assert!((ssim(&img, &img) - 1.0).abs() < 1e-4);
+        let other = Image::filled(img.width(), img.height(), ColorSpace::Rgb, 128.0);
+        let s = ssim(&img, &other);
+        prop_assert!((-1.0..=1.0).contains(&s), "ssim {} out of bounds", s);
+    }
+
+    #[test]
+    fn ms_ssim_identity(img in arbitrary_image(16)) {
+        prop_assert!((ms_ssim(&img, &img) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perceptual_identity_symmetry_nonneg(img in arbitrary_image(8)) {
+        let m = PerceptualDistance::default();
+        prop_assert_eq!(m.distance(&img, &img), 0.0);
+        let other = Image::filled(img.width(), img.height(), ColorSpace::Rgb, 90.0);
+        let ab = m.distance(&img, &other);
+        let ba = m.distance(&other, &img);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_monotone_in_noise(img in arbitrary_image(4), amp in 1.0f32..20.0) {
+        let perturb = |a: f32| -> Image {
+            Image::from_planes(
+                img.planes().iter().enumerate().map(|(c, p)| {
+                    Plane::from_fn(p.width(), p.height(), |x, y| {
+                        let h = (x * 31 + y * 17 + c * 7) as u32;
+                        let n = ((h.wrapping_mul(1103515245) >> 16) % 200) as f32 / 100.0 - 1.0;
+                        (p.get(x, y) + a * n).clamp(0.0, 255.0)
+                    })
+                }).collect(),
+                ColorSpace::Rgb,
+            ).expect("same dims")
+        };
+        let small = psnr(&img, &perturb(amp));
+        let large = psnr(&img, &perturb(amp * 3.0));
+        prop_assert!(small >= large - 0.6, "psnr not monotone: {} vs {}", small, large);
+    }
+}

@@ -1,0 +1,158 @@
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{Rng, Tensor};
+
+use crate::layers::{Conv2d, GroupNorm};
+use crate::module::{scoped, Module};
+
+/// Single-head spatial self-attention over an NCHW feature map, as used
+/// at the bottleneck of DDPM U-Nets.
+///
+/// `q, k, v` are 1×1 convolutions; attention runs over the `H·W` spatial
+/// positions of each sample and the output projection is zero-initialised
+/// so a fresh block is an identity (safe to enable on a pretrained
+/// network).
+#[derive(Debug)]
+pub struct AttentionBlock {
+    norm: GroupNorm,
+    q: Conv2d,
+    k: Conv2d,
+    v: Conv2d,
+    proj: Conv2d,
+    channels: usize,
+}
+
+impl AttentionBlock {
+    /// Create an attention block over `channels` feature channels.
+    pub fn new(channels: usize, rng: &mut Rng) -> Self {
+        Self {
+            norm: GroupNorm::new(channels, crate::blocks::NORM_GROUPS),
+            q: Conv2d::new(channels, channels, 1, 1, 0, rng),
+            k: Conv2d::new(channels, channels, 1, 1, 0, rng),
+            v: Conv2d::new(channels, channels, 1, 1, 0, rng),
+            proj: Conv2d::zeroed(channels, channels, 1, 1, 0),
+            channels,
+        }
+    }
+
+    /// Apply self-attention with a residual connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from construction.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape().to_vec();
+        assert_eq!(shape[1], self.channels, "channel mismatch");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let hw = h * w;
+        let normed = self.norm.forward(x);
+        // [N, C, HW] -> tokens along the last two axes
+        let q = self.q.forward(&normed).reshape(vec![n, c, hw]).transpose_last2();
+        let k = self.k.forward(&normed).reshape(vec![n, c, hw]);
+        let v = self.v.forward(&normed).reshape(vec![n, c, hw]).transpose_last2();
+        // [N, HW, HW] attention weights
+        let attn = q
+            .bmm(&k)
+            .scale(1.0 / (c as f32).sqrt())
+            .softmax_last();
+        // [N, HW, C] -> [N, C, H, W]
+        let out = attn
+            .bmm(&v)
+            .transpose_last2()
+            .reshape(vec![n, c, h, w]);
+        x.add(&self.proj.forward(&out))
+    }
+}
+
+impl Module for AttentionBlock {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.norm.params();
+        p.extend(self.q.params());
+        p.extend(self.k.params());
+        p.extend(self.v.params());
+        p.extend(self.proj.params());
+        p
+    }
+
+    fn save(&self, prefix: &str, ckpt: &mut Checkpoint) {
+        self.norm.save(&scoped(prefix, "norm"), ckpt);
+        self.q.save(&scoped(prefix, "q"), ckpt);
+        self.k.save(&scoped(prefix, "k"), ckpt);
+        self.v.save(&scoped(prefix, "v"), ckpt);
+        self.proj.save(&scoped(prefix, "proj"), ckpt);
+    }
+
+    fn load(&self, prefix: &str, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.norm.load(&scoped(prefix, "norm"), ckpt)?;
+        self.q.load(&scoped(prefix, "q"), ckpt)?;
+        self.k.load(&scoped(prefix, "k"), ckpt)?;
+        self.v.load(&scoped(prefix, "v"), ckpt)?;
+        self.proj.load(&scoped(prefix, "proj"), ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_tensor::seeded_rng;
+
+    #[test]
+    fn fresh_block_is_identity() {
+        let mut rng = seeded_rng(0);
+        let attn = AttentionBlock::new(8, &mut rng);
+        let x = Tensor::randn(vec![2, 8, 4, 4], 1.0, &mut rng);
+        let y = attn.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+        let diff: f32 = x
+            .to_vec()
+            .iter()
+            .zip(y.to_vec())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff < 1e-5, "zero-init projection must make it identity");
+    }
+
+    #[test]
+    fn trains_to_use_global_context() {
+        // task: output at every position should equal the spatial mean of
+        // the input — impossible for a 1x1 conv alone, easy with attention
+        let mut rng = seeded_rng(1);
+        let attn = AttentionBlock::new(4, &mut rng);
+        let mut opt = dcdiff_tensor::optim::Adam::new(attn.params(), 5e-3);
+        let mut last = f32::INFINITY;
+        for step in 0..120 {
+            let x = Tensor::randn(vec![2, 4, 4, 4], 1.0, &mut rng);
+            // target: per-channel spatial mean broadcast back
+            let pooled = x.global_avg_pool(); // [2, 4]
+            let target = Tensor::zeros(vec![2, 4, 4, 4]).add_per_channel(&pooled);
+            opt.zero_grad();
+            let loss = attn.forward(&x).mse(&target.detach());
+            loss.backward();
+            opt.step();
+            if step == 0 || step == 119 {
+                last = loss.item();
+            }
+        }
+        assert!(last < 1.1, "attention should reduce the global-mixing loss, got {last}");
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut rng = seeded_rng(2);
+        let a = AttentionBlock::new(6, &mut rng);
+        let b = AttentionBlock::new(6, &mut rng);
+        let mut ckpt = Checkpoint::new();
+        a.save("attn", &mut ckpt);
+        b.load("attn", &ckpt).unwrap();
+        let x = Tensor::randn(vec![1, 6, 4, 4], 1.0, &mut rng);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channels() {
+        let mut rng = seeded_rng(3);
+        let attn = AttentionBlock::new(4, &mut rng);
+        let x = Tensor::zeros(vec![1, 8, 4, 4]);
+        attn.forward(&x);
+    }
+}

@@ -1,0 +1,45 @@
+//! Neural-network layers and architectures for the DCDiff reproduction.
+//!
+//! Built entirely on [`dcdiff_tensor`], this crate provides the building
+//! blocks the paper's networks need:
+//!
+//! * [`Conv2d`], [`Linear`], [`GroupNorm`] — primitive layers;
+//! * [`ResBlock`], [`Downsample`], [`Upsample`], [`TimeEmbedding`] — the
+//!   diffusion U-Net's components;
+//! * [`UNet`] — a DDPM-style U-Net with skip connections, timestep
+//!   conditioning, ControlNet-style structure injection
+//!   ([`ControlModule`]) and FreeU-style frequency modulation hooks;
+//! * [`ResNet`] — a small residual CNN used for the FMPP scale predictor,
+//!   the TII-2021 baseline's corrector and the downstream classifier.
+//!
+//! Every layer implements [`Module`], which exposes parameters for the
+//! optimizer and (de)serialises weights through
+//! [`dcdiff_tensor::serial::Checkpoint`].
+//!
+//! # Example
+//!
+//! ```
+//! use dcdiff_nn::{Conv2d, Module};
+//! use dcdiff_tensor::{seeded_rng, Tensor};
+//!
+//! let mut rng = seeded_rng(0);
+//! let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+//! let x = Tensor::zeros(vec![2, 3, 16, 16]);
+//! let y = conv.forward(&x);
+//! assert_eq!(y.shape(), &[2, 8, 16, 16]);
+//! assert_eq!(conv.params().len(), 2); // weight + bias
+//! ```
+
+mod attention;
+mod blocks;
+mod layers;
+mod module;
+mod resnet;
+mod unet;
+
+pub use attention::AttentionBlock;
+pub use blocks::{Downsample, ResBlock, TimeEmbedding, Upsample};
+pub use layers::{Conv2d, GroupNorm, Linear};
+pub use module::Module;
+pub use resnet::{ResNet, ResNetConfig};
+pub use unet::{ControlModule, UNet, UNetConfig};

@@ -1,0 +1,37 @@
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::Tensor;
+
+/// A trainable network component.
+///
+/// Modules expose their parameters for optimizers and serialise into a
+/// [`Checkpoint`] under a hierarchical name prefix
+/// (`"unet.down0.conv1"` …).
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Record every parameter into `ckpt` under `prefix`.
+    fn save(&self, prefix: &str, ckpt: &mut Checkpoint);
+
+    /// Restore every parameter from `ckpt` under `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] when a parameter is missing
+    /// or has the wrong shape.
+    fn load(&self, prefix: &str, ckpt: &Checkpoint) -> Result<(), CheckpointError>;
+
+    /// Total number of scalar parameters (for reporting).
+    fn param_count(&self) -> usize {
+        self.params().iter().map(Tensor::len).sum()
+    }
+}
+
+/// Join a prefix and a leaf name with `.`, eliding empty prefixes.
+pub(crate) fn scoped(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}

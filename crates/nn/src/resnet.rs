@@ -1,0 +1,195 @@
+use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
+use dcdiff_tensor::{Rng, Tensor};
+
+use crate::blocks::ResBlock;
+use crate::layers::{Conv2d, Linear};
+use crate::module::{scoped, Module};
+
+/// Configuration of a small residual CNN ([`ResNet`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input image channels.
+    pub in_channels: usize,
+    /// Width of the first stage.
+    pub base_channels: usize,
+    /// Channel multiplier per stage; the input is average-pooled 2× after
+    /// each stage except the last.
+    pub stage_mults: Vec<usize>,
+    /// Output dimension of the linear head.
+    pub out_dim: usize,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        Self {
+            in_channels: 3,
+            base_channels: 16,
+            stage_mults: vec![1, 2, 4],
+            out_dim: 2,
+        }
+    }
+}
+
+/// A compact residual CNN: conv stem, one residual block per stage with
+/// 2× average pooling between stages, global average pooling and a linear
+/// head.
+///
+/// DCDiff uses this architecture twice: as the frequency-modulation
+/// parameter predictor (FMPP, §III-D — `out_dim = 2` with a sigmoid
+/// applied downstream) and as the remote-sensing classifier of Table V.
+/// The TII-2021 baseline's residual corrector also reuses the blocks.
+#[derive(Debug)]
+pub struct ResNet {
+    config: ResNetConfig,
+    stem: Conv2d,
+    stages: Vec<ResBlock>,
+    head: Linear,
+}
+
+impl ResNet {
+    /// Build a ResNet from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_mults` is empty.
+    pub fn new(config: ResNetConfig, rng: &mut Rng) -> Self {
+        assert!(!config.stage_mults.is_empty(), "need at least one stage");
+        let stem = Conv2d::new(config.in_channels, config.base_channels, 3, 1, 1, rng);
+        let mut stages = Vec::with_capacity(config.stage_mults.len());
+        let mut prev = config.base_channels;
+        for &m in &config.stage_mults {
+            let c = m * config.base_channels;
+            stages.push(ResBlock::new(prev, c, None, rng));
+            prev = c;
+        }
+        let head = Linear::new(prev, config.out_dim, rng);
+        Self {
+            config,
+            stem,
+            stages,
+            head,
+        }
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    /// Forward pass: `[N, C, H, W] -> [N, out_dim]` raw scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial size is not divisible by `2^(stages-1)`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = self.stem.forward(x);
+        let last = self.stages.len() - 1;
+        for (i, stage) in self.stages.iter().enumerate() {
+            h = stage.forward(&h, None);
+            if i < last {
+                h = h.avg_pool2();
+            }
+        }
+        self.head.forward(&h.global_avg_pool())
+    }
+}
+
+impl Module for ResNet {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.stem.params();
+        for s in &self.stages {
+            p.extend(s.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn save(&self, prefix: &str, ckpt: &mut Checkpoint) {
+        self.stem.save(&scoped(prefix, "stem"), ckpt);
+        for (i, s) in self.stages.iter().enumerate() {
+            s.save(&scoped(prefix, &format!("stage{i}")), ckpt);
+        }
+        self.head.save(&scoped(prefix, "head"), ckpt);
+    }
+
+    fn load(&self, prefix: &str, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.stem.load(&scoped(prefix, "stem"), ckpt)?;
+        for (i, s) in self.stages.iter().enumerate() {
+            s.load(&scoped(prefix, &format!("stage{i}")), ckpt)?;
+        }
+        self.head.load(&scoped(prefix, "head"), ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdiff_tensor::optim::Adam;
+    use dcdiff_tensor::seeded_rng;
+
+    fn tiny() -> ResNetConfig {
+        ResNetConfig {
+            in_channels: 1,
+            base_channels: 8,
+            stage_mults: vec![1, 2],
+            out_dim: 2,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(0);
+        let net = ResNet::new(tiny(), &mut rng);
+        let x = Tensor::zeros(vec![3, 1, 8, 8]);
+        assert_eq!(net.forward(&x).shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn learns_a_separable_toy_task() {
+        // classify "bright" vs "dark" images
+        let mut rng = seeded_rng(1);
+        let net = ResNet::new(tiny(), &mut rng);
+        let mut opt = Adam::new(net.params(), 0.01);
+        for _ in 0..60 {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..8 {
+                let bright = i % 2 == 0;
+                let base = if bright { 0.8 } else { -0.8 };
+                for _ in 0..64 {
+                    data.push(base + 0.1 * (rand::Rng::gen::<f32>(&mut rng) - 0.5));
+                }
+                labels.push(usize::from(bright));
+            }
+            let x = Tensor::from_vec(vec![8, 1, 8, 8], data);
+            opt.zero_grad();
+            net.forward(&x).softmax_cross_entropy(&labels).backward();
+            opt.step();
+        }
+        // evaluate
+        let mut correct = 0;
+        for case in 0..10 {
+            let bright = case % 2 == 0;
+            let base = if bright { 0.8 } else { -0.8 };
+            let x = Tensor::from_vec(vec![1, 1, 8, 8], vec![base; 64]);
+            let scores = net.forward(&x).to_vec();
+            let pred = usize::from(scores[1] > scores[0]);
+            if pred == usize::from(bright) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 9, "resnet failed to learn toy task: {correct}/10");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_outputs() {
+        let mut rng = seeded_rng(2);
+        let n1 = ResNet::new(tiny(), &mut rng);
+        let n2 = ResNet::new(tiny(), &mut rng);
+        let mut ckpt = Checkpoint::new();
+        n1.save("net", &mut ckpt);
+        n2.load("net", &ckpt).unwrap();
+        let x = Tensor::randn(vec![2, 1, 8, 8], 1.0, &mut rng);
+        assert_eq!(n1.forward(&x).to_vec(), n2.forward(&x).to_vec());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based shape fuzzing for the network architectures: any valid
+//! configuration must produce correctly shaped outputs and a working
+//! backward pass.
+
+use dcdiff_nn::{
+    ControlModule, Conv2d, Module, ResBlock, ResNet, ResNetConfig, UNet, UNetConfig,
+};
+use dcdiff_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conv_output_shape_formula(
+        in_ch in 1usize..4,
+        out_ch in 1usize..5,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..3,
+        size in 6usize..14,
+    ) {
+        let pad = k / 2;
+        let mut rng = seeded_rng(0);
+        let conv = Conv2d::new(in_ch, out_ch, k, stride, pad, &mut rng);
+        let x = Tensor::zeros(vec![1, in_ch, size, size]);
+        let y = conv.forward(&x);
+        let expect = (size + 2 * pad - k) / stride + 1;
+        prop_assert_eq!(y.shape(), &[1, out_ch, expect, expect]);
+    }
+
+    #[test]
+    fn resblock_any_channel_pair(cin in 1usize..6, cout in 1usize..6) {
+        let mut rng = seeded_rng(1);
+        let block = ResBlock::new(cin, cout, None, &mut rng);
+        let x = Tensor::zeros(vec![2, cin, 4, 4]);
+        let y = block.forward(&x, None);
+        prop_assert_eq!(y.shape(), &[2, cout, 4, 4]);
+    }
+
+    #[test]
+    fn unet_shapes_for_any_config(
+        channels in 1usize..4,
+        base in prop::sample::select(vec![4usize, 8]),
+        levels in 1usize..3,
+        batch in 1usize..3,
+    ) {
+        let mut rng = seeded_rng(2);
+        let config = UNetConfig {
+            in_channels: channels,
+            out_channels: channels,
+            base_channels: base,
+            channel_mults: (1..=levels).collect(),
+            time_dim: 8,
+            attention: true,
+        };
+        let unet = UNet::new(config.clone(), &mut rng);
+        // resolution must be divisible by 2^(levels-1)
+        let size = 8usize;
+        let x = Tensor::zeros(vec![batch, channels, size, size]);
+        let ts = vec![3usize; batch];
+        let y = unet.forward(&x, &ts, None, None);
+        prop_assert_eq!(y.shape(), x.shape());
+
+        // control module matches the injection sites
+        let ctrl = ControlModule::new(&config, 3, &mut rng);
+        let cond = Tensor::zeros(vec![batch, 3, size, size]);
+        let features = ctrl.forward(&cond);
+        prop_assert_eq!(features.len(), unet.control_sites());
+        let y2 = unet.forward(&x, &ts, Some(&features), None);
+        prop_assert_eq!(y2.shape(), x.shape());
+    }
+
+    #[test]
+    fn resnet_head_dim(classes in 1usize..7, stages in 1usize..4) {
+        let mut rng = seeded_rng(3);
+        let net = ResNet::new(
+            ResNetConfig {
+                in_channels: 3,
+                base_channels: 8,
+                stage_mults: vec![1; stages],
+                out_dim: classes,
+            },
+            &mut rng,
+        );
+        // input must survive (stages-1) halvings
+        let size = 4 << (stages - 1);
+        let x = Tensor::zeros(vec![2, 3, size, size]);
+        let y = net.forward(&x);
+        prop_assert_eq!(y.shape(), &[2, classes]);
+        prop_assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn training_step_never_panics(seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let block = ResBlock::new(2, 2, None, &mut rng);
+        let x = Tensor::randn(vec![1, 2, 4, 4], 1.0, &mut rng);
+        let mut opt = dcdiff_tensor::optim::Adam::new(block.params(), 1e-3);
+        opt.zero_grad();
+        block.forward(&x, None).square().mean_all().backward();
+        opt.step();
+        // all parameters stay finite
+        for p in block.params() {
+            prop_assert!(p.to_vec().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+use super::elementwise::shape4;
+use super::matmul::{gemm, transpose};
+use crate::Tensor;
+
+/// Unfold one `[C, H, W]` sample into an im2col matrix of shape
+/// `[C*kh*kw, ho*wo]` for the given stride/padding (zero padding).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+) -> Vec<f32> {
+    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
+    let owo = ho * wo;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * owo;
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_base = (ci * h + iy as usize) * w;
+                    let out_base = row + oy * wo;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        col[out_base + ox] = input[in_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Fold an im2col gradient back onto a `[C, H, W]` input gradient
+/// (accumulating overlapping contributions).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+    out: &mut [f32],
+) {
+    let owo = ho * wo;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * owo;
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_base = (ci * h + iy as usize) * w;
+                    let col_base = row + oy * wo;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[in_base + ix as usize] += col[col_base + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution over an NCHW tensor with zero padding.
+    ///
+    /// `weight` has shape `[O, C, kh, kw]`; the result is
+    /// `[N, O, ho, wo]` with `ho = (H + 2*pad - kh) / stride + 1`.
+    /// Uses im2col + GEMM in both the forward and backward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent or the kernel does not fit.
+    pub fn conv2d(&self, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (n, c, h, w) = shape4(self.shape());
+        let ws = weight.shape();
+        assert_eq!(ws.len(), 4, "conv2d weight must be [O, C, kh, kw]");
+        let (o, wc, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            h + 2 * pad >= kh && w + 2 * pad >= kw,
+            "kernel {kh}x{kw} larger than padded input {h}x{w} (pad {pad})"
+        );
+        let ho = (h + 2 * pad - kh) / stride + 1;
+        let wo = (w + 2 * pad - kw) / stride + 1;
+        let ckk = c * kh * kw;
+        let owo = ho * wo;
+
+        let x = self.to_vec();
+        let wt = weight.to_vec();
+        let mut out = vec![0.0f32; n * o * owo];
+        let mut cols: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for ni in 0..n {
+            let sample = &x[ni * c * h * w..(ni + 1) * c * h * w];
+            let col = im2col(sample, c, h, w, kh, kw, stride, pad, ho, wo);
+            gemm(
+                o,
+                ckk,
+                owo,
+                &wt,
+                &col,
+                &mut out[ni * o * owo..(ni + 1) * o * owo],
+            );
+            cols.push(col);
+        }
+
+        let (px, pw) = (self.clone(), weight.clone());
+        Tensor::from_op(
+            vec![n, o, ho, wo],
+            out,
+            vec![self.clone(), weight.clone()],
+            Box::new(move |g| {
+                if pw.tracks_grad() {
+                    let mut gw = vec![0.0f32; o * ckk];
+                    for (ni, col) in cols.iter().enumerate() {
+                        // dW += dOut_n [o, owo] * col^T [owo, ckk]
+                        let colt = transpose(ckk, owo, col);
+                        gemm(o, owo, ckk, &g[ni * o * owo..(ni + 1) * o * owo], &colt, &mut gw);
+                    }
+                    pw.accumulate_grad(&gw);
+                }
+                if px.tracks_grad() {
+                    let wtt = transpose(o, ckk, &wt);
+                    let mut gx = vec![0.0f32; n * c * h * w];
+                    for ni in 0..n {
+                        let mut gcol = vec![0.0f32; ckk * owo];
+                        gemm(
+                            ckk,
+                            o,
+                            owo,
+                            &wtt,
+                            &g[ni * o * owo..(ni + 1) * o * owo],
+                            &mut gcol,
+                        );
+                        col2im(
+                            &gcol,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride,
+                            pad,
+                            ho,
+                            wo,
+                            &mut gx[ni * c * h * w..(ni + 1) * c * h * w],
+                        );
+                    }
+                    px.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+
+    /// 2× nearest-neighbour upsampling of an NCHW tensor (the U-Net
+    /// decoder's upsampling step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 4-D.
+    pub fn upsample_nearest2(&self) -> Tensor {
+        let (n, c, h, w) = shape4(self.shape());
+        let (h2, w2) = (h * 2, w * 2);
+        let x = self.to_vec();
+        let mut out = vec![0.0f32; n * c * h2 * w2];
+        for nc in 0..n * c {
+            let src = &x[nc * h * w..(nc + 1) * h * w];
+            let dst = &mut out[nc * h2 * w2..(nc + 1) * h2 * w2];
+            for y in 0..h2 {
+                for xx in 0..w2 {
+                    dst[y * w2 + xx] = src[(y / 2) * w + xx / 2];
+                }
+            }
+        }
+        let pa = self.clone();
+        Tensor::from_op(
+            vec![n, c, h2, w2],
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if pa.tracks_grad() {
+                    let mut gx = vec![0.0f32; n * c * h * w];
+                    for nc in 0..n * c {
+                        let gs = &g[nc * h2 * w2..(nc + 1) * h2 * w2];
+                        let gd = &mut gx[nc * h * w..(nc + 1) * h * w];
+                        for y in 0..h2 {
+                            for xx in 0..w2 {
+                                gd[(y / 2) * w + xx / 2] += gs[y * w2 + xx];
+                            }
+                        }
+                    }
+                    pa.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+
+    /// 2×2 average pooling with stride 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is 4-D with even spatial dimensions.
+    pub fn avg_pool2(&self) -> Tensor {
+        let (n, c, h, w) = shape4(self.shape());
+        assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 needs even dims, got {h}x{w}");
+        let (h2, w2) = (h / 2, w / 2);
+        let x = self.to_vec();
+        let mut out = vec![0.0f32; n * c * h2 * w2];
+        for nc in 0..n * c {
+            let src = &x[nc * h * w..(nc + 1) * h * w];
+            let dst = &mut out[nc * h2 * w2..(nc + 1) * h2 * w2];
+            for y in 0..h2 {
+                for xx in 0..w2 {
+                    let base = 2 * y * w + 2 * xx;
+                    dst[y * w2 + xx] =
+                        0.25 * (src[base] + src[base + 1] + src[base + w] + src[base + w + 1]);
+                }
+            }
+        }
+        let pa = self.clone();
+        Tensor::from_op(
+            vec![n, c, h2, w2],
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if pa.tracks_grad() {
+                    let mut gx = vec![0.0f32; n * c * h * w];
+                    for nc in 0..n * c {
+                        let gs = &g[nc * h2 * w2..(nc + 1) * h2 * w2];
+                        let gd = &mut gx[nc * h * w..(nc + 1) * h * w];
+                        for y in 0..h2 {
+                            for xx in 0..w2 {
+                                let gv = 0.25 * gs[y * w2 + xx];
+                                let base = 2 * y * w + 2 * xx;
+                                gd[base] += gv;
+                                gd[base + 1] += gv;
+                                gd[base + w] += gv;
+                                gd[base + w + 1] += gv;
+                            }
+                        }
+                    }
+                    pa.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+
+    /// Global average pooling: `[N, C, H, W] -> [N, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 4-D.
+    pub fn global_avg_pool(&self) -> Tensor {
+        let (n, c, h, w) = shape4(self.shape());
+        let hw = (h * w) as f32;
+        let x = self.to_vec();
+        let mut out = vec![0.0f32; n * c];
+        for (nc, o) in out.iter_mut().enumerate() {
+            *o = x[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / hw;
+        }
+        let pa = self.clone();
+        Tensor::from_op(
+            vec![n, c],
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                if pa.tracks_grad() {
+                    let mut gx = vec![0.0f32; n * c * h * w];
+                    for (nc, &gv) in g.iter().enumerate() {
+                        let val = gv / hw;
+                        for v in &mut gx[nc * h * w..(nc + 1) * h * w] {
+                            *v += val;
+                        }
+                    }
+                    pa.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]);
+        let y = x.conv2d(&w, 1, 0);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn conv_known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel with pad 1: each output = sum of 3x3 neighbourhood.
+        let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let w = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.0; 9]);
+        let y = x.conv2d(&w, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        // centre output sees all nine values
+        assert_eq!(y.to_vec()[4], 45.0);
+        // top-left sees 1,2,4,5
+        assert_eq!(y.to_vec()[0], 12.0);
+    }
+
+    #[test]
+    fn conv_stride_two_downsamples() {
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+        let w = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.25; 4]);
+        let y = x.conv2d(&w, 2, 0);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut rng = crate::seeded_rng(3);
+        let x0 = Tensor::randn(vec![1, 2, 4, 4], 1.0, &mut rng).to_vec();
+        let w0 = Tensor::randn(vec![3, 2, 3, 3], 0.5, &mut rng).to_vec();
+
+        let loss_at = |xv: &[f32], wv: &[f32]| -> f32 {
+            let x = Tensor::from_vec(vec![1, 2, 4, 4], xv.to_vec());
+            let w = Tensor::from_vec(vec![3, 2, 3, 3], wv.to_vec());
+            x.conv2d(&w, 1, 1).square().sum_all().item()
+        };
+
+        let x = Tensor::param(vec![1, 2, 4, 4], x0.clone());
+        let w = Tensor::param(vec![3, 2, 3, 3], w0.clone());
+        x.conv2d(&w, 1, 1).square().sum_all().backward();
+        let gx = x.grad_vec();
+        let gw = w.grad_vec();
+
+        let h = 1e-2;
+        for idx in [0usize, 7, 15, 31] {
+            let mut xp = x0.clone();
+            xp[idx] += h;
+            let mut xm = x0.clone();
+            xm[idx] -= h;
+            let fd = (loss_at(&xp, &w0) - loss_at(&xm, &w0)) / (2.0 * h);
+            assert!(
+                (fd - gx[idx]).abs() < 0.05 * (1.0 + fd.abs()),
+                "x grad {idx}: fd {fd} vs ad {}",
+                gx[idx]
+            );
+        }
+        for idx in [0usize, 10, 25, 53] {
+            let mut wp = w0.clone();
+            wp[idx] += h;
+            let mut wm = w0.clone();
+            wm[idx] -= h;
+            let fd = (loss_at(&x0, &wp) - loss_at(&x0, &wm)) / (2.0 * h);
+            assert!(
+                (fd - gw[idx]).abs() < 0.05 * (1.0 + fd.abs()),
+                "w grad {idx}: fd {fd} vs ad {}",
+                gw[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn upsample_then_pool_is_identity() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = x.upsample_nearest2().avg_pool2();
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn upsample_gradient_sums_quads() {
+        let x = Tensor::param(vec![1, 1, 1, 1], vec![5.0]);
+        x.upsample_nearest2().sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![4.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_splits_evenly() {
+        let x = Tensor::param(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        x.avg_pool2().sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_grad() {
+        let x = Tensor::param(vec![2, 3, 2, 2], vec![1.0; 24]);
+        let y = x.global_avg_pool();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.to_vec(), vec![1.0; 6]);
+        y.sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![0.25; 24]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Differentiable operations on [`Tensor`].
+//!
+//! Each op computes its forward value eagerly and registers a backward
+//! closure that routes the output gradient to its parents.
+
+mod batched;
+mod conv;
+mod elementwise;
+mod loss;
+mod matmul;
+mod norm;
+mod shape;
+
+#[allow(unused_imports)]
+use crate::Tensor;

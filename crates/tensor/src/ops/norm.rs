@@ -1,0 +1,212 @@
+use super::elementwise::shape4;
+use crate::Tensor;
+
+impl Tensor {
+    /// Group normalisation over an NCHW tensor with affine parameters.
+    ///
+    /// Channels are split into `groups`; each group is normalised to zero
+    /// mean / unit variance per sample, then scaled by `gamma` and shifted
+    /// by `beta` (both `[C]`). This is the normalisation used throughout
+    /// the diffusion U-Net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `C` is not divisible by `groups` or parameter shapes are
+    /// not `[C]`.
+    pub fn group_norm(&self, groups: usize, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let (n, c, h, w) = shape4(self.shape());
+        assert!(groups > 0 && c % groups == 0, "channels {c} not divisible by groups {groups}");
+        assert_eq!(gamma.shape(), &[c], "gamma must be [C]");
+        assert_eq!(beta.shape(), &[c], "beta must be [C]");
+        let cg = c / groups; // channels per group
+        let gsize = cg * h * w; // elements per group
+        let x = self.to_vec();
+        let gm = gamma.to_vec();
+        let bt = beta.to_vec();
+
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f32; n * groups];
+        for ni in 0..n {
+            for gi in 0..groups {
+                let start = ni * c * h * w + gi * gsize;
+                let slice = &x[start..start + gsize];
+                let mean = slice.iter().sum::<f32>() / gsize as f32;
+                let var =
+                    slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / gsize as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std[ni * groups + gi] = istd;
+                for (dst, &src) in xhat[start..start + gsize].iter_mut().zip(slice) {
+                    *dst = (src - mean) * istd;
+                }
+            }
+        }
+        let hw = h * w;
+        let mut out = vec![0.0f32; x.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let (g0, b0) = (gm[ci], bt[ci]);
+                for i in 0..hw {
+                    out[base + i] = xhat[base + i] * g0 + b0;
+                }
+            }
+        }
+
+        let (px, pg, pb) = (self.clone(), gamma.clone(), beta.clone());
+        let xhat_saved = xhat;
+        Tensor::from_op(
+            self.shape().to_vec(),
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |g| {
+                // d gamma / d beta
+                if pg.tracks_grad() || pb.tracks_grad() {
+                    let mut ggamma = vec![0.0f32; c];
+                    let mut gbeta = vec![0.0f32; c];
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * hw;
+                            for i in 0..hw {
+                                ggamma[ci] += g[base + i] * xhat_saved[base + i];
+                                gbeta[ci] += g[base + i];
+                            }
+                        }
+                    }
+                    if pg.tracks_grad() {
+                        pg.accumulate_grad(&ggamma);
+                    }
+                    if pb.tracks_grad() {
+                        pb.accumulate_grad(&gbeta);
+                    }
+                }
+                if px.tracks_grad() {
+                    // dL/dxhat = g * gamma, then the standard norm backward
+                    // within each group:
+                    // dx = istd/M * (M*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+                    let mut gx = vec![0.0f32; n * c * hw];
+                    let m = gsize as f32;
+                    for ni in 0..n {
+                        for gi in 0..groups {
+                            let start = ni * c * hw + gi * gsize;
+                            let istd = inv_std[ni * groups + gi];
+                            let mut sum_dxhat = 0.0f32;
+                            let mut sum_dxhat_xhat = 0.0f32;
+                            // first pass
+                            for k in 0..gsize {
+                                let ci = gi * cg + k / hw;
+                                let dxhat = g[start + k] * gm[ci];
+                                sum_dxhat += dxhat;
+                                sum_dxhat_xhat += dxhat * xhat_saved[start + k];
+                            }
+                            for k in 0..gsize {
+                                let ci = gi * cg + k / hw;
+                                let dxhat = g[start + k] * gm[ci];
+                                gx[start + k] = istd / m
+                                    * (m * dxhat
+                                        - sum_dxhat
+                                        - xhat_saved[start + k] * sum_dxhat_xhat);
+                            }
+                        }
+                    }
+                    px.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn group_norm_normalises_each_group() {
+        let mut rng = crate::seeded_rng(4);
+        let x = Tensor::randn(vec![2, 4, 3, 3], 3.0, &mut rng).add_scalar(5.0);
+        let gamma = Tensor::from_vec(vec![4], vec![1.0; 4]);
+        let beta = Tensor::from_vec(vec![4], vec![0.0; 4]);
+        let y = x.group_norm(2, &gamma, &beta, 1e-5);
+        let data = y.to_vec();
+        // each group (2 channels x 9) of each sample should be ~N(0, 1)
+        let gsize = 2 * 9;
+        for g in 0..4 {
+            let slice = &data[g * gsize..(g + 1) * gsize];
+            let mean: f32 = slice.iter().sum::<f32>() / gsize as f32;
+            let var: f32 =
+                slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / gsize as f32;
+            assert!(mean.abs() < 1e-4, "group {g} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "group {g} var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, -1.0, 3.0, -3.0]);
+        let gamma = Tensor::from_vec(vec![2], vec![2.0, 0.5]);
+        let beta = Tensor::from_vec(vec![2], vec![10.0, -10.0]);
+        let y = x.group_norm(2, &gamma, &beta, 1e-5);
+        let d = y.to_vec();
+        // channel 0: xhat = [1, -1] -> [12, 8]; channel 1: [0.5-10, -0.5-10]
+        assert!((d[0] - 12.0).abs() < 1e-2);
+        assert!((d[1] - 8.0).abs() < 1e-2);
+        assert!((d[2] + 9.5).abs() < 1e-2);
+        assert!((d[3] + 10.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn group_norm_gradients_match_finite_difference() {
+        let mut rng = crate::seeded_rng(9);
+        let x0 = Tensor::randn(vec![1, 2, 2, 2], 1.0, &mut rng).to_vec();
+        let g0 = vec![1.5f32, 0.7];
+        let b0 = vec![0.1f32, -0.2];
+
+        let loss_at = |xv: &[f32], gv: &[f32], bv: &[f32]| -> f32 {
+            let x = Tensor::from_vec(vec![1, 2, 2, 2], xv.to_vec());
+            let gamma = Tensor::from_vec(vec![2], gv.to_vec());
+            let beta = Tensor::from_vec(vec![2], bv.to_vec());
+            // weighted sum to give a non-uniform output gradient
+            let w: Vec<f32> = (0..8).map(|i| (i as f32 - 3.0) * 0.3).collect();
+            let wt = Tensor::from_vec(vec![1, 2, 2, 2], w);
+            x.group_norm(1, &gamma, &beta, 1e-5).mul(&wt).sum_all().item()
+        };
+
+        let x = Tensor::param(vec![1, 2, 2, 2], x0.clone());
+        let gamma = Tensor::param(vec![2], g0.clone());
+        let beta = Tensor::param(vec![2], b0.clone());
+        let w: Vec<f32> = (0..8).map(|i| (i as f32 - 3.0) * 0.3).collect();
+        let wt = Tensor::from_vec(vec![1, 2, 2, 2], w);
+        x.group_norm(1, &gamma, &beta, 1e-5)
+            .mul(&wt)
+            .sum_all()
+            .backward();
+
+        let h = 1e-3;
+        for idx in 0..8 {
+            let mut xp = x0.clone();
+            xp[idx] += h;
+            let mut xm = x0.clone();
+            xm[idx] -= h;
+            let fd = (loss_at(&xp, &g0, &b0) - loss_at(&xm, &g0, &b0)) / (2.0 * h);
+            let ad = x.grad_vec()[idx];
+            assert!((fd - ad).abs() < 2e-2, "x[{idx}]: fd {fd} ad {ad}");
+        }
+        for idx in 0..2 {
+            let mut gp = g0.clone();
+            gp[idx] += h;
+            let mut gm = g0.clone();
+            gm[idx] -= h;
+            let fd = (loss_at(&x0, &gp, &b0) - loss_at(&x0, &gm, &b0)) / (2.0 * h);
+            let ad = gamma.grad_vec()[idx];
+            assert!((fd - ad).abs() < 2e-2, "gamma[{idx}]: fd {fd} ad {ad}");
+        }
+        for idx in 0..2 {
+            let mut bp = b0.clone();
+            bp[idx] += h;
+            let mut bm = b0.clone();
+            bm[idx] -= h;
+            let fd = (loss_at(&x0, &g0, &bp) - loss_at(&x0, &g0, &bm)) / (2.0 * h);
+            let ad = beta.grad_vec()[idx];
+            assert!((fd - ad).abs() < 2e-2, "beta[{idx}]: fd {fd} ad {ad}");
+        }
+    }
+}

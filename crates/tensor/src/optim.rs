@@ -1,0 +1,365 @@
+//! First-order optimizers over parameter lists.
+
+use crate::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_tensor::{optim::Sgd, Tensor};
+///
+/// let w = Tensor::param(vec![1], vec![10.0]);
+/// let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.0);
+/// for _ in 0..50 {
+///     opt.zero_grad();
+///     let loss = w.square().mean_all();
+///     loss.backward();
+///     opt.step();
+/// }
+/// assert!(w.to_vec()[0].abs() < 0.01);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer over `params`.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Self {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Set the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Clear every parameter's gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply one update using the accumulated gradients.
+    pub fn step(&mut self) {
+        for (p, vel) in self.params.iter().zip(&mut self.velocity) {
+            let g = p.grad_vec();
+            let mut data = p.to_vec();
+            for i in 0..data.len() {
+                vel[i] = self.momentum * vel[i] + g[i];
+                data[i] -= self.lr * vel[i];
+            }
+            p.set_data(&data);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the paper's training optimizer.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_tensor::{optim::Adam, Tensor};
+///
+/// let w = Tensor::param(vec![1], vec![4.0]);
+/// let mut opt = Adam::new(vec![w.clone()], 0.1);
+/// for _ in 0..200 {
+///     opt.zero_grad();
+///     w.add_scalar(-2.0).square().mean_all().backward();
+///     opt.step();
+/// }
+/// assert!((w.to_vec()[0] - 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    /// Optional global-norm gradient clip (disabled when `None`).
+    clip_norm: Option<f32>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the standard betas `(0.9, 0.999)`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self::with_betas(params, lr, 0.9, 0.999)
+    }
+
+    /// Create an Adam optimizer with custom betas.
+    pub fn with_betas(params: Vec<Tensor>, lr: f32, beta1: f32, beta2: f32) -> Self {
+        let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+            clip_norm: None,
+        }
+    }
+
+    /// Enable global-norm gradient clipping.
+    pub fn set_clip_norm(&mut self, clip: f32) {
+        self.clip_norm = Some(clip);
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Set the learning rate (for schedules / stage transitions).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Clear every parameter's gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply one Adam update with bias correction.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let mut grads: Vec<Vec<f32>> = self.params.iter().map(Tensor::grad_vec).collect();
+        if let Some(clip) = self.clip_norm {
+            let norm: f32 = grads
+                .iter()
+                .flat_map(|g| g.iter())
+                .map(|&v| v * v)
+                .sum::<f32>()
+                .sqrt();
+            if norm > clip {
+                let scale = clip / norm;
+                for g in &mut grads {
+                    for v in g.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in self
+            .params
+            .iter()
+            .zip(&grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let mut data = p.to_vec();
+            for i in 0..data.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                data[i] -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+            p.set_data(&data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Tensor::param(vec![2], vec![5.0, -3.0]);
+        let target = Tensor::from_vec(vec![2], vec![1.0, 2.0]);
+        let mut opt = Sgd::new(vec![w.clone()], 0.2, 0.5);
+        for _ in 0..100 {
+            opt.zero_grad();
+            w.mse(&target).backward();
+            opt.step();
+        }
+        let d = w.to_vec();
+        assert!((d[0] - 1.0).abs() < 1e-3 && (d[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        // fit y = 2x + 1 from four points
+        let xs = [0.0f32, 1.0, 2.0, 3.0];
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let w = Tensor::param(vec![1], vec![0.0]);
+        let b = Tensor::param(vec![1], vec![0.0]);
+        let mut opt = Adam::new(vec![w.clone(), b.clone()], 0.05);
+        for _ in 0..500 {
+            opt.zero_grad();
+            let mut loss = Tensor::zeros(vec![1]);
+            for (&x, &y) in xs.iter().zip(&ys) {
+                let pred = w.scale(x).add(&b);
+                loss = loss.add(&pred.add_scalar(-y).square());
+            }
+            loss.backward();
+            opt.step();
+        }
+        assert!((w.to_vec()[0] - 2.0).abs() < 0.05, "w={}", w.to_vec()[0]);
+        assert!((b.to_vec()[0] - 1.0).abs() < 0.05, "b={}", b.to_vec()[0]);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let w = Tensor::param(vec![1], vec![0.0]);
+        let mut opt = Adam::new(vec![w.clone()], 1.0);
+        opt.set_clip_norm(1e-3);
+        opt.zero_grad();
+        w.scale(1e6).square().mean_all().backward();
+        opt.step();
+        // step size is at most lr regardless of the huge gradient
+        assert!(w.to_vec()[0].abs() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let w = Tensor::param(vec![1], vec![1.0]);
+        let opt = Sgd::new(vec![w.clone()], 0.1, 0.0);
+        w.square().mean_all().backward();
+        assert_ne!(w.grad_vec(), vec![0.0]);
+        opt.zero_grad();
+        assert_eq!(w.grad_vec(), vec![0.0]);
+    }
+}
+
+/// Exponential moving average of a parameter set — the standard trick for
+/// stabilising diffusion-model weights (the sampled network uses the EMA
+/// copy rather than the raw optimisation iterates).
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_tensor::{optim::Ema, Tensor};
+///
+/// let w = Tensor::param(vec![1], vec![0.0]);
+/// let mut ema = Ema::new(vec![w.clone()], 0.9);
+/// w.set_data(&[1.0]);
+/// ema.update();
+/// assert!((ema.shadow()[0].to_vec()[0] - 0.1).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct Ema {
+    params: Vec<Tensor>,
+    shadow: Vec<Tensor>,
+    decay: f32,
+}
+
+impl Ema {
+    /// Track `params` with the given decay (e.g. 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay < 1`.
+    pub fn new(params: Vec<Tensor>, decay: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay) && decay > 0.0,
+            "decay must be in (0, 1)"
+        );
+        let shadow = params
+            .iter()
+            .map(|p| Tensor::from_vec(p.shape().to_vec(), p.to_vec()))
+            .collect();
+        Self {
+            params,
+            shadow,
+            decay,
+        }
+    }
+
+    /// Fold the current parameter values into the shadow copies:
+    /// `shadow = decay * shadow + (1 - decay) * param`.
+    pub fn update(&mut self) {
+        for (p, s) in self.params.iter().zip(&self.shadow) {
+            let pv = p.to_vec();
+            let mut sv = s.to_vec();
+            for (sv_i, pv_i) in sv.iter_mut().zip(&pv) {
+                *sv_i = self.decay * *sv_i + (1.0 - self.decay) * pv_i;
+            }
+            s.set_data(&sv);
+        }
+    }
+
+    /// Borrow the shadow (averaged) tensors.
+    pub fn shadow(&self) -> &[Tensor] {
+        &self.shadow
+    }
+
+    /// Copy the shadow values into the live parameters (switch the model
+    /// to its EMA weights before sampling).
+    pub fn apply_to_params(&self) {
+        for (p, s) in self.params.iter().zip(&self.shadow) {
+            p.set_data(&s.to_vec());
+        }
+    }
+
+    /// Copy the live parameters into the shadow (restore point).
+    pub fn sync_from_params(&mut self) {
+        for (p, s) in self.params.iter().zip(&self.shadow) {
+            s.set_data(&p.to_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod ema_tests {
+    use super::*;
+
+    #[test]
+    fn shadow_lags_behind_parameters() {
+        let w = Tensor::param(vec![2], vec![0.0, 0.0]);
+        let mut ema = Ema::new(vec![w.clone()], 0.5);
+        w.set_data(&[4.0, -2.0]);
+        ema.update();
+        assert_eq!(ema.shadow()[0].to_vec(), vec![2.0, -1.0]);
+        ema.update();
+        assert_eq!(ema.shadow()[0].to_vec(), vec![3.0, -1.5]);
+    }
+
+    #[test]
+    fn apply_and_sync_round_trip() {
+        let w = Tensor::param(vec![1], vec![1.0]);
+        let mut ema = Ema::new(vec![w.clone()], 0.9);
+        w.set_data(&[5.0]);
+        ema.update();
+        ema.apply_to_params();
+        assert!((w.to_vec()[0] - 1.4).abs() < 1e-6);
+        w.set_data(&[7.0]);
+        ema.sync_from_params();
+        assert_eq!(ema.shadow()[0].to_vec(), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn invalid_decay_rejected() {
+        let w = Tensor::param(vec![1], vec![0.0]);
+        Ema::new(vec![w], 1.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Named-tensor checkpoint format.
+//!
+//! Checkpoints are a flat list of `(name, shape, f32 data)` records in a
+//! tiny little-endian binary container (magic `DCWT`). Modules register
+//! their parameters under hierarchical names (`unet.down0.conv1.weight`);
+//! loading restores data into existing tensors by name.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Tensor;
+
+const MAGIC: &[u8; 4] = b"DCWT";
+const VERSION: u32 = 1;
+
+/// Error produced by checkpoint (de)serialisation.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint.
+    Format(String),
+    /// A tensor in the file does not match the destination tensor.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// An in-memory checkpoint: an ordered map from parameter name to
+/// `(shape, data)`.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_tensor::{serial::Checkpoint, Tensor};
+///
+/// let w = Tensor::param(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let mut ckpt = Checkpoint::new();
+/// ckpt.insert("layer.weight", &w);
+/// let bytes = ckpt.to_bytes();
+/// let restored = Checkpoint::from_bytes(&bytes)?;
+/// let w2 = Tensor::param(vec![2, 2], vec![0.0; 4]);
+/// restored.load_into("layer.weight", &w2)?;
+/// assert_eq!(w.to_vec(), w2.to_vec());
+/// # Ok::<(), dcdiff_tensor::serial::CheckpointError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Checkpoint {
+    entries: BTreeMap<String, (Vec<usize>, Vec<f32>)>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a tensor's current data under `name` (overwrites).
+    pub fn insert(&mut self, name: &str, tensor: &Tensor) {
+        self.entries
+            .insert(name.to_string(), (tensor.shape().to_vec(), tensor.to_vec()));
+    }
+
+    /// Names of stored tensors in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Copy the stored tensor `name` into `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] when the name is missing or
+    /// shapes differ.
+    pub fn load_into(&self, name: &str, dst: &Tensor) -> Result<(), CheckpointError> {
+        let (shape, data) = self
+            .entries
+            .get(name)
+            .ok_or_else(|| CheckpointError::Mismatch(format!("missing tensor {name}")))?;
+        if shape != dst.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "tensor {name}: file shape {shape:?} vs destination {:?}",
+                dst.shape()
+            )));
+        }
+        dst.set_data(data);
+        Ok(())
+    }
+
+    /// Serialise to the binary container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, (shape, data)) in &self.entries {
+            let nb = name.as_bytes();
+            out.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+            out.extend_from_slice(nb);
+            out.extend_from_slice(&(shape.len() as u32).to_le_bytes());
+            for &d in shape {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            for &v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse the binary container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Format`] on any structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut cur = std::io::Cursor::new(bytes);
+        let mut magic = [0u8; 4];
+        cur.read_exact(&mut magic)
+            .map_err(|_| CheckpointError::Format("truncated magic".into()))?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::Format("bad magic".into()));
+        }
+        let version = read_u32(&mut cur)?;
+        if version != VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let count = read_u32(&mut cur)? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = read_u32(&mut cur)? as usize;
+            let mut name_buf = vec![0u8; name_len];
+            cur.read_exact(&mut name_buf)
+                .map_err(|_| CheckpointError::Format("truncated name".into()))?;
+            let name = String::from_utf8(name_buf)
+                .map_err(|_| CheckpointError::Format("name not utf-8".into()))?;
+            let rank = read_u32(&mut cur)? as usize;
+            if rank > 8 {
+                return Err(CheckpointError::Format(format!("rank {rank} too large")));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(&mut cur)? as usize);
+            }
+            let len = read_u64(&mut cur)? as usize;
+            if shape.iter().product::<usize>() != len {
+                return Err(CheckpointError::Format(format!(
+                    "tensor {name}: shape {shape:?} does not match length {len}"
+                )));
+            }
+            let mut data = vec![0.0f32; len];
+            let mut buf = [0u8; 4];
+            for v in &mut data {
+                cur.read_exact(&mut buf)
+                    .map_err(|_| CheckpointError::Format("truncated data".into()))?;
+                *v = f32::from_le_bytes(buf);
+            }
+            entries.insert(name, (shape, data));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Write the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] or [`CheckpointError::Format`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn read_u32(cur: &mut std::io::Cursor<&[u8]>) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    cur.read_exact(&mut buf)
+        .map_err(|_| CheckpointError::Format("truncated u32".into()))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(cur: &mut std::io::Cursor<&[u8]>) -> Result<u64, CheckpointError> {
+    let mut buf = [0u8; 8];
+    cur.read_exact(&mut buf)
+        .map_err(|_| CheckpointError::Format("truncated u64".into()))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_multiple_tensors() {
+        let a = Tensor::param(vec![2, 3], (0..6).map(|v| v as f32).collect());
+        let b = Tensor::param(vec![4], vec![9.0, 8.0, 7.0, 6.0]);
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("a", &a);
+        ckpt.insert("b.weight", &b);
+        let restored = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored.len(), 2);
+        let a2 = Tensor::param(vec![2, 3], vec![0.0; 6]);
+        restored.load_into("a", &a2).unwrap();
+        assert_eq!(a.to_vec(), a2.to_vec());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_on_load() {
+        let a = Tensor::param(vec![2, 2], vec![0.0; 4]);
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("a", &a);
+        let wrong = Tensor::param(vec![4], vec![0.0; 4]);
+        let err = ckpt.load_into("a", &wrong).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        let ckpt = Checkpoint::new();
+        let t = Tensor::param(vec![1], vec![0.0]);
+        assert!(matches!(
+            ckpt.load_into("nope", &t),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        assert!(Checkpoint::from_bytes(b"XXXX").is_err());
+        assert!(Checkpoint::from_bytes(b"DCWT\x02\x00\x00\x00").is_err());
+        let t = Tensor::param(vec![1], vec![1.0]);
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("t", &t);
+        let mut bytes = ckpt.to_bytes();
+        bytes.truncate(bytes.len() - 2);
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = Tensor::param(vec![3], vec![1.5, -2.5, 0.0]);
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("t", &t);
+        let mut path = std::env::temp_dir();
+        path.push(format!("dcdiff-ckpt-test-{}", std::process::id()));
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let t2 = Tensor::param(vec![3], vec![0.0; 3]);
+        loaded.load_into("t", &t2).unwrap();
+        assert_eq!(t.to_vec(), t2.to_vec());
+    }
+}

@@ -1,0 +1,53 @@
+//! Aerial remote sensing: the downstream-task scenario of Table V.
+//!
+//! A classifier is trained on clean synthetic aerial tiles; the example
+//! then measures how accuracy changes when tiles pass through the
+//! DC-drop channel and are reconstructed by a statistical recovery
+//! method — demonstrating that enhanced JPEG compression barely affects
+//! downstream analytics.
+//!
+//! Run: `cargo run --release --example aerial_remote_sensing`
+
+use dcdiff::baselines::{DcRecovery, Icip2022, SmartCom2019};
+use dcdiff::data::AerialDataset;
+use dcdiff::downstream::Classifier;
+use dcdiff::jpeg::{ChromaSampling, CoeffImage, DcDropMode};
+
+fn main() {
+    let dataset = AerialDataset::new(32, 12);
+    let train = dataset.generate(0);
+    let test = dataset.generate(50_000);
+
+    println!("training the remote-sensing classifier on {} tiles...", train.len());
+    let mut clf = Classifier::new(32, dataset.num_classes(), 3);
+    clf.train(&train, 10, 4);
+    let clean = clf.accuracy(&test);
+    println!("clean accuracy: {:.1}%", clean * 100.0);
+
+    let methods: Vec<Box<dyn DcRecovery>> =
+        vec![Box::new(SmartCom2019::new()), Box::new(Icip2022::new())];
+    for method in &methods {
+        let acc = clf.accuracy_under(&test, |img| {
+            let coeffs = CoeffImage::from_image(img, 50, ChromaSampling::Cs444);
+            method.recover(&coeffs.drop_dc(DcDropMode::KeepCorners))
+        });
+        println!(
+            "{:<16} accuracy {:.1}% (drop {:.1} pp)",
+            method.name(),
+            acc * 100.0,
+            (clean - acc) * 100.0
+        );
+    }
+
+    // the raw channel without any recovery, for contrast
+    let none = clf.accuracy_under(&test, |img| {
+        let coeffs = CoeffImage::from_image(img, 50, ChromaSampling::Cs444);
+        coeffs.drop_dc(DcDropMode::KeepCorners).to_image()
+    });
+    println!(
+        "{:<16} accuracy {:.1}% (drop {:.1} pp)",
+        "no recovery",
+        none * 100.0,
+        (clean - none) * 100.0
+    );
+}

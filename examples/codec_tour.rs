@@ -1,0 +1,94 @@
+//! Codec tour: a guided walk through the from-scratch JPEG codec.
+//!
+//! Shows the stages that every other part of the project builds on:
+//! colour conversion, block DCT, quality-scaled quantisation, zig-zag +
+//! Huffman entropy coding, real JFIF output, and what dropping DC does to
+//! the stream.
+//!
+//! Run: `cargo run --release --example codec_tour`
+
+use dcdiff::image::{ColorSpace, Image, Plane};
+use dcdiff::jpeg::dct::fdct;
+use dcdiff::jpeg::quant::QuantTable;
+use dcdiff::jpeg::zigzag::to_zigzag;
+use dcdiff::jpeg::{
+    encode_coefficients, ChromaSampling, CoeffImage, DcDropMode, JpegDecoder, JpegEncoder,
+};
+use dcdiff::metrics::psnr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a gradient image with a sharp disc in the middle
+    let image = Image::from_planes(
+        vec![
+            Plane::from_fn(64, 64, |x, y| {
+                let d = ((x as f32 - 32.0).powi(2) + (y as f32 - 32.0).powi(2)).sqrt();
+                if d < 14.0 {
+                    220.0
+                } else {
+                    60.0 + x as f32 * 2.0
+                }
+            }),
+            Plane::from_fn(64, 64, |_, y| 80.0 + y as f32 * 2.0),
+            Plane::filled(64, 64, 100.0),
+        ],
+        ColorSpace::Rgb,
+    )?;
+
+    // 1. one block through the transform
+    let ycbcr = image.to_ycbcr();
+    let mut block = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            block[y * 8 + x] = ycbcr.plane(0).get(x, y) - 128.0;
+        }
+    }
+    let coeffs = fdct(&block);
+    println!("block (0,0): DC = {:.1}, strongest AC = {:.1}", coeffs[0], {
+        coeffs[1..]
+            .iter()
+            .fold(0.0f32, |acc, &v| if v.abs() > acc.abs() { v } else { acc })
+    });
+
+    // 2. quantisation at two qualities
+    for quality in [50u8, 10] {
+        let table = QuantTable::luma(quality);
+        let levels = table.quantize(&coeffs);
+        let nonzero = levels.iter().filter(|&&v| v != 0).count();
+        let zz = to_zigzag(&levels);
+        let trailing_zeros = zz.iter().rev().take_while(|&&v| v == 0).count();
+        println!(
+            "Q{quality}: {nonzero}/64 nonzero levels, {trailing_zeros} trailing zeros in zig-zag"
+        );
+    }
+
+    // 3. full files
+    let encoder = JpegEncoder::new(50);
+    let bytes = encoder.encode(&image)?;
+    let decoded = JpegDecoder::decode(&bytes)?;
+    println!(
+        "JFIF file: {} bytes, round-trip PSNR {:.2} dB",
+        bytes.len(),
+        psnr(&image, &decoded)
+    );
+
+    // 4. drop DC and look at the stream again
+    let coeff_img = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+    let dropped = coeff_img.drop_dc(DcDropMode::KeepCorners);
+    let dropped_bytes = encode_coefficients(&dropped)?;
+    println!(
+        "DC-dropped file: {} bytes ({:.1}% of full); still a valid JPEG:",
+        dropped_bytes.len(),
+        100.0 * dropped_bytes.len() as f64 / bytes.len() as f64
+    );
+    let gray_world = JpegDecoder::decode(&dropped_bytes)?;
+    println!(
+        "  naive decode of it scores {:.2} dB (the receiver must estimate DC!)",
+        psnr(&image, &gray_world)
+    );
+
+    // 5. 4:2:0 for comparison
+    let sub = JpegEncoder::new(50).with_sampling(ChromaSampling::Cs420);
+    let sub_bytes = sub.encode(&image)?;
+    println!("4:2:0 file: {} bytes", sub_bytes.len());
+    Ok(())
+}

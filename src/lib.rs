@@ -1,0 +1,28 @@
+//! # DCDiff — enhanced JPEG compression via diffusion-based DC estimation
+//!
+//! Umbrella crate re-exporting the full DCDiff reproduction workspace.
+//! See the individual crates for details:
+//!
+//! * [`image`] — planar image containers and colour conversion
+//! * [`jpeg`] — the from-scratch baseline JPEG codec and the DC-drop transform
+//! * [`tensor`] / [`nn`] — the neural-network substrate (autograd, layers)
+//! * [`baselines`] — statistical and learned DC-recovery baselines
+//! * [`diffusion`] — DDPM/DDIM schedules, samplers and frequency modulation
+//! * [`core`] — the DCDiff estimator (stage-1 autoencoder, stage-2 latent
+//!   diffusion, masked Laplacian loss, FMPP)
+//! * [`metrics`] — PSNR / SSIM / MS-SSIM / perceptual distance
+//! * [`data`] — synthetic dataset profiles standing in for the paper's six
+//!   test sets
+//! * [`device`] — low-power encoder cost models (Table IV)
+//! * [`downstream`] — remote-sensing classification task (Table V)
+pub use dcdiff_baselines as baselines;
+pub use dcdiff_core as core;
+pub use dcdiff_data as data;
+pub use dcdiff_device as device;
+pub use dcdiff_diffusion as diffusion;
+pub use dcdiff_downstream as downstream;
+pub use dcdiff_image as image;
+pub use dcdiff_jpeg as jpeg;
+pub use dcdiff_metrics as metrics;
+pub use dcdiff_nn as nn;
+pub use dcdiff_tensor as tensor;

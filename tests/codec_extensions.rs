@@ -1,0 +1,88 @@
+//! Integration tests for the codec extensions (optimised Huffman tables,
+//! restart markers, 4:2:0) composed with the DC-drop pipeline.
+
+use dcdiff::baselines::{DcRecovery, Icip2022};
+use dcdiff::data::{SceneGenerator, SceneKind};
+use dcdiff::jpeg::{
+    encode_coefficients, encode_coefficients_optimized, encode_coefficients_with_restarts,
+    ChromaSampling, CoeffImage, DcDropMode, JpegDecoder, JpegEncoder,
+};
+use dcdiff::metrics::psnr;
+
+#[test]
+fn optimized_tables_compound_with_dc_dropping() {
+    let image = SceneGenerator::new(SceneKind::Natural, 96, 96).generate(5);
+    let coeffs = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+
+    let standard_full = encode_coefficients(&coeffs).unwrap().len();
+    let standard_dropped = encode_coefficients(&dropped).unwrap().len();
+    let optimized_dropped = encode_coefficients_optimized(&dropped).unwrap().len();
+
+    assert!(standard_dropped < standard_full, "dropping saves");
+    assert!(
+        optimized_dropped <= standard_dropped,
+        "optimisation must not grow the dropped stream"
+    );
+
+    // and recovery still works off the optimised stream
+    let bytes = encode_coefficients_optimized(&dropped).unwrap();
+    let received = JpegDecoder::decode_coefficients(&bytes).unwrap();
+    let reference = coeffs.to_image();
+    let recovered = Icip2022::new().recover(&received);
+    assert!(psnr(&reference, &recovered) > 20.0);
+}
+
+#[test]
+fn restart_markers_survive_the_drop_pipeline() {
+    let image = SceneGenerator::new(SceneKind::Urban, 96, 96).generate(6);
+    let coeffs = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+    let bytes = encode_coefficients_with_restarts(&dropped, 3).unwrap();
+    let received = JpegDecoder::decode_coefficients(&bytes).unwrap();
+    for c in 0..3 {
+        assert_eq!(received.plane(c), dropped.plane(c));
+    }
+}
+
+#[test]
+fn recovery_works_under_chroma_subsampling() {
+    let image = SceneGenerator::new(SceneKind::Smooth, 96, 96).generate(7);
+    let enc = JpegEncoder::new(50).with_sampling(ChromaSampling::Cs420);
+    let coeffs = enc.to_coefficients(&image);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+    let reference = coeffs.to_image();
+    let none = psnr(&reference, &dropped.to_image());
+    let recovered = psnr(&reference, &Icip2022::new().recover(&dropped));
+    assert!(
+        recovered > none + 5.0,
+        "4:2:0 recovery {recovered} vs none {none}"
+    );
+}
+
+#[test]
+fn masked_refinement_works_on_optimized_subsampled_streams() {
+    // the full stack: 4:2:0 + DC drop + optimised tables + MLD refinement
+    let image = SceneGenerator::new(SceneKind::Aerial, 96, 96).generate(8);
+    let enc = JpegEncoder::new(50).with_sampling(ChromaSampling::Cs420);
+    let coeffs = enc.to_coefficients(&image);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+    let bytes = encode_coefficients_optimized(&dropped).unwrap();
+    let received = JpegDecoder::decode_coefficients(&bytes).unwrap();
+    let refined = dcdiff::core::refine_dc_offsets(&received, &received, 10.0, 5e-4, 200);
+    let reference = coeffs.to_image();
+    let none = psnr(&reference, &dropped.to_image());
+    let got = psnr(&reference, &refined.to_image());
+    assert!(got > none + 4.0, "refined {got} vs none {none}");
+}
+
+#[test]
+fn encoder_variants_agree_on_decoded_pixels() {
+    let image = SceneGenerator::new(SceneKind::Texture, 64, 64).generate(9);
+    let coeffs = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+    let a = JpegDecoder::decode(&encode_coefficients(&coeffs).unwrap()).unwrap();
+    let b = JpegDecoder::decode(&encode_coefficients_optimized(&coeffs).unwrap()).unwrap();
+    let c = JpegDecoder::decode(&encode_coefficients_with_restarts(&coeffs, 2).unwrap()).unwrap();
+    assert!(a.mean_abs_diff(&b) < 1e-6, "optimised stream changes pixels");
+    assert!(a.mean_abs_diff(&c) < 1e-6, "restart stream changes pixels");
+}

@@ -1,0 +1,101 @@
+//! Reproducibility: every stage of the experiment pipeline must be
+//! bit-deterministic given its seeds, or the EXPERIMENTS.md numbers
+//! could not be regenerated.
+
+use dcdiff::baselines::{DcRecovery, Icip2022, SmartCom2019};
+use dcdiff::core::{refine_dc_offsets, DcDiff, DcDiffConfig, RecoverOptions, TrainBudget};
+use dcdiff::data::{AerialDataset, DatasetProfile, SceneGenerator, SceneKind};
+use dcdiff::jpeg::{encode_coefficients, ChromaSampling, CoeffImage, DcDropMode};
+use dcdiff::metrics::{psnr, PerceptualDistance};
+
+#[test]
+fn scene_generation_is_bit_deterministic() {
+    for kind in [SceneKind::Natural, SceneKind::Urban, SceneKind::Aerial] {
+        let a = SceneGenerator::new(kind, 64, 48).generate(123);
+        let b = SceneGenerator::new(kind, 64, 48).generate(123);
+        for c in 0..3 {
+            assert_eq!(a.plane(c).as_slice(), b.plane(c).as_slice(), "{kind:?}");
+        }
+    }
+    let p1 = DatasetProfile::kodak().generate(7);
+    let p2 = DatasetProfile::kodak().generate(7);
+    assert_eq!(p1.len(), p2.len());
+    assert_eq!(p1[3].plane(0).as_slice(), p2[3].plane(0).as_slice());
+    let d1 = AerialDataset::new(32, 2).generate(9);
+    let d2 = AerialDataset::new(32, 2).generate(9);
+    assert_eq!(d1[5].0.plane(1).as_slice(), d2[5].0.plane(1).as_slice());
+}
+
+#[test]
+fn coding_and_recovery_are_deterministic() {
+    let image = SceneGenerator::new(SceneKind::Natural, 64, 64).generate(5);
+    let run = || {
+        let coeffs = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+        let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+        let bytes = encode_coefficients(&dropped).expect("encodable");
+        let smart = SmartCom2019::new().recover(&dropped);
+        let icip = Icip2022::new().recover(&dropped);
+        let refined = refine_dc_offsets(&dropped, &dropped, 10.0, 5e-4, 100).to_image();
+        (bytes, smart, icip, refined)
+    };
+    let (b1, s1, i1, r1) = run();
+    let (b2, s2, i2, r2) = run();
+    assert_eq!(b1, b2, "bitstream");
+    assert_eq!(s1.plane(0).as_slice(), s2.plane(0).as_slice(), "smartcom");
+    assert_eq!(i1.plane(0).as_slice(), i2.plane(0).as_slice(), "icip");
+    assert_eq!(r1.plane(0).as_slice(), r2.plane(0).as_slice(), "refine");
+}
+
+#[test]
+fn metrics_are_deterministic() {
+    let a = SceneGenerator::new(SceneKind::Texture, 48, 48).generate(1);
+    let b = SceneGenerator::new(SceneKind::Texture, 48, 48).generate(2);
+    let p1 = psnr(&a, &b);
+    let p2 = psnr(&a, &b);
+    assert_eq!(p1, p2);
+    let m = PerceptualDistance::default();
+    assert_eq!(m.distance(&a, &b), m.distance(&a, &b));
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let config = DcDiffConfig {
+        stage1_base: 8,
+        latent_channels: 4,
+        unet_base: 8,
+        diffusion_steps: 20,
+        ddim_steps: 3,
+        ..DcDiffConfig::default()
+    };
+    let budget = TrainBudget {
+        stage1_steps: 6,
+        ldm_steps: 6,
+        mld_steps: 2,
+        fmpp_steps: 2,
+        batch: 1,
+    };
+    let corpus = DatasetProfile::set5().with_dims(32, 32).generate(3);
+    let train_once = || {
+        let mut system = DcDiff::new(config.clone(), 42);
+        let report = system.train(&corpus, budget, 77);
+        (system, report)
+    };
+    let (sys1, rep1) = train_once();
+    let (sys2, rep2) = train_once();
+    assert_eq!(rep1.stage1_losses, rep2.stage1_losses, "stage-1 trajectory");
+    assert_eq!(rep1.ldm_losses, rep2.ldm_losses, "stage-2 trajectory");
+    assert_eq!(rep1.latent_scale, rep2.latent_scale);
+
+    let image = SceneGenerator::new(SceneKind::Smooth, 32, 32).generate(8);
+    let coeffs = CoeffImage::from_image(&image, 50, ChromaSampling::Cs444);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+    let mut opts = RecoverOptions::from_config(&config);
+    opts.ddim_steps = 3;
+    let out1 = sys1.recover_with(&dropped, &opts);
+    let out2 = sys2.recover_with(&dropped, &opts);
+    assert_eq!(
+        out1.plane(0).as_slice(),
+        out2.plane(0).as_slice(),
+        "end-to-end recovery"
+    );
+}
