@@ -16,8 +16,8 @@ fn main() {
     let images = DatasetProfile::kodak().with_count(count).generate(0xF16);
 
     // magnitude-category histograms for DC (differential) and AC levels
-    let mut dc_hist = vec![0u64; 12];
-    let mut ac_hist = vec![0u64; 12];
+    let mut dc_hist = [0u64; 12];
+    let mut ac_hist = [0u64; 12];
     let mut dc_bits_total = 0u64;
     let mut ac_bits_total = 0u64;
     let mut dc_count = 0u64;

@@ -7,7 +7,7 @@ pub struct Parsed {
     flags: Vec<(String, Option<String>)>,
 }
 
-/// Flags that take a value (everything else is boolean).
+/// Flags that take a value.
 const VALUE_FLAGS: &[&str] = &[
     "--quality",
     "--subsample",
@@ -19,14 +19,24 @@ const VALUE_FLAGS: &[&str] = &[
     "--sweeps",
     "--threshold",
     "--budget",
+    "--workers",
+    "--queue-cap",
+    "--retries",
+    "--batch",
 ];
+
+/// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected
+/// by name, so a typo like `--qualty` fails loudly instead of being silently
+/// swallowed as an unused boolean.
+const BOOL_FLAGS: &[&str] = &["--optimize", "--drop-dc", "--fail-fast"];
 
 impl Parsed {
     /// Parse an argument list.
     ///
     /// # Errors
     ///
-    /// Returns a message when a value flag is missing its value.
+    /// Returns a message when a value flag is missing its value, or naming
+    /// the offending flag when it is not recognised at all.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut out = Parsed::default();
         let mut iter = args.iter().peekable();
@@ -38,8 +48,10 @@ impl Parsed {
                         .next()
                         .ok_or_else(|| format!("flag {name} requires a value"))?;
                     out.flags.push((name, Some(value.clone())));
-                } else {
+                } else if BOOL_FLAGS.contains(&name.as_str()) {
                     out.flags.push((name, None));
+                } else {
+                    return Err(format!("unknown flag '{name}'"));
                 }
             } else {
                 out.positional.push(arg.clone());
@@ -146,6 +158,13 @@ mod tests {
     fn missing_value_is_an_error() {
         let args = vec!["encode".to_string(), "--quality".to_string()];
         assert!(Parsed::parse(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_by_name() {
+        let args = vec!["encode".to_string(), "--qualty".to_string(), "80".to_string()];
+        let err = Parsed::parse(&args).unwrap_err();
+        assert!(err.contains("--qualty"), "error must name the flag: {err}");
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub const USAGE: &str = "usage:
   dcdiff metrics <ref.ppm> <test.ppm>
   dcdiff info    <in.jpg>
   dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
-                                     [--size WxH] [--seed N]";
+                                     [--size WxH] [--seed N]
+  dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
+                                     [--batch K] [--fail-fast]";
 
 /// Dispatch the parsed command line.
 ///
@@ -65,6 +67,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("metrics") => metrics(&parsed),
         Some("info") => info(&parsed),
         Some("demo") => demo(&parsed),
+        Some("batch") => batch(&parsed),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
     }
@@ -279,6 +282,84 @@ fn demo(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Run a manifest of jobs through the batch-serving runtime.
+fn batch(parsed: &Parsed) -> Result<(), String> {
+    use dcdiff_runtime::{Runtime, RuntimeConfig, ShutdownMode, SubmitError};
+
+    let manifest_path = need(parsed, 1, "manifest path")?;
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{manifest_path}: {e}"))?;
+    let specs =
+        dcdiff_runtime::parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    if specs.is_empty() {
+        return Err(format!("{manifest_path}: no jobs in manifest"));
+    }
+
+    let config = RuntimeConfig {
+        workers: parsed.int("--workers", 4)?.max(1) as usize,
+        queue_cap: parsed.int("--queue-cap", 64)?.max(1) as usize,
+        default_retries: parsed.int("--retries", 0)? as u32,
+        batch_max: parsed.int("--batch", 8)?.max(1) as usize,
+        ..RuntimeConfig::default()
+    };
+    let fail_fast = parsed.has("--fail-fast");
+    let total = specs.len();
+    println!(
+        "batch: {total} jobs, {} workers, queue cap {}, micro-batch {}",
+        config.workers, config.queue_cap, config.batch_max
+    );
+
+    let runtime = Runtime::start(config);
+    let started = std::time::Instant::now();
+    let mut shed = 0usize;
+    for spec in specs {
+        let submitted = if fail_fast {
+            runtime.submit(spec)
+        } else {
+            runtime.submit_blocking(spec)
+        };
+        match submitted {
+            Ok(_) => {}
+            Err(SubmitError::QueueFull) => shed += 1,
+            Err(SubmitError::ShuttingDown) => {
+                return Err("runtime shut down during submission".to_string())
+            }
+        }
+    }
+    let report = runtime.shutdown(ShutdownMode::Drain);
+    let wall = started.elapsed();
+
+    let mut failed = 0usize;
+    for result in &report.results {
+        match &result.outcome {
+            Ok(_) => {}
+            Err(failure) => {
+                failed += 1;
+                eprintln!(
+                    "job {} ({}): {failure:?} after {} attempt(s)",
+                    result.id,
+                    result.job.stage().name(),
+                    result.attempts
+                );
+            }
+        }
+    }
+    println!("{}", report.stats.render());
+    println!(
+        "{} job(s) in {:.0} ms ({:.1} jobs/s)",
+        report.results.len(),
+        wall.as_secs_f64() * 1e3,
+        report.results.len() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if shed > 0 {
+        println!("shed {shed} job(s) at submission (--fail-fast)");
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {total} job(s) failed"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +461,56 @@ mod tests {
     fn bad_quality_rejected() {
         assert!(run(&["encode", "a", "b", "--quality", "0"]).is_err());
         assert!(run(&["encode", "a", "b", "--quality", "101"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_error_names_the_flag() {
+        let err = run(&["encode", "a.ppm", "b.jpg", "--qualty", "80"]).unwrap_err();
+        assert!(err.contains("--qualty"), "{err}");
+    }
+
+    #[test]
+    fn batch_runs_a_manifest_end_to_end() {
+        let scene = tmp("m-scene.ppm");
+        let manifest = tmp("m-manifest.txt");
+        let jpg = tmp("m-scene.jpg");
+        let out = tmp("m-out.ppm");
+        run(&["demo", &scene, "--scene", "natural", "--size", "48x48", "--seed", "9"]).unwrap();
+        std::fs::write(
+            &manifest,
+            format!(
+                "# full pipeline on one scene\n\
+                 encode {scene} {jpg} --quality 60 --drop-dc\n\
+                 recover {jpg} {out} --method tip2006\n\
+                 metrics {scene} {out}\n"
+            ),
+        )
+        .unwrap();
+        // Single worker so the encode completes before the recover reads it:
+        // manifests have no inter-job dependency ordering.
+        run(&["batch", &manifest, "--workers", "1"]).unwrap();
+        assert!(std::fs::metadata(&out).unwrap().len() > 0);
+        for f in [&scene, &manifest, &jpg, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn batch_reports_failures() {
+        let manifest = tmp("m-bad.txt");
+        std::fs::write(&manifest, "metrics /nonexistent/a.ppm /nonexistent/b.ppm\n").unwrap();
+        let err = run(&["batch", &manifest, "--workers", "2"]).unwrap_err();
+        assert!(err.contains("failed"), "{err}");
+        std::fs::remove_file(&manifest).ok();
+    }
+
+    #[test]
+    fn batch_rejects_bad_manifests() {
+        let manifest = tmp("m-syntax.txt");
+        std::fs::write(&manifest, "recover a.jpg b.ppm --methud mld\n").unwrap();
+        let err = run(&["batch", &manifest]).unwrap_err();
+        assert!(err.contains("--methud") && err.contains("line 1"), "{err}");
+        assert!(run(&["batch", &tmp("m-missing.txt")]).is_err());
+        std::fs::remove_file(&manifest).ok();
     }
 }

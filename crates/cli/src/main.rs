@@ -9,6 +9,7 @@
 //! dcdiff info    <in.jpg>
 //! dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
 //!                                    [--size WxH] [--seed N]
+//! dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
 //! ```
 
 use std::process::ExitCode;

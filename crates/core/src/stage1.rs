@@ -138,7 +138,7 @@ impl Stage1 {
     /// AC features from `x̃`.
     pub fn decode(&self, z: &Tensor, x_tilde: &Tensor) -> Tensor {
         let ac = self.encode_ac(x_tilde);
-        self.decode_features(&z, &ac)
+        self.decode_features(z, &ac)
     }
 
     /// One optimisation step of the Eq. 5 objective on a batch

@@ -149,7 +149,7 @@ impl AerialDataset {
                     Plane::from_fn(s, s, |x, y| tint * (0.7 + n.get(x, y) * 0.5))
                 });
                 // fine road grid
-                let spacing = rng.gen_range(8..14);
+                let spacing = rng.gen_range(8..14usize);
                 let off = rng.gen_range(0..spacing);
                 for y in 0..s {
                     for x in 0..s {
@@ -193,7 +193,7 @@ impl AerialDataset {
                     let y0 = rng.gen_range(0..s.saturating_sub(rh).max(1));
                     let shade = 185.0 + rng.gen::<f32>() * 55.0;
                     let slope = (rng.gen::<f32>() - 0.5) * 1.2;
-                    let ridge = rng.gen_range(3..6);
+                    let ridge = rng.gen_range(3..6usize);
                     for y in y0..(y0 + rh).min(s) {
                         for x in x0..(x0 + rw).min(s) {
                             let corrugation = if (x - x0) % ridge == 0 { -9.0 } else { 0.0 };

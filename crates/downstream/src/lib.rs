@@ -46,7 +46,7 @@ impl Classifier {
     /// Panics if `tile` is not divisible by 4 (two pooling stages) or
     /// `classes` is zero.
     pub fn new(tile: usize, classes: usize, seed: u64) -> Self {
-        assert!(tile % 4 == 0, "tile must be divisible by 4");
+        assert!(tile.is_multiple_of(4), "tile must be divisible by 4");
         assert!(classes > 0, "need at least one class");
         let mut rng = seeded_rng(seed);
         let net = ResNet::new(

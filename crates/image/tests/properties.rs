@@ -1,6 +1,6 @@
 //! Property-based tests for the image containers and colour transforms.
 
-use dcdiff_image::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel, BlockGrid, ColorSpace, Image, Plane};
+use dcdiff_image::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel, BlockGrid, Image, Plane};
 use proptest::prelude::*;
 
 fn arbitrary_plane() -> impl Strategy<Value = Plane> {

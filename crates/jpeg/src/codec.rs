@@ -362,7 +362,7 @@ pub(crate) fn encode_scan_restarts(
     let mut restart_count = 0u8;
     for my in 0..mcus_y {
         for mx in 0..mcus_x {
-            if restart_interval > 0 && mcu_index > 0 && mcu_index % restart_interval == 0 {
+            if restart_interval > 0 && mcu_index > 0 && mcu_index.is_multiple_of(restart_interval) {
                 writer.put_restart_marker(restart_count % 8);
                 restart_count = restart_count.wrapping_add(1);
                 preds.iter_mut().for_each(|p| *p = 0);
@@ -675,7 +675,7 @@ impl<'a> Parser<'a> {
             for mx in 0..mcus_x {
                 if self.restart_interval > 0
                     && mcu_index > 0
-                    && mcu_index % self.restart_interval == 0
+                    && mcu_index.is_multiple_of(self.restart_interval)
                 {
                     match reader.take_restart_marker() {
                         Some(m) if m == expected_rst % 8 => {

@@ -40,14 +40,15 @@ fn fit_cubic(xs: &[f64], ys: &[f64]) -> [f64; 4] {
         m.swap(col, pivot);
         let p = m[col][col];
         assert!(p.abs() > 1e-12, "singular normal equations");
-        for j in col..5 {
-            m[col][j] /= p;
+        for v in m[col][col..5].iter_mut() {
+            *v /= p;
         }
-        for row in 0..4 {
+        let pivot_row = m[col];
+        for (row, r) in m.iter_mut().enumerate() {
             if row != col {
-                let f = m[row][col];
-                for j in col..5 {
-                    m[row][j] -= f * m[col][j];
+                let f = r[col];
+                for (v, &p) in r[col..5].iter_mut().zip(&pivot_row[col..5]) {
+                    *v -= f * p;
                 }
             }
         }

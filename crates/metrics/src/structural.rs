@@ -153,9 +153,9 @@ pub fn ms_ssim(a: &Image, b: &Image) -> f32 {
     let mut pa = to_luma(a);
     let mut pb = to_luma(b);
     let mut result = 1.0f32;
-    for s in 0..scales {
+    for (s, &weight) in MS_WEIGHTS[..scales].iter().enumerate() {
         let (ssim_full, cs) = ssim_maps(&pa, &pb);
-        let wgt = MS_WEIGHTS[s] / weight_sum;
+        let wgt = weight / weight_sum;
         if s + 1 == scales {
             // the final (coarsest) scale uses the full SSIM
             result *= sign_pow(ssim_full, wgt);

@@ -188,7 +188,7 @@ impl TimeEmbedding {
     ///
     /// Panics if `dim` is not even.
     pub fn new(dim: usize, rng: &mut Rng) -> Self {
-        assert!(dim >= 2 && dim % 2 == 0, "time embedding dim must be even");
+        assert!(dim >= 2 && dim.is_multiple_of(2), "time embedding dim must be even");
         Self {
             dim,
             lin1: Linear::new(dim, dim * 4, rng),

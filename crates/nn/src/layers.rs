@@ -148,7 +148,7 @@ impl GroupNorm {
     pub fn new(channels: usize, groups: usize) -> Self {
         assert!(channels > 0, "channels must be nonzero");
         let mut g = groups.clamp(1, channels);
-        while channels % g != 0 {
+        while !channels.is_multiple_of(g) {
             g -= 1;
         }
         Self {

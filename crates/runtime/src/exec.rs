@@ -1,0 +1,223 @@
+//! Job execution: one function per [`Job`] kind, mirroring the CLI
+//! sub-commands byte-for-byte, plus the per-worker [`EngineCache`] that lets
+//! a micro-batch of Recover jobs reuse one constructed method object instead
+//! of rebuilding state per image (the CLI's one-shot behaviour).
+
+use dcdiff_baselines::{DcRecovery, Icip2022, SmartCom2019, Tip2006};
+use dcdiff_core::refine_dc_offsets;
+use dcdiff_image::{read_pgm, read_ppm, write_pgm, write_ppm, Image};
+use dcdiff_jpeg::{
+    encode_coefficients, encode_coefficients_optimized, encode_coefficients_with_restarts,
+    CoeffImage, DcDropMode, JpegDecoder, JpegEncoder,
+};
+use dcdiff_metrics::{psnr, ssim};
+
+use crate::job::{CodingOpts, Job, JobError, JobOutput, RecoverMethod};
+
+/// Read a PPM or PGM image based on the file extension (CLI-compatible).
+fn read_image(path: &str) -> Result<Image, JobError> {
+    let loaded = if path.to_ascii_lowercase().ends_with(".pgm") {
+        read_pgm(path)
+    } else {
+        read_ppm(path)
+    };
+    loaded.map_err(|e| classify_image_error(path, &e))
+}
+
+/// Write a PPM or PGM image based on the file extension (CLI-compatible).
+fn write_image(path: &str, image: &Image) -> Result<(), JobError> {
+    let written = if path.to_ascii_lowercase().ends_with(".pgm") {
+        write_pgm(path, image)
+    } else {
+        write_ppm(path, image)
+    };
+    written.map_err(|e| classify_image_error(path, &e))
+}
+
+/// Image-crate errors render as strings; keep the path and treat them as
+/// permanent unless the message clearly names a transient I/O condition.
+fn classify_image_error(path: &str, err: &impl std::fmt::Display) -> JobError {
+    JobError::permanent(format!("{path}: {err}"))
+}
+
+fn read_bytes(path: &str) -> Result<Vec<u8>, JobError> {
+    std::fs::read(path).map_err(|e| {
+        let mut err = JobError::from_io(&e);
+        err.message = format!("{path}: {}", err.message);
+        err
+    })
+}
+
+fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), JobError> {
+    std::fs::write(path, bytes).map_err(|e| {
+        let mut err = JobError::from_io(&e);
+        err.message = format!("{path}: {}", err.message);
+        err
+    })
+}
+
+/// Entropy-code `coeffs` under the shared coding options.
+fn code(coeffs: &CoeffImage, opts: &CodingOpts) -> Result<Vec<u8>, JobError> {
+    let coded = if opts.optimize {
+        encode_coefficients_optimized(coeffs)
+    } else if opts.restart > 0 {
+        encode_coefficients_with_restarts(coeffs, opts.restart)
+    } else {
+        encode_coefficients(coeffs)
+    };
+    coded.map_err(|e| JobError::permanent(e.to_string()))
+}
+
+/// Per-worker cache of constructed recovery objects, keyed by method config.
+///
+/// The statistical baselines are stateless once built, so one instance can
+/// serve every image in a batch — and every later batch on the same worker.
+#[derive(Default)]
+pub struct EngineCache {
+    engines: Vec<(RecoverMethod, Box<dyn DcRecovery>)>,
+    /// Batch jobs served by an already-constructed engine.
+    pub hits: u64,
+    /// Engine constructions.
+    pub misses: u64,
+}
+
+impl EngineCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        EngineCache::default()
+    }
+
+    /// The engine for `method`, constructing it on first use. `None` for
+    /// [`RecoverMethod::Mld`], which is a pure function rather than an
+    /// object.
+    pub fn engine(&mut self, method: &RecoverMethod) -> Option<&dyn DcRecovery> {
+        if matches!(method, RecoverMethod::Mld { .. }) {
+            return None;
+        }
+        if let Some(i) = self.engines.iter().position(|(m, _)| m.same_config(method)) {
+            self.hits += 1;
+            return Some(self.engines[i].1.as_ref());
+        }
+        let engine: Box<dyn DcRecovery> = match method {
+            RecoverMethod::Tip2006 => Box::new(Tip2006::new()),
+            RecoverMethod::SmartCom => Box::new(SmartCom2019::new()),
+            RecoverMethod::Icip => Box::new(Icip2022::new()),
+            RecoverMethod::Mld { .. } => unreachable!("handled above"),
+        };
+        self.misses += 1;
+        self.engines.push((*method, engine));
+        Some(self.engines.last().expect("just pushed").1.as_ref())
+    }
+}
+
+/// Execute one job, using (and warming) `engines` for Recover work.
+///
+/// # Errors
+///
+/// Returns a classified [`JobError`]; only I/O interruptions are transient.
+pub fn execute(job: &Job, engines: &mut EngineCache) -> Result<JobOutput, JobError> {
+    match job {
+        Job::Encode { input, output, quality, sampling, opts } => {
+            if !(1..=100).contains(quality) {
+                return Err(JobError::permanent("--quality must be 1..=100"));
+            }
+            let image = read_image(input)?;
+            let encoder = JpegEncoder::new(*quality).with_sampling(*sampling);
+            let mut coeffs = encoder.to_coefficients(&image);
+            if opts.drop_dc {
+                coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
+            }
+            let bytes = code(&coeffs, opts)?;
+            write_bytes(output, &bytes)?;
+            Ok(JobOutput::Encoded { bytes: bytes.len() })
+        }
+        Job::Transcode { input, output, opts } => {
+            let bytes = read_bytes(input)?;
+            let mut coeffs = JpegDecoder::decode_coefficients(&bytes)
+                .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            if opts.drop_dc {
+                coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
+            }
+            let out = code(&coeffs, opts)?;
+            write_bytes(output, &out)?;
+            Ok(JobOutput::Transcoded { bytes_in: bytes.len(), bytes_out: out.len() })
+        }
+        Job::Recover { input, output, method } => {
+            let bytes = read_bytes(input)?;
+            let dropped = JpegDecoder::decode_coefficients(&bytes)
+                .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            let image = recover_with(&dropped, method, engines);
+            write_image(output, &image)?;
+            Ok(JobOutput::Recovered { output: output.clone() })
+        }
+        Job::Metrics { reference, test } => {
+            let reference_img = read_image(reference)?;
+            let test_img = read_image(test)?;
+            if reference_img.dims() != test_img.dims() {
+                return Err(JobError::permanent(format!(
+                    "size mismatch: {}x{} vs {}x{}",
+                    reference_img.width(),
+                    reference_img.height(),
+                    test_img.width(),
+                    test_img.height()
+                )));
+            }
+            Ok(JobOutput::Metrics {
+                psnr: f64::from(psnr(&reference_img, &test_img)),
+                ssim: f64::from(ssim(&reference_img, &test_img)),
+            })
+        }
+    }
+}
+
+/// Recover `dropped` with `method`, reusing a cached engine when one exists.
+///
+/// This is the exact computation `dcdiff recover` performs, factored out so
+/// the batch path and the sequential CLI path cannot drift apart.
+pub fn recover_with(
+    dropped: &CoeffImage,
+    method: &RecoverMethod,
+    engines: &mut EngineCache,
+) -> Image {
+    match method {
+        RecoverMethod::Mld { threshold, sweeps } => {
+            // Masked-Laplacian refinement with a neutral prior — identical
+            // constants to the CLI `recover --method mld` path.
+            refine_dc_offsets(dropped, dropped, *threshold, 5e-4, (*sweeps).max(1)).to_image()
+        }
+        _ => engines
+            .engine(method)
+            .expect("non-MLD methods are object-backed")
+            .recover(dropped),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_cache_reuses_per_config() {
+        let mut cache = EngineCache::new();
+        assert!(cache.engine(&RecoverMethod::Tip2006).is_some());
+        assert!(cache.engine(&RecoverMethod::Tip2006).is_some());
+        assert!(cache.engine(&RecoverMethod::Icip).is_some());
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.hits, 1);
+        assert!(cache
+            .engine(&RecoverMethod::Mld { threshold: 10.0, sweeps: 5 })
+            .is_none());
+    }
+
+    #[test]
+    fn missing_input_is_permanent() {
+        let mut cache = EngineCache::new();
+        let job = Job::Metrics {
+            reference: "/nonexistent/ref.ppm".into(),
+            test: "/nonexistent/test.ppm".into(),
+        };
+        let err = execute(&job, &mut cache).unwrap_err();
+        assert_eq!(err.class, crate::job::ErrorClass::Permanent);
+        assert!(err.message.contains("/nonexistent/ref.ppm"), "{}", err.message);
+    }
+}

@@ -1,0 +1,372 @@
+//! The job model: what the runtime executes, and how outcomes are reported.
+//!
+//! A [`Job`] describes one unit of pipeline work over files on disk, mirroring
+//! the `dcdiff` CLI sub-commands one-to-one so a manifest line and a CLI
+//! invocation mean the same thing. A [`JobSpec`] adds the serving metadata —
+//! deadline and retry budget — and the runtime stamps each accepted spec with
+//! a stable [`JobId`].
+
+use std::time::Duration;
+
+use dcdiff_jpeg::ChromaSampling;
+
+/// Stable identifier assigned at submission, unique per runtime instance.
+pub type JobId = u64;
+
+/// DC-recovery method selection, mirroring `dcdiff recover --method`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoverMethod {
+    /// Ahmed et al., TIP 2006 — gradient-based propagation.
+    Tip2006,
+    /// SmartCom 2019 — smoothness-driven estimation.
+    SmartCom,
+    /// ICIP 2022 — iterative sweep refinement.
+    Icip,
+    /// Masked-Laplacian refinement (the training-free DCDiff receiver core).
+    Mld {
+        /// Eq. 3 high-frequency mask threshold.
+        threshold: f32,
+        /// Number of refinement sweeps.
+        sweeps: usize,
+    },
+}
+
+impl RecoverMethod {
+    /// Manifest/CLI spelling of the method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoverMethod::Tip2006 => "tip2006",
+            RecoverMethod::SmartCom => "smartcom",
+            RecoverMethod::Icip => "icip",
+            RecoverMethod::Mld { .. } => "mld",
+        }
+    }
+
+    /// Whether two selections share the same engine configuration, i.e. can
+    /// be served by the same micro-batch without changing results.
+    pub fn same_config(&self, other: &RecoverMethod) -> bool {
+        self == other
+    }
+}
+
+/// Encoder options shared by [`Job::Encode`] and [`Job::Transcode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodingOpts {
+    /// Zero DC coefficients (keeping corner anchors) before entropy coding.
+    pub drop_dc: bool,
+    /// Two-pass Huffman table optimisation.
+    pub optimize: bool,
+    /// Restart-marker interval in MCUs (0 = none).
+    pub restart: usize,
+}
+
+/// One unit of pipeline work. Inputs and outputs are file paths, exactly as
+/// the CLI sub-commands take them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Job {
+    /// `dcdiff encode`: PPM/PGM in, JPEG out.
+    Encode {
+        /// Source image path (`.ppm`/`.pgm`).
+        input: String,
+        /// Destination JPEG path.
+        output: String,
+        /// JPEG quality 1..=100.
+        quality: u8,
+        /// Chroma subsampling mode.
+        sampling: ChromaSampling,
+        /// Entropy-coding options.
+        opts: CodingOpts,
+    },
+    /// `dcdiff transcode`: lossless bitstream surgery, optionally DC-dropping.
+    Transcode {
+        /// Source JPEG path.
+        input: String,
+        /// Destination JPEG path.
+        output: String,
+        /// Entropy-coding options.
+        opts: CodingOpts,
+    },
+    /// `dcdiff recover`: estimate dropped DC coefficients, write pixels.
+    Recover {
+        /// Source JPEG path (DC-dropped).
+        input: String,
+        /// Destination image path (`.ppm`/`.pgm`).
+        output: String,
+        /// Recovery method.
+        method: RecoverMethod,
+    },
+    /// `dcdiff metrics`: compare two images.
+    Metrics {
+        /// Reference image path.
+        reference: String,
+        /// Test image path.
+        test: String,
+    },
+}
+
+impl Job {
+    /// Short stage name used for per-stage accounting.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Job::Encode { .. } => Stage::Encode,
+            Job::Transcode { .. } => Stage::Transcode,
+            Job::Recover { .. } => Stage::Recover,
+            Job::Metrics { .. } => Stage::Metrics,
+        }
+    }
+
+    /// The recovery method when this is a [`Job::Recover`].
+    pub fn recover_method(&self) -> Option<&RecoverMethod> {
+        match self {
+            Job::Recover { method, .. } => Some(method),
+            _ => None,
+        }
+    }
+}
+
+/// Pipeline stage of a job, used as the per-stage counter index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// JPEG encoding.
+    Encode,
+    /// Bitstream transcode.
+    Transcode,
+    /// DC recovery.
+    Recover,
+    /// Quality metrics.
+    Metrics,
+}
+
+impl Stage {
+    /// All stages, in counter order.
+    pub const ALL: [Stage; 4] = [Stage::Encode, Stage::Transcode, Stage::Recover, Stage::Metrics];
+
+    /// Stable index into per-stage counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Encode => 0,
+            Stage::Transcode => 1,
+            Stage::Recover => 2,
+            Stage::Metrics => 3,
+        }
+    }
+
+    /// Lower-case stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Encode => "encode",
+            Stage::Transcode => "transcode",
+            Stage::Recover => "recover",
+            Stage::Metrics => "metrics",
+        }
+    }
+}
+
+/// A job plus its serving contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The work to perform.
+    pub job: Job,
+    /// Relative deadline, measured from submission. A job still queued (or
+    /// retried) past its deadline fails with [`JobFailure::DeadlineExceeded`]
+    /// instead of executing; execution already in flight is not preempted.
+    pub deadline: Option<Duration>,
+    /// How many times a *transient* failure may be retried.
+    pub max_retries: u32,
+    /// Simulated sender-link stall served before execution. DCDiff's sender
+    /// is a low-power IoT device, so a receiver worker blocks this long — as
+    /// if waiting on the device's uplink — before the job's bytes are
+    /// available. Stalls on different workers overlap, which is what makes
+    /// multi-worker serving pay off even for cheap jobs; used by the runtime
+    /// benchmark and `--ingest-ms` manifest lines.
+    pub ingest: Option<Duration>,
+}
+
+impl JobSpec {
+    /// Spec with no deadline, no retries, no ingest stall.
+    pub fn new(job: Job) -> Self {
+        JobSpec { job, deadline: None, max_retries: 0, ingest: None }
+    }
+
+    /// Set the relative deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the transient-failure retry budget.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Set the simulated sender-link ingest stall.
+    #[must_use]
+    pub fn with_ingest(mut self, ingest: Duration) -> Self {
+        self.ingest = Some(ingest);
+        self
+    }
+}
+
+impl From<Job> for JobSpec {
+    fn from(job: Job) -> Self {
+        JobSpec::new(job)
+    }
+}
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Environmental hiccup (interrupted I/O, timeouts); retry may succeed.
+    Transient,
+    /// Deterministic failure (missing file, malformed stream, bad config);
+    /// retrying cannot help.
+    Permanent,
+}
+
+/// An execution error with its retry classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Retry classification.
+    pub class: ErrorClass,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobError {
+    /// A permanent (non-retryable) error.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        JobError { class: ErrorClass::Permanent, message: message.into() }
+    }
+
+    /// A transient (retryable) error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        JobError { class: ErrorClass::Transient, message: message.into() }
+    }
+
+    /// Classify a `std::io` error: interruptions and timeouts are transient,
+    /// everything else (not found, permissions, ...) is permanent.
+    pub fn from_io(err: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match err.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                JobError::transient(err.to_string())
+            }
+            _ => JobError::permanent(err.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let class = match self.class {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Permanent => "permanent",
+        };
+        write!(f, "{class}: {}", self.message)
+    }
+}
+
+/// Success payload, one variant per job kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Bytes written by an encode.
+    Encoded {
+        /// Output stream size.
+        bytes: usize,
+    },
+    /// Before/after sizes of a transcode.
+    Transcoded {
+        /// Input stream size.
+        bytes_in: usize,
+        /// Output stream size.
+        bytes_out: usize,
+    },
+    /// Path written by a recovery.
+    Recovered {
+        /// Output image path.
+        output: String,
+    },
+    /// Quality metrics of a comparison.
+    Metrics {
+        /// Peak signal-to-noise ratio in dB.
+        psnr: f64,
+        /// Structural similarity in `[-1, 1]`.
+        ssim: f64,
+    },
+}
+
+/// Terminal, non-success dispositions of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobFailure {
+    /// Execution failed (after exhausting any retry budget).
+    Error(JobError),
+    /// The deadline passed before the job could execute.
+    DeadlineExceeded,
+    /// The runtime was shut down in abort mode while the job was queued.
+    /// Distinct from [`JobFailure::Error`] so callers can tell load-shedding
+    /// from genuine failures.
+    Rejected,
+}
+
+/// Final report for one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Identifier returned at submission.
+    pub id: JobId,
+    /// The job as submitted.
+    pub job: Job,
+    /// Success payload or failure disposition.
+    pub outcome: Result<JobOutput, JobFailure>,
+    /// Wall-clock time from submission to completion (includes queueing).
+    pub wall: Duration,
+    /// Execution time of the final attempt (zero if never executed).
+    pub exec: Duration,
+    /// Number of execution attempts (0 = never ran, 1 = no retries).
+    pub attempts: u32,
+}
+
+impl JobResult {
+    /// Whether the job completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_classification() {
+        let interrupted = std::io::Error::new(std::io::ErrorKind::Interrupted, "sig");
+        assert_eq!(JobError::from_io(&interrupted).class, ErrorClass::Transient);
+        let missing = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(JobError::from_io(&missing).class, ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn recover_method_config_identity() {
+        let a = RecoverMethod::Mld { threshold: 10.0, sweeps: 300 };
+        let b = RecoverMethod::Mld { threshold: 10.0, sweeps: 300 };
+        let c = RecoverMethod::Mld { threshold: 9.0, sweeps: 300 };
+        assert!(a.same_config(&b));
+        assert!(!a.same_config(&c));
+        assert!(!a.same_config(&RecoverMethod::Tip2006));
+        assert_eq!(a.name(), "mld");
+    }
+
+    #[test]
+    fn spec_builder() {
+        let job = Job::Metrics { reference: "a".into(), test: "b".into() };
+        let spec = JobSpec::new(job.clone())
+            .with_deadline(Duration::from_millis(50))
+            .with_retries(3);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(spec.max_retries, 3);
+        assert_eq!(spec.job.stage(), Stage::Metrics);
+        assert_eq!(JobSpec::from(job).max_retries, 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! The batch-serving execution engine: a fixed worker pool pulling from a
+//! bounded queue, with micro-batching of Recover jobs, deadline enforcement,
+//! bounded retry with exponential backoff, and drain/abort shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::exec::{execute, EngineCache};
+use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+
+/// Tunables for a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker thread count (at least 1).
+    pub workers: usize,
+    /// Bounded queue capacity — the backpressure point.
+    pub queue_cap: usize,
+    /// Default transient-failure retry budget for [`Runtime::submit`] with a
+    /// bare [`Job`] (specs carry their own budget).
+    pub default_retries: u32,
+    /// First retry backoff; attempt `n` waits `backoff_base * 2^(n-1)`.
+    pub backoff_base: Duration,
+    /// Largest micro-batch a worker may gather (1 disables batching).
+    pub batch_max: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 1,
+            queue_cap: 64,
+            default_retries: 0,
+            backoff_base: Duration::from_millis(10),
+            batch_max: 8,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers: workers.max(1), ..RuntimeConfig::default() }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Fail-fast submit against a full queue (load shedding).
+    QueueFull,
+    /// The runtime is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "runtime shutting down"),
+        }
+    }
+}
+
+/// How [`Runtime::shutdown`] treats queued jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Complete every accepted job, then stop.
+    Drain,
+    /// Finish only in-flight work; queued jobs are rejected with
+    /// [`JobFailure::Rejected`].
+    Abort,
+}
+
+/// Internal queue entry.
+struct Queued {
+    id: JobId,
+    job: Job,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    max_retries: u32,
+    ingest: Option<Duration>,
+}
+
+/// Final report of a runtime's lifetime.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-job results, in completion order.
+    pub results: Vec<JobResult>,
+    /// Counter snapshot at shutdown.
+    pub stats: StatsSnapshot,
+}
+
+impl RuntimeReport {
+    /// Result for a given job id, if it was accepted.
+    pub fn result(&self, id: JobId) -> Option<&JobResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+}
+
+/// Multi-threaded batch-serving runtime for DCDiff pipelines.
+///
+/// ```
+/// use dcdiff_runtime::{Job, Runtime, RuntimeConfig, ShutdownMode};
+///
+/// let runtime = Runtime::start(RuntimeConfig::with_workers(2));
+/// // Submissions fail cleanly on missing files rather than panicking.
+/// let id = runtime
+///     .submit_blocking(Job::Metrics { reference: "missing-a.ppm".into(), test: "missing-b.ppm".into() })
+///     .unwrap();
+/// let report = runtime.shutdown(ShutdownMode::Drain);
+/// assert!(report.result(id).unwrap().outcome.is_err());
+/// assert_eq!(report.stats.submitted, 1);
+/// ```
+pub struct Runtime {
+    queue: Arc<BoundedQueue<Queued>>,
+    stats: Arc<RuntimeStats>,
+    results: Arc<Mutex<Vec<JobResult>>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Start `config.workers` worker threads.
+    pub fn start(config: RuntimeConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_cap));
+        let stats = Arc::new(RuntimeStats::new());
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let results = Arc::clone(&results);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("dcdiff-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &stats, &results, &config))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            queue,
+            stats,
+            results,
+            workers,
+            next_id: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    /// Shared counter block (live; see [`RuntimeStats::snapshot`]).
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The configuration this runtime started with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    fn enqueue(
+        &self,
+        spec: JobSpec,
+        push: impl FnOnce(&BoundedQueue<Queued>, Queued) -> Result<(), PushError>,
+    ) -> Result<JobId, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let entry = Queued {
+            id,
+            job: spec.job,
+            submitted: now,
+            deadline: spec.deadline.map(|d| now + d),
+            max_retries: spec.max_retries,
+            ingest: spec.ingest,
+        };
+        match push(&self.queue, entry) {
+            Ok(()) => {
+                self.stats.bump(&self.stats.submitted);
+                self.stats.observe_queue_depth(self.queue.len() as u64);
+                Ok(id)
+            }
+            Err(PushError::Full) => {
+                self.stats.bump(&self.stats.rejected);
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Fail-fast submission: rejects immediately when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, spec: impl Into<JobSpec>) -> Result<JobId, SubmitError> {
+        let mut spec = spec.into();
+        if spec.max_retries == 0 {
+            spec.max_retries = self.config.default_retries;
+        }
+        self.enqueue(spec, BoundedQueue::try_push)
+    }
+
+    /// Blocking submission: waits for queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit_blocking(&self, spec: impl Into<JobSpec>) -> Result<JobId, SubmitError> {
+        let mut spec = spec.into();
+        if spec.max_retries == 0 {
+            spec.max_retries = self.config.default_retries;
+        }
+        self.enqueue(spec, BoundedQueue::push_blocking)
+    }
+
+    /// Stop the runtime and collect every result.
+    ///
+    /// [`ShutdownMode::Drain`] completes all accepted jobs;
+    /// [`ShutdownMode::Abort`] finishes only in-flight work and records
+    /// queued jobs as [`JobFailure::Rejected`].
+    pub fn shutdown(self, mode: ShutdownMode) -> RuntimeReport {
+        match mode {
+            ShutdownMode::Drain => {
+                self.queue.close();
+            }
+            ShutdownMode::Abort => {
+                let shed = self.queue.close_and_take();
+                let now = Instant::now();
+                let mut results = lock_results(&self.results);
+                for entry in shed {
+                    self.stats.bump(&self.stats.rejected);
+                    results.push(JobResult {
+                        id: entry.id,
+                        job: entry.job,
+                        outcome: Err(JobFailure::Rejected),
+                        wall: now.duration_since(entry.submitted),
+                        exec: Duration::ZERO,
+                        attempts: 0,
+                    });
+                }
+            }
+        }
+        for worker in self.workers {
+            // Workers never panic on job errors; a panic here is a runtime
+            // bug and must surface loudly.
+            worker.join().expect("worker thread panicked");
+        }
+        let results = std::mem::take(&mut *lock_results(&self.results));
+        RuntimeReport { results, stats: self.stats.snapshot() }
+    }
+}
+
+fn lock_results<'a>(
+    results: &'a Mutex<Vec<JobResult>>,
+) -> std::sync::MutexGuard<'a, Vec<JobResult>> {
+    results.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Body of one worker thread.
+fn worker_loop(
+    queue: &BoundedQueue<Queued>,
+    stats: &RuntimeStats,
+    results: &Mutex<Vec<JobResult>>,
+    config: &RuntimeConfig,
+) {
+    let mut engines = EngineCache::new();
+    while let Some(first) = queue.pop() {
+        let mut batch = vec![first];
+        // Micro-batch: pull queued Recover jobs that share the leader's
+        // method config, so one engine serves the whole batch.
+        if config.batch_max > 1 {
+            if let Some(method) = batch[0].job.recover_method().copied() {
+                let extras = queue.take_matching(config.batch_max - 1, |q| {
+                    q.job
+                        .recover_method()
+                        .is_some_and(|m| m.same_config(&method))
+                });
+                batch.extend(extras);
+            }
+        }
+        stats.bump(&stats.batches);
+        if batch.len() > 1 {
+            stats
+                .batched_jobs
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        for entry in batch {
+            let result = run_one(entry, stats, config, &mut engines);
+            if result.is_ok() {
+                stats.bump(&stats.completed);
+            } else {
+                stats.bump(&stats.failed);
+            }
+            lock_results(results).push(result);
+        }
+    }
+}
+
+/// Execute one queue entry: deadline check, bounded retries, timing.
+fn run_one(
+    entry: Queued,
+    stats: &RuntimeStats,
+    config: &RuntimeConfig,
+    engines: &mut EngineCache,
+) -> JobResult {
+    let Queued { id, job, submitted, deadline, max_retries, ingest } = entry;
+    if let Some(deadline) = deadline {
+        if Instant::now() > deadline {
+            stats.bump(&stats.deadline_missed);
+            return JobResult {
+                id,
+                job,
+                outcome: Err(JobFailure::DeadlineExceeded),
+                wall: submitted.elapsed(),
+                exec: Duration::ZERO,
+                attempts: 0,
+            };
+        }
+    }
+    if let Some(stall) = ingest {
+        // Simulated sender-uplink wait (see `JobSpec::ingest`). It counts
+        // against the wall clock but not `exec`; like execution itself it is
+        // not preempted by the deadline once started.
+        std::thread::sleep(stall);
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let start = Instant::now();
+        let outcome = execute(&job, engines);
+        let exec = start.elapsed();
+        stats.record_stage(job.stage(), exec);
+        match outcome {
+            Ok(output) => {
+                return JobResult {
+                    id,
+                    job,
+                    outcome: Ok(output),
+                    wall: submitted.elapsed(),
+                    exec,
+                    attempts,
+                };
+            }
+            Err(err) => {
+                let budget_left = attempts <= max_retries;
+                let retryable = err.class == ErrorClass::Transient && budget_left;
+                let expired = deadline.is_some_and(|d| Instant::now() > d);
+                if retryable && !expired {
+                    stats.bump(&stats.retried);
+                    // Exponential backoff: base * 2^(attempt-1), capped at
+                    // 2^10 to keep the worst sleep bounded.
+                    let exp = (attempts - 1).min(10);
+                    std::thread::sleep(config.backoff_base * 2u32.pow(exp));
+                    continue;
+                }
+                return JobResult {
+                    id,
+                    job,
+                    outcome: Err(JobFailure::Error(err)),
+                    wall: submitted.elapsed(),
+                    exec,
+                    attempts,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobFailure, JobSpec};
+
+    fn metrics_job(tag: &str) -> Job {
+        // Nonexistent inputs: executes quickly and fails permanently, which
+        // is exactly what scheduler-level tests need.
+        Job::Metrics {
+            reference: format!("/nonexistent/{tag}-ref.ppm"),
+            test: format!("/nonexistent/{tag}-test.ppm"),
+        }
+    }
+
+    #[test]
+    fn drain_completes_all_accepted_jobs() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 3,
+            queue_cap: 32,
+            ..RuntimeConfig::default()
+        });
+        let ids: Vec<_> = (0..10)
+            .map(|i| runtime.submit_blocking(metrics_job(&format!("d{i}"))).unwrap())
+            .collect();
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        assert_eq!(report.results.len(), 10);
+        for id in ids {
+            let result = report.result(id).expect("result recorded");
+            // Permanent error, never retried, exactly one attempt.
+            assert_eq!(result.attempts, 1);
+            assert!(matches!(result.outcome, Err(JobFailure::Error(_))));
+        }
+        assert_eq!(report.stats.submitted, 10);
+        assert_eq!(report.stats.failed, 10);
+        assert_eq!(report.stats.rejected, 0);
+    }
+
+    #[test]
+    fn fail_fast_submit_sheds_load() {
+        // Zero workers is clamped to one; stall it with a deliberately slow
+        // first job? Simpler: tiny queue and no workers started yet is not
+        // possible, so rely on capacity 1 + many instant submits racing the
+        // single worker. At least one must be rejected when all are submitted
+        // before the worker can drain them — guarantee it by filling the
+        // queue while the worker chews on the first job.
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..RuntimeConfig::default()
+        });
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        for i in 0..200 {
+            match runtime.submit(metrics_job(&format!("f{i}"))) {
+                Ok(_) => accepted += 1,
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(rejected > 0, "capacity-1 queue must shed under a 200-job burst");
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        assert_eq!(report.results.len() as u32, accepted);
+        assert_eq!(report.stats.rejected as u32, rejected);
+    }
+
+    #[test]
+    fn abort_rejects_queued_jobs_with_distinct_error() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 64,
+            ..RuntimeConfig::default()
+        });
+        for i in 0..40 {
+            runtime.submit_blocking(metrics_job(&format!("a{i}"))).unwrap();
+        }
+        let report = runtime.shutdown(ShutdownMode::Abort);
+        assert_eq!(report.results.len(), 40, "every accepted job gets a result");
+        let rejected = report
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(JobFailure::Rejected)))
+            .count();
+        let executed = report.results.len() - rejected;
+        assert_eq!(report.stats.rejected as usize, rejected);
+        assert_eq!(
+            (report.stats.completed + report.stats.failed) as usize,
+            executed
+        );
+        // Rejected jobs never ran.
+        assert!(report
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(JobFailure::Rejected)))
+            .all(|r| r.attempts == 0));
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_executing() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..RuntimeConfig::default()
+        });
+        let spec = JobSpec::new(metrics_job("dl")).with_deadline(Duration::ZERO);
+        let id = runtime.submit_blocking(spec).unwrap();
+        // The zero deadline has passed by the time any worker can look.
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        let result = report.result(id).unwrap();
+        assert_eq!(result.outcome, Err(JobFailure::DeadlineExceeded));
+        assert_eq!(result.attempts, 0);
+        assert_eq!(report.stats.deadline_missed, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let runtime = Runtime::start(RuntimeConfig::default());
+        let queue = Arc::clone(&runtime.queue);
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        assert!(report.results.is_empty());
+        // The queue is closed; a late producer sees Closed, which submit maps
+        // to ShuttingDown.
+        assert!(matches!(
+            queue.try_push(Queued {
+                id: 99,
+                job: Job::Metrics { reference: "a".into(), test: "b".into() },
+                submitted: Instant::now(),
+                deadline: None,
+                max_retries: 0,
+                ingest: None,
+            }),
+            Err(PushError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! Lock-free runtime counters.
+//!
+//! A single [`RuntimeStats`] block is shared by the submitters and every
+//! worker; all fields are relaxed `AtomicU64`s, so recording never contends.
+//! [`RuntimeStats::snapshot`] materialises a plain [`StatsSnapshot`] struct
+//! the CLI can print — the first brick of the observability layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::job::Stage;
+
+/// Shared atomic counter block.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs that finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs that terminally failed (error or deadline).
+    pub failed: AtomicU64,
+    /// Transient-failure retry attempts.
+    pub retried: AtomicU64,
+    /// Jobs rejected: fail-fast submits against a full queue plus jobs shed
+    /// by an abort shutdown.
+    pub rejected: AtomicU64,
+    /// Jobs that missed their deadline before executing.
+    pub deadline_missed: AtomicU64,
+    /// Micro-batches executed (size ≥ 1).
+    pub batches: AtomicU64,
+    /// Jobs that rode in a batch of size ≥ 2.
+    pub batched_jobs: AtomicU64,
+    /// Highest queue depth observed at submission time.
+    pub queue_high_water: AtomicU64,
+    /// Execution nanoseconds per pipeline stage (see [`Stage::index`]).
+    pub stage_ns: [AtomicU64; 4],
+    /// Jobs executed per pipeline stage.
+    pub stage_jobs: [AtomicU64; 4],
+}
+
+impl RuntimeStats {
+    /// Fresh zeroed block.
+    pub fn new() -> Self {
+        RuntimeStats::default()
+    }
+
+    /// Add one counted increment.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `depth` as a queue-depth observation.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one executed job of `stage` taking `elapsed`.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        let i = stage.index();
+        self.stage_ns[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.stage_jobs[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Materialise a plain-data snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: load(&self.submitted),
+            completed: load(&self.completed),
+            failed: load(&self.failed),
+            retried: load(&self.retried),
+            rejected: load(&self.rejected),
+            deadline_missed: load(&self.deadline_missed),
+            batches: load(&self.batches),
+            batched_jobs: load(&self.batched_jobs),
+            queue_high_water: load(&self.queue_high_water),
+            stage_ns: std::array::from_fn(|i| load(&self.stage_ns[i])),
+            stage_jobs: std::array::from_fn(|i| load(&self.stage_jobs[i])),
+        }
+    }
+}
+
+/// Point-in-time copy of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that terminally failed (error or deadline).
+    pub failed: u64,
+    /// Transient-failure retry attempts.
+    pub retried: u64,
+    /// Fail-fast rejections plus abort-shed jobs.
+    pub rejected: u64,
+    /// Jobs that missed their deadline before executing.
+    pub deadline_missed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Jobs that rode in a batch of size ≥ 2.
+    pub batched_jobs: u64,
+    /// Highest observed queue depth.
+    pub queue_high_water: u64,
+    /// Execution nanoseconds per stage.
+    pub stage_ns: [u64; 4],
+    /// Executed jobs per stage.
+    pub stage_jobs: [u64; 4],
+}
+
+impl StatsSnapshot {
+    /// Multi-line human-readable rendering (used by `dcdiff batch`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "jobs: {} submitted, {} completed, {} failed, {} rejected\n",
+            self.submitted, self.completed, self.failed, self.rejected
+        ));
+        out.push_str(&format!(
+            "      {} retries, {} deadline misses, queue high-water {}\n",
+            self.retried, self.deadline_missed, self.queue_high_water
+        ));
+        out.push_str(&format!(
+            "      {} batches ({} jobs rode in multi-job batches)\n",
+            self.batches, self.batched_jobs
+        ));
+        for stage in Stage::ALL {
+            let i = stage.index();
+            if self.stage_jobs[i] > 0 {
+                out.push_str(&format!(
+                    "      {:<9} {:>5} jobs, {:.1} ms total exec\n",
+                    stage.name(),
+                    self.stage_jobs[i],
+                    self.stage_ns[i] as f64 / 1e6,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_activity() {
+        let stats = RuntimeStats::new();
+        stats.bump(&stats.submitted);
+        stats.bump(&stats.submitted);
+        stats.bump(&stats.completed);
+        stats.observe_queue_depth(3);
+        stats.observe_queue_depth(1);
+        stats.record_stage(Stage::Recover, Duration::from_micros(1500));
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.queue_high_water, 3);
+        assert_eq!(snap.stage_jobs[Stage::Recover.index()], 1);
+        assert_eq!(snap.stage_ns[Stage::Recover.index()], 1_500_000);
+        let text = snap.render();
+        assert!(text.contains("2 submitted"));
+        assert!(text.contains("recover"));
+    }
+
+    #[test]
+    fn concurrent_bumps_do_not_lose_counts() {
+        let stats = std::sync::Arc::new(RuntimeStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let stats = std::sync::Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        stats.bump(&stats.completed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.snapshot().completed, 40_000);
+    }
+}

@@ -241,9 +241,8 @@ impl Tensor {
         let b = bias.to_vec();
         let mut data = self.to_vec();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, &bv) in b.iter().enumerate() {
                 let base = (ni * c + ci) * hw;
-                let bv = b[ci];
                 for v in &mut data[base..base + hw] {
                     *v += bv;
                 }

@@ -15,6 +15,7 @@
 //!   test sets
 //! * [`device`] — low-power encoder cost models (Table IV)
 //! * [`downstream`] — remote-sensing classification task (Table V)
+//! * [`runtime`] — multi-threaded batch-serving runtime (`dcdiff batch`)
 pub use dcdiff_baselines as baselines;
 pub use dcdiff_core as core;
 pub use dcdiff_data as data;
@@ -25,4 +26,5 @@ pub use dcdiff_image as image;
 pub use dcdiff_jpeg as jpeg;
 pub use dcdiff_metrics as metrics;
 pub use dcdiff_nn as nn;
+pub use dcdiff_runtime as runtime;
 pub use dcdiff_tensor as tensor;

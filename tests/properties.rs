@@ -105,7 +105,18 @@ proptest! {
         let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
         let full = encode_coefficients(&coeffs).expect("encodable").len();
         let small = encode_coefficients(&dropped_all).expect("encodable").len();
-        prop_assert!(small <= full, "all-drop grew the stream: {} > {}", small, full);
+        // A zero differential is the cheapest DC symbol, but zeroing DC also
+        // shifts the bit alignment of every following AC codeword, which can
+        // create (or remove) 0xFF bytes that need a stuffed 0x00 — so allow a
+        // small stuffing-sized slack instead of strict monotonicity.
+        let slack = 2 + full / 64;
+        prop_assert!(
+            small <= full + slack,
+            "all-drop grew the stream beyond stuffing slack: {} > {} + {}",
+            small,
+            full,
+            slack
+        );
         for c in 0..3 {
             for by in 0..coeffs.plane(c).blocks_y() {
                 for bx in 0..coeffs.plane(c).blocks_x() {

@@ -1,0 +1,208 @@
+//! Vendored, std-only stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API subset the DCDiff workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! The build container has no registry access, so the workspace vendors this
+//! shim instead of the real crate. It reports a mean wall-clock time per
+//! iteration — no outlier analysis, plots or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine call
+/// per setup call regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by `iter`/`iter_batched`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, excluding nothing (the routine is the whole body).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one sample takes >= 2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            count += iters;
+        }
+        self.mean_ns = total.as_nanos() as f64 / count as f64;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        // One timed call per setup; repeat until the sample budget is spent.
+        let target = Duration::from_millis(2) * self.samples.max(1) as u32;
+        while total < target && count < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            count += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / count.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks. Borrows the [`Criterion`] context
+/// for its lifetime, as upstream does.
+pub struct BenchmarkGroup<'a> {
+    _criterion: core::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count (the shim uses it as repeat count,
+    /// capped so `cargo bench` stays quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.samples, mean_ns: f64::NAN };
+        f(&mut bencher);
+        println!(
+            "{}/{:<32} {:>14}",
+            self.name,
+            id,
+            format_ns(bencher.mean_ns)
+        );
+        self
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Format nanoseconds with an adaptive unit, e.g. `12.34 µs/iter`.
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "no samples".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: core::marker::PhantomData,
+            name: name.to_string(),
+            samples: 5,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains("s/iter"));
+    }
+}
