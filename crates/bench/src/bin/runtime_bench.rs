@@ -21,6 +21,7 @@ use dcdiff_runtime::{
     execute, CodingOpts, EngineCache, Job, JobSpec, RecoverMethod, Runtime, RuntimeConfig,
     ShutdownMode, StatsSnapshot,
 };
+use dcdiff_telemetry::Telemetry;
 
 const IMAGES: usize = 16;
 const INGEST_MS: u64 = 25;
@@ -31,22 +32,32 @@ struct RunResult {
     batch_max: usize,
     wall: Duration,
     jobs_per_sec: f64,
-    p50: Duration,
-    p99: Duration,
+    /// Job wall-latency quantiles in ms, from `runtime.job_wall_us`.
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Queue-wait quantiles in ms, from `runtime.queue_wait_us`.
+    queue_p50_ms: f64,
+    queue_p99_ms: f64,
+    /// Recover execute-latency quantiles in ms, from `stage.recover_us`.
+    recover_p50_ms: f64,
+    recover_p99_ms: f64,
     stats: StatsSnapshot,
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+fn quantile_ms(tel: &Telemetry, name: &str, p: f64) -> f64 {
+    tel.histogram(name).quantile(p).unwrap_or(0) as f64 / 1e3
 }
 
-/// Run the manifest once through a fresh runtime and collect latencies.
+/// Run the manifest once through a fresh runtime and collect latencies via
+/// the shared telemetry histograms (the same `quantile` the metrics export
+/// and `dcdiff report` use — no ad-hoc percentile math).
 fn run(scratch: &std::path::Path, workers: usize, batch_max: usize) -> RunResult {
+    let tel = Telemetry::new();
     let runtime = Runtime::start(RuntimeConfig {
         workers,
         queue_cap: IMAGES,
         batch_max,
+        telemetry: tel.clone(),
         ..RuntimeConfig::default()
     });
     let start = Instant::now();
@@ -66,15 +77,22 @@ fn run(scratch: &std::path::Path, workers: usize, batch_max: usize) -> RunResult
     let report = runtime.shutdown(ShutdownMode::Drain);
     let wall = start.elapsed();
     assert!(report.results.iter().all(dcdiff_runtime::JobResult::is_ok), "all jobs must succeed");
-    let mut latencies: Vec<Duration> = report.results.iter().map(|r| r.wall).collect();
-    latencies.sort();
+    assert_eq!(
+        tel.histogram("runtime.job_wall_us").count(),
+        IMAGES as u64,
+        "every job records one wall-latency sample"
+    );
     RunResult {
         workers,
         batch_max,
         wall,
         jobs_per_sec: IMAGES as f64 / wall.as_secs_f64(),
-        p50: percentile(&latencies, 0.50),
-        p99: percentile(&latencies, 0.99),
+        p50_ms: quantile_ms(&tel, "runtime.job_wall_us", 0.50),
+        p99_ms: quantile_ms(&tel, "runtime.job_wall_us", 0.99),
+        queue_p50_ms: quantile_ms(&tel, "runtime.queue_wait_us", 0.50),
+        queue_p99_ms: quantile_ms(&tel, "runtime.queue_wait_us", 0.99),
+        recover_p50_ms: quantile_ms(&tel, "stage.recover_us", 0.50),
+        recover_p99_ms: quantile_ms(&tel, "stage.recover_us", 0.99),
         stats: report.stats,
     }
 }
@@ -103,7 +121,7 @@ fn main() {
             sampling: dcdiff_jpeg::ChromaSampling::Cs444,
             opts: CodingOpts { drop_dc: true, ..Default::default() },
         };
-        execute(&encode, &mut setup).expect("stage encode");
+        execute(&encode, &mut setup, &Telemetry::new()).expect("stage encode");
     }
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -115,11 +133,13 @@ fn main() {
     for workers in [1usize, 2, 4] {
         let result = run(&scratch, workers, 1);
         println!(
-            "  workers={workers}: {:6.1} jobs/s  wall {:5.0} ms  p50 {:5.0} ms  p99 {:5.0} ms",
+            "  workers={workers}: {:6.1} jobs/s  wall {:5.0} ms  p50 {:5.0} ms  p99 {:5.0} ms  \
+             queue p99 {:5.0} ms",
             result.jobs_per_sec,
             result.wall.as_secs_f64() * 1e3,
-            result.p50.as_secs_f64() * 1e3,
-            result.p99.as_secs_f64() * 1e3,
+            result.p50_ms,
+            result.p99_ms,
+            result.queue_p99_ms,
         );
         runs.push(result);
     }
@@ -154,13 +174,19 @@ fn main() {
             json,
             "    {{\"workers\": {}, \"batch_max\": {}, \"wall_ms\": {:.2}, \
              \"jobs_per_sec\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \
+             \"queue_wait_p50_ms\": {:.2}, \"queue_wait_p99_ms\": {:.2}, \
+             \"recover_p50_ms\": {:.2}, \"recover_p99_ms\": {:.2}, \
              \"batches\": {}, \"batched_jobs\": {}}}{}",
             r.workers,
             r.batch_max,
             r.wall.as_secs_f64() * 1e3,
             r.jobs_per_sec,
-            r.p50.as_secs_f64() * 1e3,
-            r.p99.as_secs_f64() * 1e3,
+            r.p50_ms,
+            r.p99_ms,
+            r.queue_p50_ms,
+            r.queue_p99_ms,
+            r.recover_p50_ms,
+            r.recover_p99_ms,
             r.stats.batches,
             r.stats.batched_jobs,
             if i + 1 < runs.len() { "," } else { "" },

@@ -17,7 +17,8 @@ fn main() {
     let train = dataset.generate(0);
     let test = dataset.generate(10_000);
 
-    eprintln!("[table5] training classifier on {} tiles...", train.len());
+    dcdiff_telemetry::global()
+        .info(format!("[table5] training classifier on {} tiles...", train.len()));
     let mut clf = Classifier::new(tile, dataset.num_classes(), 0xC1A55);
     clf.train(&train, if quick { 5 } else { 8 }, 0x515);
     let clean = clf.accuracy(&test);

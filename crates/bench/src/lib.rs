@@ -94,25 +94,26 @@ pub fn dcdiff_system(quick: bool) -> DcDiff {
     let tag = if quick { "quick" } else { "full" };
     let path = artifact_dir().join(format!("dcdiff-{tag}.ckpt"));
     let mut system = DcDiff::new(DcDiffConfig::default(), 0xDCD1FF);
+    let tel = dcdiff_telemetry::global();
     if let Ok(ckpt) = Checkpoint::load(&path) {
         if system.load(&ckpt).is_ok() {
-            eprintln!(
+            tel.info(format!(
                 "[harness] loaded cached DCDiff checkpoint from {}",
                 path.display()
-            );
+            ));
             return system;
         }
     }
-    eprintln!("[harness] training DCDiff ({tag} budget)...");
+    tel.info(format!("[harness] training DCDiff ({tag} budget)..."));
     let corpus = training_corpus(quick);
     let report = system.train(&corpus, training_budget(quick), 0x5EED);
-    eprintln!(
+    tel.info(format!(
         "[harness] stage1 loss {:.4} -> {:.4}, ldm {:.4} -> {:.4}",
         report.stage1_losses.first().copied().unwrap_or(0.0),
         report.stage1_losses.last().copied().unwrap_or(0.0),
         report.ldm_losses.first().copied().unwrap_or(0.0),
         report.ldm_losses.last().copied().unwrap_or(0.0),
-    );
+    ));
     system.save().save(&path).ok();
     system
 }
@@ -122,13 +123,14 @@ pub fn tii_baseline(quick: bool) -> Tii2021 {
     let tag = if quick { "quick" } else { "full" };
     let path = artifact_dir().join(format!("tii2021-{tag}.ckpt"));
     let mut method = Tii2021::new(0x7112021);
+    let tel = dcdiff_telemetry::global();
     if let Ok(ckpt) = Checkpoint::load(&path) {
         if method.load(&ckpt).is_ok() {
-            eprintln!("[harness] loaded cached TII-2021 checkpoint");
+            tel.info("[harness] loaded cached TII-2021 checkpoint");
             return method;
         }
     }
-    eprintln!("[harness] training TII-2021 corrector ({tag} budget)...");
+    tel.info(format!("[harness] training TII-2021 corrector ({tag} budget)..."));
     let corpus = training_corpus(quick);
     method.train(&corpus, QUALITY, if quick { 60 } else { 400 }, 0x7EAC);
     let mut ckpt = Checkpoint::new();

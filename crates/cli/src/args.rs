@@ -23,6 +23,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-cap",
     "--retries",
     "--batch",
+    "--trace",
+    "--metrics",
+    "--log-level",
 ];
 
 /// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected

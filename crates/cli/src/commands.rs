@@ -44,7 +44,10 @@ pub const USAGE: &str = "usage:
   dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
                                      [--size WxH] [--seed N]
   dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
-                                     [--batch K] [--fail-fast]";
+                                     [--batch K] [--fail-fast]
+                                     [--trace t.jsonl] [--metrics m.json]
+                                     [--log-level error|warn|info|debug]
+  dcdiff report  <trace.jsonl>";
 
 /// Dispatch the parsed command line.
 ///
@@ -68,6 +71,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("info") => info(&parsed),
         Some("demo") => demo(&parsed),
         Some("batch") => batch(&parsed),
+        Some("report") => report(&parsed),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
     }
@@ -282,6 +286,22 @@ fn demo(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the [`Telemetry`] handle described by `--trace`, `--metrics` and
+/// `--log-level`, shared by `batch` and any future instrumented command.
+fn telemetry_from_flags(parsed: &Parsed) -> Result<dcdiff_telemetry::Telemetry, String> {
+    let level = match parsed.value("--log-level") {
+        None => dcdiff_telemetry::Level::Info,
+        Some(s) => s.parse()?,
+    };
+    let mut builder = dcdiff_telemetry::Telemetry::builder().log_level(level);
+    if let Some(path) = parsed.value("--trace") {
+        builder = builder
+            .trace_to_path(path)
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    Ok(builder.build())
+}
+
 /// Run a manifest of jobs through the batch-serving runtime.
 fn batch(parsed: &Parsed) -> Result<(), String> {
     use dcdiff_runtime::{Runtime, RuntimeConfig, ShutdownMode, SubmitError};
@@ -295,11 +315,18 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
         return Err(format!("{manifest_path}: no jobs in manifest"));
     }
 
+    let tel = telemetry_from_flags(parsed)?;
+    // Deep library code (DDIM steps, recovery phases) traces through the
+    // process-wide handle; installing ours merges those spans into this
+    // batch's trace.
+    dcdiff_telemetry::install(tel.clone());
+
     let config = RuntimeConfig {
         workers: parsed.int("--workers", 4)?.max(1) as usize,
         queue_cap: parsed.int("--queue-cap", 64)?.max(1) as usize,
         default_retries: parsed.int("--retries", 0)? as u32,
         batch_max: parsed.int("--batch", 8)?.max(1) as usize,
+        telemetry: tel.clone(),
         ..RuntimeConfig::default()
     };
     let fail_fast = parsed.has("--fail-fast");
@@ -311,6 +338,7 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
 
     let runtime = Runtime::start(config);
     let started = std::time::Instant::now();
+    let batch_span = tel.span("batch.run");
     let mut shed = 0usize;
     for spec in specs {
         let submitted = if fail_fast {
@@ -327,6 +355,7 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
         }
     }
     let report = runtime.shutdown(ShutdownMode::Drain);
+    drop(batch_span);
     let wall = started.elapsed();
 
     let mut failed = 0usize;
@@ -335,12 +364,12 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
             Ok(_) => {}
             Err(failure) => {
                 failed += 1;
-                eprintln!(
+                tel.error(format!(
                     "job {} ({}): {failure:?} after {} attempt(s)",
                     result.id,
                     result.job.stage().name(),
                     result.attempts
-                );
+                ));
             }
         }
     }
@@ -354,9 +383,27 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
     if shed > 0 {
         println!("shed {shed} job(s) at submission (--fail-fast)");
     }
+    tel.flush();
+    if let Some(path) = parsed.value("--metrics") {
+        std::fs::write(path, tel.metrics_json()).map_err(|e| format!("--metrics {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = parsed.value("--trace") {
+        println!("trace written to {path} (inspect with `dcdiff report {path}`)");
+    }
     if failed > 0 {
         return Err(format!("{failed} of {total} job(s) failed"));
     }
+    Ok(())
+}
+
+/// Aggregate and render a JSONL trace produced by `dcdiff batch --trace`.
+fn report(parsed: &Parsed) -> Result<(), String> {
+    let path = need(parsed, 1, "trace .jsonl path")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let trace: dcdiff_telemetry::TraceReport =
+        text.parse().map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", trace.render());
     Ok(())
 }
 
@@ -491,6 +538,58 @@ mod tests {
         run(&["batch", &manifest, "--workers", "1"]).unwrap();
         assert!(std::fs::metadata(&out).unwrap().len() > 0);
         for f in [&scene, &manifest, &jpg, &out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn batch_trace_round_trips_through_report() {
+        let scene = tmp("tr-scene.ppm");
+        let manifest = tmp("tr-manifest.txt");
+        let jpg = tmp("tr-scene.jpg");
+        let out = tmp("tr-out.ppm");
+        let trace = tmp("tr-trace.jsonl");
+        let metrics = tmp("tr-metrics.json");
+        run(&["demo", &scene, "--scene", "smooth", "--size", "48x48", "--seed", "4"]).unwrap();
+        std::fs::write(
+            &manifest,
+            format!(
+                "encode {scene} {jpg} --quality 60 --drop-dc\n\
+                 recover {jpg} {out} --method mld --sweeps 4\n\
+                 metrics {scene} {out}\n"
+            ),
+        )
+        .unwrap();
+        run(&[
+            "batch", &manifest, "--workers", "1", "--trace", &trace, "--metrics", &metrics,
+            "--log-level", "debug",
+        ])
+        .unwrap();
+
+        // The trace parses, spans all closed, and the expected hierarchy is
+        // present: queue wait, job-level spans, per-stage sub-phases.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let report: dcdiff_telemetry::TraceReport = text.parse().unwrap();
+        assert_eq!(report.unclosed, 0);
+        for span in ["queue.wait", "batch.exec", "job.encode", "job.recover",
+                     "encode.dct", "recover.estimate", "metrics.compare"] {
+            assert!(report.spans.contains_key(span), "missing span {span}");
+        }
+        assert_eq!(report.spans["queue.wait"].count, 3);
+        // The CLI's batch.run root covers the whole run, so root coverage is
+        // within the 10% bound `dcdiff report` advertises.
+        assert!(report.coverage() > 0.9, "coverage {}", report.coverage());
+
+        // `dcdiff report` renders it without error.
+        run(&["report", &trace]).unwrap();
+        assert!(run(&["report", &tmp("tr-nonexistent.jsonl")]).is_err());
+
+        // The metrics export is present and names the runtime histograms.
+        let exported = std::fs::read_to_string(&metrics).unwrap();
+        for key in ["runtime.queue_wait_us", "runtime.job_wall_us", "stage.recover_us", "p99"] {
+            assert!(exported.contains(key), "metrics export missing {key}");
+        }
+        for f in [&scene, &manifest, &jpg, &out, &trace, &metrics] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -10,6 +10,9 @@
 //! dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
 //!                                    [--size WxH] [--seed N]
 //! dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
+//!                                    [--trace t.jsonl] [--metrics m.json]
+//!                                    [--log-level error|warn|info|debug]
+//! dcdiff report  <trace.jsonl>
 //! ```
 
 use std::process::ExitCode;

@@ -383,6 +383,10 @@ impl DcDiff {
     /// Panics if `options.ddim_steps` is zero or exceeds the training
     /// schedule.
     pub fn recover_with(&self, dropped: &CoeffImage, options: &RecoverOptions) -> Image {
+        // Phase spans go to the process-wide telemetry handle (see
+        // `dcdiff_telemetry::install`); without an installed trace they are
+        // inert branches.
+        let tel = dcdiff_telemetry::global();
         let x_tilde_img = dropped.to_image();
         // pad to a 16-aligned canvas for the networks
         let (w, h) = x_tilde_img.dims();
@@ -404,6 +408,7 @@ impl DcDiff {
         let x_tilde = image_to_tensor(&padded);
 
         // FreeU scales
+        let fmpp_span = tel.span("recover.fmpp");
         let (s, b) = if options.use_fmpp {
             self.fmpp.predict(&x_tilde)
         } else {
@@ -411,8 +416,10 @@ impl DcDiff {
         };
         let s = s.detach();
         let b = b.detach();
+        drop(fmpp_span);
 
         // DDIM sampling of the DC latent
+        let sample_span = tel.span("recover.sample");
         let cond = Stage2::condition_from(&x_tilde).detach();
         let control = self.stage2.control_features(&cond);
         let control: Vec<Tensor> = control.iter().map(Tensor::detach).collect();
@@ -428,21 +435,27 @@ impl DcDiff {
             self.stage2
                 .predict_noise(z_t, &[t], &control, Some((&s, &b)))
         });
+        drop(sample_span);
 
         // decode and crop
+        let decode_span = tel.span("recover.decode");
         let x_hat = self
             .stage1
             .decode(&z.scale(self.latent_scale), &x_tilde)
             .detach();
         let generated = tensor_to_image(&x_hat).crop_to(w, h);
+        drop(decode_span);
 
         if !options.use_projection {
             return generated;
         }
+        let projection_span = tel.span("recover.projection");
         let projected = project_dc(dropped, &generated);
+        drop(projection_span);
         if !options.use_mld {
             return projected.to_image();
         }
+        let _mld_span = tel.span("recover.mld_refine");
         let refined = refine_dc_offsets(
             dropped,
             &projected,

@@ -80,7 +80,11 @@ impl DdimSampler {
     ) -> Tensor {
         let mut z = Tensor::randn(shape.to_vec(), 1.0, rng);
         let ts = self.timesteps();
+        // Per-step spans land in the process-wide trace when one is
+        // installed (e.g. `dcdiff batch --trace`); otherwise inert.
+        let tel = dcdiff_telemetry::global();
         for (i, &t) in ts.iter().enumerate() {
+            let _step = tel.span("recover.ddim_step");
             let eps = eps_fn(&z, t).detach();
             let z0 = self.schedule.predict_z0(&z, t, &eps);
             if i + 1 < ts.len() {

@@ -11,6 +11,7 @@ use dcdiff_jpeg::{
     CoeffImage, DcDropMode, JpegDecoder, JpegEncoder,
 };
 use dcdiff_metrics::{psnr, ssim};
+use dcdiff_telemetry::Telemetry;
 
 use crate::job::{CodingOpts, Job, JobError, JobOutput, RecoverMethod};
 
@@ -112,47 +113,79 @@ impl EngineCache {
 
 /// Execute one job, using (and warming) `engines` for Recover work.
 ///
+/// Sub-phases (read, transform, entropy-code, write) are wrapped in `tel`
+/// spans; with tracing disabled each span is a no-op.
+///
 /// # Errors
 ///
 /// Returns a classified [`JobError`]; only I/O interruptions are transient.
-pub fn execute(job: &Job, engines: &mut EngineCache) -> Result<JobOutput, JobError> {
+pub fn execute(
+    job: &Job,
+    engines: &mut EngineCache,
+    tel: &Telemetry,
+) -> Result<JobOutput, JobError> {
     match job {
         Job::Encode { input, output, quality, sampling, opts } => {
             if !(1..=100).contains(quality) {
                 return Err(JobError::permanent("--quality must be 1..=100"));
             }
+            let read = tel.span("encode.read");
             let image = read_image(input)?;
+            drop(read);
+            let dct = tel.span("encode.dct");
             let encoder = JpegEncoder::new(*quality).with_sampling(*sampling);
             let mut coeffs = encoder.to_coefficients(&image);
+            drop(dct);
             if opts.drop_dc {
+                let _drop_dc = tel.span("encode.drop_dc");
                 coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
             }
+            let entropy = tel.span("encode.entropy");
             let bytes = code(&coeffs, opts)?;
+            drop(entropy);
+            let _write = tel.span("encode.write");
             write_bytes(output, &bytes)?;
             Ok(JobOutput::Encoded { bytes: bytes.len() })
         }
         Job::Transcode { input, output, opts } => {
+            let read = tel.span("transcode.read");
             let bytes = read_bytes(input)?;
+            drop(read);
+            let decode = tel.span("transcode.entropy_decode");
             let mut coeffs = JpegDecoder::decode_coefficients(&bytes)
                 .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            drop(decode);
             if opts.drop_dc {
+                let _drop_dc = tel.span("transcode.drop_dc");
                 coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
             }
+            let encode = tel.span("transcode.entropy_encode");
             let out = code(&coeffs, opts)?;
+            drop(encode);
+            let _write = tel.span("transcode.write");
             write_bytes(output, &out)?;
             Ok(JobOutput::Transcoded { bytes_in: bytes.len(), bytes_out: out.len() })
         }
         Job::Recover { input, output, method } => {
+            let read = tel.span("recover.read");
             let bytes = read_bytes(input)?;
+            drop(read);
+            let decode = tel.span("recover.entropy_decode");
             let dropped = JpegDecoder::decode_coefficients(&bytes)
                 .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            drop(decode);
+            let estimate = tel.span("recover.estimate");
             let image = recover_with(&dropped, method, engines);
+            drop(estimate);
+            let _write = tel.span("recover.write");
             write_image(output, &image)?;
             Ok(JobOutput::Recovered { output: output.clone() })
         }
         Job::Metrics { reference, test } => {
+            let read = tel.span("metrics.read");
             let reference_img = read_image(reference)?;
             let test_img = read_image(test)?;
+            drop(read);
             if reference_img.dims() != test_img.dims() {
                 return Err(JobError::permanent(format!(
                     "size mismatch: {}x{} vs {}x{}",
@@ -162,6 +195,7 @@ pub fn execute(job: &Job, engines: &mut EngineCache) -> Result<JobOutput, JobErr
                     test_img.height()
                 )));
             }
+            let _compare = tel.span("metrics.compare");
             Ok(JobOutput::Metrics {
                 psnr: f64::from(psnr(&reference_img, &test_img)),
                 ssim: f64::from(ssim(&reference_img, &test_img)),
@@ -216,7 +250,7 @@ mod tests {
             reference: "/nonexistent/ref.ppm".into(),
             test: "/nonexistent/test.ppm".into(),
         };
-        let err = execute(&job, &mut cache).unwrap_err();
+        let err = execute(&job, &mut cache, &Telemetry::new()).unwrap_err();
         assert_eq!(err.class, crate::job::ErrorClass::Permanent);
         assert!(err.message.contains("/nonexistent/ref.ppm"), "{}", err.message);
     }

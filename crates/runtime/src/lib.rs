@@ -19,6 +19,17 @@
 //! * [`manifest`] — the one-job-per-line manifest format shared by
 //!   `dcdiff batch` and the runtime benchmark.
 //!
+//! ## Observability
+//!
+//! Deep instrumentation lives in the `dcdiff-telemetry` crate.
+//! [`RuntimeConfig`] carries a `Telemetry` handle that the runtime threads
+//! through every stage: queue wait, batch assembly, per-job and per-phase
+//! execution spans (JSONL tracing via `--trace`), plus latency histograms
+//! (`runtime.queue_wait_us`, `runtime.job_wall_us`, `stage.*_us`), a
+//! `runtime.queue_depth` gauge, retry counters and per-worker utilisation
+//! gauges — all exported by `dcdiff batch --metrics` and aggregated offline
+//! by `dcdiff report`.
+//!
 //! ## Example
 //!
 //! ```no_run

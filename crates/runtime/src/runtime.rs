@@ -7,8 +7,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use dcdiff_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
 use crate::exec::{execute, EngineCache};
-use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec};
+use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec, Stage};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 
@@ -26,6 +28,11 @@ pub struct RuntimeConfig {
     pub backoff_base: Duration,
     /// Largest micro-batch a worker may gather (1 disables batching).
     pub batch_max: usize,
+    /// Observability handle: span tracing (when enabled), latency
+    /// histograms, the `runtime.queue_depth` gauge and the rate-limited
+    /// logger. The default is a metrics-only handle, so leaving this alone
+    /// adds no tracing overhead.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RuntimeConfig {
@@ -36,6 +43,7 @@ impl Default for RuntimeConfig {
             default_retries: 0,
             backoff_base: Duration::from_millis(10),
             batch_max: 8,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -44,6 +52,38 @@ impl RuntimeConfig {
     /// Config with `workers` threads and defaults elsewhere.
     pub fn with_workers(workers: usize) -> Self {
         RuntimeConfig { workers: workers.max(1), ..RuntimeConfig::default() }
+    }
+}
+
+/// Pre-resolved metric handles for the runtime's hot paths. Registry lookups
+/// take a lock; resolving once at startup keeps submit/pop/execute paths on
+/// lock-free atomics only.
+#[derive(Clone)]
+struct RtMetrics {
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    batch_size: Histogram,
+    job_wall: Histogram,
+    retries: Counter,
+    /// Per-stage execute latency, indexed by [`Stage::index`].
+    stage: [Histogram; 4],
+}
+
+impl RtMetrics {
+    fn new(tel: &Telemetry) -> Self {
+        RtMetrics {
+            queue_depth: tel.gauge("runtime.queue_depth"),
+            queue_wait: tel.histogram("runtime.queue_wait_us"),
+            batch_size: tel.histogram("runtime.batch_size"),
+            job_wall: tel.histogram("runtime.job_wall_us"),
+            retries: tel.counter("runtime.retries"),
+            stage: [
+                tel.histogram("stage.encode_us"),
+                tel.histogram("stage.transcode_us"),
+                tel.histogram("stage.recover_us"),
+                tel.histogram("stage.metrics_us"),
+            ],
+        }
     }
 }
 
@@ -122,6 +162,7 @@ pub struct Runtime {
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     config: RuntimeConfig,
+    rt: RtMetrics,
 }
 
 impl Runtime {
@@ -130,15 +171,17 @@ impl Runtime {
         let queue = Arc::new(BoundedQueue::new(config.queue_cap));
         let stats = Arc::new(RuntimeStats::new());
         let results = Arc::new(Mutex::new(Vec::new()));
+        let rt = RtMetrics::new(&config.telemetry);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 let results = Arc::clone(&results);
                 let config = config.clone();
+                let rt = rt.clone();
                 std::thread::Builder::new()
                     .name(format!("dcdiff-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &stats, &results, &config))
+                    .spawn(move || worker_loop(i, &queue, &stats, &results, &config, &rt))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -149,6 +192,7 @@ impl Runtime {
             workers,
             next_id: AtomicU64::new(1),
             config,
+            rt,
         }
     }
 
@@ -180,11 +224,14 @@ impl Runtime {
         match push(&self.queue, entry) {
             Ok(()) => {
                 self.stats.bump(&self.stats.submitted);
-                self.stats.observe_queue_depth(self.queue.len() as u64);
+                let depth = self.queue.len() as u64;
+                self.stats.observe_queue_depth(depth);
+                self.rt.queue_depth.set(depth as i64);
                 Ok(id)
             }
             Err(PushError::Full) => {
                 self.stats.bump(&self.stats.rejected);
+                self.config.telemetry.warn(format!("job {id} rejected: queue full"));
                 Err(SubmitError::QueueFull)
             }
             Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
@@ -263,34 +310,56 @@ fn lock_results<'a>(
 
 /// Body of one worker thread.
 fn worker_loop(
+    worker: usize,
     queue: &BoundedQueue<Queued>,
     stats: &RuntimeStats,
     results: &Mutex<Vec<JobResult>>,
     config: &RuntimeConfig,
+    rt: &RtMetrics,
 ) {
+    let tel = &config.telemetry;
+    // Per-worker utilisation: cumulative busy time (pop to batch done).
+    let busy_us = tel.gauge(&format!("runtime.worker.{worker}.busy_us"));
     let mut engines = EngineCache::new();
     while let Some(first) = queue.pop() {
+        let popped = Instant::now();
+        // Depth as this worker saw it: the remaining queue plus the entry
+        // just taken, so a lone job still registers depth 1.
+        let depth = queue.len() as u64 + 1;
+        stats.observe_queue_depth(depth);
+        rt.queue_depth.set(queue.len() as i64);
         let mut batch = vec![first];
         // Micro-batch: pull queued Recover jobs that share the leader's
         // method config, so one engine serves the whole batch.
         if config.batch_max > 1 {
             if let Some(method) = batch[0].job.recover_method().copied() {
+                let assemble = tel.span("batch.assemble");
                 let extras = queue.take_matching(config.batch_max - 1, |q| {
                     q.job
                         .recover_method()
                         .is_some_and(|m| m.same_config(&method))
                 });
+                drop(assemble);
                 batch.extend(extras);
             }
         }
+        // Queue wait spans cross threads (begun on the submitter, finished
+        // here), so they are emitted as single complete events.
+        for entry in &batch {
+            let waited = popped.saturating_duration_since(entry.submitted);
+            rt.queue_wait.record_duration(waited);
+            tel.record_span("queue.wait", entry.submitted, popped);
+        }
+        rt.batch_size.record(batch.len() as u64);
         stats.bump(&stats.batches);
         if batch.len() > 1 {
             stats
                 .batched_jobs
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
+        let exec_span = tel.span("batch.exec");
         for entry in batch {
-            let result = run_one(entry, stats, config, &mut engines);
+            let result = run_one(entry, stats, config, rt, &mut engines);
             if result.is_ok() {
                 stats.bump(&stats.completed);
             } else {
@@ -298,6 +367,18 @@ fn worker_loop(
             }
             lock_results(results).push(result);
         }
+        drop(exec_span);
+        busy_us.add(popped.elapsed().as_micros() as i64);
+    }
+}
+
+/// Trace span name for a job of the given stage.
+fn stage_span_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Encode => "job.encode",
+        Stage::Transcode => "job.transcode",
+        Stage::Recover => "job.recover",
+        Stage::Metrics => "job.metrics",
     }
 }
 
@@ -306,12 +387,15 @@ fn run_one(
     entry: Queued,
     stats: &RuntimeStats,
     config: &RuntimeConfig,
+    rt: &RtMetrics,
     engines: &mut EngineCache,
 ) -> JobResult {
+    let tel = &config.telemetry;
     let Queued { id, job, submitted, deadline, max_retries, ingest } = entry;
     if let Some(deadline) = deadline {
         if Instant::now() > deadline {
             stats.bump(&stats.deadline_missed);
+            tel.warn(format!("job {id} missed its deadline before starting"));
             return JobResult {
                 id,
                 job,
@@ -322,21 +406,25 @@ fn run_one(
             };
         }
     }
+    let _job_span = tel.span(stage_span_name(job.stage()));
     if let Some(stall) = ingest {
         // Simulated sender-uplink wait (see `JobSpec::ingest`). It counts
         // against the wall clock but not `exec`; like execution itself it is
         // not preempted by the deadline once started.
+        let _ingest = tel.span("job.ingest");
         std::thread::sleep(stall);
     }
     let mut attempts = 0u32;
     loop {
         attempts += 1;
         let start = Instant::now();
-        let outcome = execute(&job, engines);
+        let outcome = execute(&job, engines, tel);
         let exec = start.elapsed();
         stats.record_stage(job.stage(), exec);
+        rt.stage[job.stage().index()].record_duration(exec);
         match outcome {
             Ok(output) => {
+                rt.job_wall.record_duration(submitted.elapsed());
                 return JobResult {
                     id,
                     job,
@@ -352,12 +440,20 @@ fn run_one(
                 let expired = deadline.is_some_and(|d| Instant::now() > d);
                 if retryable && !expired {
                     stats.bump(&stats.retried);
+                    rt.retries.inc();
+                    tel.warn(format!(
+                        "job {id} attempt {attempts} failed transiently ({}), retrying",
+                        err.message
+                    ));
                     // Exponential backoff: base * 2^(attempt-1), capped at
                     // 2^10 to keep the worst sleep bounded.
                     let exp = (attempts - 1).min(10);
+                    let _backoff = tel.span("job.backoff");
                     std::thread::sleep(config.backoff_base * 2u32.pow(exp));
                     continue;
                 }
+                tel.error(format!("job {id} failed after {attempts} attempt(s): {}", err.message));
+                rt.job_wall.record_duration(submitted.elapsed());
                 return JobResult {
                     id,
                     job,
@@ -482,6 +578,37 @@ mod tests {
         assert_eq!(result.outcome, Err(JobFailure::DeadlineExceeded));
         assert_eq!(result.attempts, 0);
         assert_eq!(report.stats.deadline_missed, 1);
+    }
+
+    #[test]
+    fn telemetry_observes_queue_wait_depth_and_stage_latency() {
+        let tel = Telemetry::new();
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 2,
+            queue_cap: 32,
+            telemetry: tel.clone(),
+            ..RuntimeConfig::default()
+        });
+        for i in 0..12 {
+            runtime.submit_blocking(metrics_job(&format!("t{i}"))).unwrap();
+        }
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        assert_eq!(report.results.len(), 12);
+
+        // Every executed job waited in the queue exactly once.
+        assert_eq!(tel.histogram("runtime.queue_wait_us").snapshot().count, 12);
+        assert_eq!(tel.histogram("runtime.job_wall_us").snapshot().count, 12);
+        // Metrics jobs never batch, so batch count == job count here.
+        let batches = tel.histogram("runtime.batch_size").snapshot();
+        assert_eq!(batches.count, 12);
+        assert_eq!(batches.max, 1);
+        // Stage latency flows into the shared registry (Metrics = index 3).
+        assert_eq!(tel.histogram("stage.metrics_us").snapshot().count, 12);
+        // The gauge exists and ended at zero: the drain emptied the queue.
+        assert_eq!(tel.gauge("runtime.queue_depth").get(), 0);
+        // Worker pops observe depth too, so the high-water mark is at least
+        // one even if every submit raced an idle worker.
+        assert!(report.stats.queue_high_water >= 1);
     }
 
     #[test]

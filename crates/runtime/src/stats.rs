@@ -3,7 +3,10 @@
 //! A single [`RuntimeStats`] block is shared by the submitters and every
 //! worker; all fields are relaxed `AtomicU64`s, so recording never contends.
 //! [`RuntimeStats::snapshot`] materialises a plain [`StatsSnapshot`] struct
-//! the CLI can print — the first brick of the observability layer.
+//! the CLI can print. Richer observability — span tracing, latency
+//! histograms with quantiles, gauges and leveled logging — lives in the
+//! `dcdiff-telemetry` crate; these counters remain the cheap always-on
+//! summary behind `report.stats.render()`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

@@ -15,6 +15,7 @@ use dcdiff_data::{SceneGenerator, SceneKind};
 use dcdiff_runtime::{
     execute, EngineCache, Job, Runtime, RuntimeConfig, ShutdownMode,
 };
+use dcdiff_telemetry::Telemetry;
 use proptest::prelude::*;
 
 /// Unique-per-case scratch directory (tests may run concurrently).
@@ -79,7 +80,7 @@ proptest! {
                     ..Default::default()
                 },
             };
-            prop_assert!(execute(&encode, &mut setup).is_ok());
+            prop_assert!(execute(&encode, &mut setup, &Telemetry::new()).is_ok());
         }
 
         // Sequential reference: fresh engine per job, like the CLI.
@@ -89,7 +90,7 @@ proptest! {
                 output: path(&dir, &format!("seq{i}.ppm")),
                 method,
             };
-            prop_assert!(execute(&job, &mut EngineCache::new()).is_ok());
+            prop_assert!(execute(&job, &mut EngineCache::new(), &Telemetry::new()).is_ok());
         }
 
         // Batch path: 4 workers, micro-batching on.

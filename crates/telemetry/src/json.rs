@@ -1,0 +1,194 @@
+//! Minimal JSON helpers for the flat one-object-per-line formats this crate
+//! reads and writes. The build environment is offline, so — like the vendored
+//! shims under `vendor/` — no serde: trace events and metric exports only
+//! need string and integer values with no nesting, which a few dozen lines
+//! cover exactly.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A value in a flat JSON object: the trace format only uses strings and
+/// non-negative integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON integer (floats are rejected — nothing in the format emits
+    /// them).
+    Int(u64),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"key": value, ...}`) into key/value pairs.
+///
+/// Supports exactly what [`escape_into`] and the trace writer produce:
+/// string values with escapes, and unsigned integers. Nested objects,
+/// arrays, floats, booleans and `null` are rejected.
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first malformed token.
+pub fn parse_flat(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key or '}}', got {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        digits.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if matches!(chars.peek(), Some('.') | Some('e') | Some('E')) {
+                    return Err(format!("float value for key {key:?} not supported"));
+                }
+                Value::Int(
+                    digits
+                        .parse()
+                        .map_err(|_| format!("integer overflow for key {key:?}"))?,
+                )
+            }
+            other => return Err(format!("unsupported value for key {key:?}: {other:?}")),
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ') | Some('\t')) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape: {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a \"quoted\"\\path\n\twith\u{1}control";
+        let mut line = String::from("{\"k\": ");
+        escape_into(&mut line, nasty);
+        line.push('}');
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed, vec![("k".to_string(), Value::Str(nasty.to_string()))]);
+    }
+
+    #[test]
+    fn parses_mixed_flat_object() {
+        let parsed = parse_flat(r#"{"ev":"B","id":3,"t_us":120}"#).unwrap();
+        assert_eq!(parsed[0].1.as_str(), Some("B"));
+        assert_eq!(parsed[1].1.as_int(), Some(3));
+        assert_eq!(parsed[2].1.as_int(), Some(120));
+    }
+
+    #[test]
+    fn rejects_nesting_and_floats() {
+        assert!(parse_flat(r#"{"a": {"b": 1}}"#).is_err());
+        assert!(parse_flat(r#"{"a": 1.5}"#).is_err());
+        assert!(parse_flat(r#"{"a": [1]}"#).is_err());
+        assert!(parse_flat(r#"{"a": 1} extra"#).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline aggregation of a JSONL trace — the engine behind `dcdiff report`.
+//!
+//! Rebuilds spans from begin/end/complete events, checks the pairing is
+//! well-formed, aggregates durations per span name (count, total, mean,
+//! p50/p99/max via the shared log₂ [`Histogram`]), and measures how much of
+//! the trace's wall time the root spans cover (merged-interval union, so
+//! overlapping spans from parallel workers are not double-counted).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+use crate::trace::{EventKind, TraceEvent};
+
+/// Aggregated statistics for one span name.
+#[derive(Debug)]
+pub struct SpanStats {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Sum of durations in microseconds.
+    pub total_us: u64,
+    /// Duration histogram (for quantiles).
+    pub histogram: Histogram,
+    /// How many of these spans are roots (no parent).
+    pub roots: u64,
+}
+
+/// A parsed, aggregated trace.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Per-name statistics, sorted by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Completed span intervals of root spans: `(start_us, end_us)`.
+    root_intervals: Vec<(u64, u64)>,
+    /// Earliest event timestamp.
+    pub first_us: u64,
+    /// Latest event end timestamp.
+    pub last_us: u64,
+    /// Distinct thread indices seen.
+    pub threads: usize,
+    /// Spans left open at end of trace (e.g. an aborted run).
+    pub unclosed: u64,
+    /// Total events parsed.
+    pub events: u64,
+}
+
+impl std::str::FromStr for TraceReport {
+    type Err = String;
+
+    /// Parse and aggregate a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns `line N: <reason>` for a malformed line, an end event whose
+    /// id was never begun, or a duplicated span id.
+    fn from_str(text: &str) -> Result<TraceReport, String> {
+        let mut open: HashMap<u64, TraceEvent> = HashMap::new();
+        let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
+        let mut root_intervals = Vec::new();
+        let mut threads = std::collections::BTreeSet::new();
+        let mut first_us = u64::MAX;
+        let mut last_us = 0u64;
+        let mut events = 0u64;
+
+        let mut record =
+            |spans: &mut BTreeMap<String, SpanStats>, name: &str, parent: u64, start: u64, dur: u64| {
+                let stats = spans.entry(name.to_string()).or_insert_with(|| SpanStats {
+                    count: 0,
+                    total_us: 0,
+                    histogram: Histogram::new(),
+                    roots: 0,
+                });
+                stats.count += 1;
+                stats.total_us += dur;
+                stats.histogram.record(dur);
+                if parent == 0 {
+                    stats.roots += 1;
+                    root_intervals.push((start, start + dur));
+                }
+            };
+
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ev = TraceEvent::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            events += 1;
+            first_us = first_us.min(ev.t_us);
+            // An end event's `t_us` already is the span's end; begin and
+            // complete events extend by their (possibly zero) duration.
+            let end = match ev.kind {
+                EventKind::End => ev.t_us,
+                EventKind::Begin | EventKind::Complete => ev.t_us.saturating_add(ev.dur_us),
+            };
+            last_us = last_us.max(end);
+            match ev.kind {
+                EventKind::Begin => {
+                    threads.insert(ev.thread);
+                    if open.insert(ev.id, ev).is_some() {
+                        return Err(format!("line {}: duplicate span id", i + 1));
+                    }
+                }
+                EventKind::End => {
+                    let begin = open.remove(&ev.id).ok_or_else(|| {
+                        format!("line {}: end event for unknown span id {}", i + 1, ev.id)
+                    })?;
+                    let name = if ev.name.is_empty() { &begin.name } else { &ev.name };
+                    record(&mut spans, name, begin.parent, begin.t_us, ev.dur_us);
+                }
+                EventKind::Complete => {
+                    threads.insert(ev.thread);
+                    record(&mut spans, &ev.name, ev.parent, ev.t_us, ev.dur_us);
+                }
+            }
+        }
+        if events == 0 {
+            return Err("trace contains no events".to_string());
+        }
+        Ok(TraceReport {
+            spans,
+            root_intervals,
+            first_us,
+            last_us,
+            threads: threads.len(),
+            unclosed: open.len() as u64,
+            events,
+        })
+    }
+}
+
+impl TraceReport {
+    /// Trace wall time: first event to last event end, in microseconds.
+    pub fn wall_us(&self) -> u64 {
+        self.last_us.saturating_sub(self.first_us)
+    }
+
+    /// Microseconds of wall time covered by at least one root span
+    /// (merged-interval union, immune to double counting by parallel
+    /// workers).
+    pub fn covered_us(&self) -> u64 {
+        let mut intervals = self.root_intervals.clone();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        let mut current: Option<(u64, u64)> = None;
+        for (start, end) in intervals {
+            match &mut current {
+                Some((_, cur_end)) if start <= *cur_end => *cur_end = (*cur_end).max(end),
+                _ => {
+                    if let Some((s, e)) = current.take() {
+                        covered += e - s;
+                    }
+                    current = Some((start, end));
+                }
+            }
+        }
+        if let Some((s, e)) = current {
+            covered += e - s;
+        }
+        covered
+    }
+
+    /// Fraction of the trace wall time covered by root spans, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let wall = self.wall_us();
+        if wall == 0 {
+            return 1.0;
+        }
+        self.covered_us() as f64 / wall as f64
+    }
+
+    /// Total completed spans.
+    pub fn span_count(&self) -> u64 {
+        self.spans.values().map(|s| s.count).sum()
+    }
+
+    /// Render the human-readable per-span breakdown and histogram table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events, {} spans, {} thread(s), wall {:.1} ms",
+            self.events,
+            self.span_count(),
+            self.threads,
+            self.wall_us() as f64 / 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "root spans cover {:.1} ms ({:.1}% of wall)",
+            self.covered_us() as f64 / 1e3,
+            100.0 * self.coverage(),
+        );
+        if self.unclosed > 0 {
+            let _ = writeln!(out, "warning: {} span(s) never closed", self.unclosed);
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
+            "span", "count", "total ms", "mean ms", "p50 ms", "p99 ms", "max ms", "wall%"
+        );
+        // Largest total first: the breakdown reads as "where did time go".
+        let mut names: Vec<&String> = self.spans.keys().collect();
+        names.sort_by_key(|n| std::cmp::Reverse(self.spans[*n].total_us));
+        let wall = self.wall_us().max(1);
+        for name in names {
+            let s = &self.spans[name];
+            let snap = s.histogram.snapshot();
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5.1}%",
+                name,
+                s.count,
+                s.total_us as f64 / 1e3,
+                snap.mean() / 1e3,
+                snap.quantile(0.50).unwrap_or(0) as f64 / 1e3,
+                snap.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+                snap.max as f64 / 1e3,
+                100.0 * s.total_us as f64 / wall as f64,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::str::FromStr as _;
+
+    use super::*;
+
+    fn line(s: &str) -> String {
+        s.to_string()
+    }
+
+    #[test]
+    fn aggregates_nested_and_complete_spans() {
+        let trace = [
+            line(r#"{"ev":"B","id":1,"parent":0,"name":"batch.exec","thread":1,"t_us":0}"#),
+            line(r#"{"ev":"B","id":2,"parent":1,"name":"job.recover","thread":1,"t_us":10}"#),
+            line(r#"{"ev":"E","id":2,"name":"job.recover","t_us":60,"dur_us":50}"#),
+            line(r#"{"ev":"E","id":1,"name":"batch.exec","t_us":100,"dur_us":100}"#),
+            line(r#"{"ev":"X","id":3,"parent":0,"name":"queue.wait","thread":2,"t_us":100,"dur_us":40}"#),
+        ]
+        .join("\n");
+        let report = TraceReport::from_str(&trace).unwrap();
+        assert_eq!(report.span_count(), 3);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.unclosed, 0);
+        assert_eq!(report.wall_us(), 140);
+        // Roots: batch.exec [0,100] + queue.wait [100,140] -> full coverage.
+        assert_eq!(report.covered_us(), 140);
+        assert!((report.coverage() - 1.0).abs() < 1e-9);
+        // job.recover is nested, so it is not part of root coverage.
+        assert_eq!(report.spans["job.recover"].roots, 0);
+        let rendered = report.render();
+        assert!(rendered.contains("batch.exec"));
+        assert!(rendered.contains("queue.wait"));
+    }
+
+    #[test]
+    fn overlapping_roots_are_not_double_counted() {
+        let trace = [
+            line(r#"{"ev":"X","id":1,"parent":0,"name":"a","thread":1,"t_us":0,"dur_us":100}"#),
+            line(r#"{"ev":"X","id":2,"parent":0,"name":"a","thread":2,"t_us":50,"dur_us":100}"#),
+        ]
+        .join("\n");
+        let report = TraceReport::from_str(&trace).unwrap();
+        assert_eq!(report.wall_us(), 150);
+        assert_eq!(report.covered_us(), 150);
+    }
+
+    #[test]
+    fn rejects_malformed_pairings() {
+        let orphan_end = r#"{"ev":"E","id":7,"name":"x","t_us":5,"dur_us":5}"#;
+        let err = TraceReport::from_str(orphan_end).unwrap_err();
+        assert!(err.contains("unknown span id"), "{err}");
+        assert!(TraceReport::from_str("").is_err());
+        let dup = [
+            r#"{"ev":"B","id":1,"parent":0,"name":"a","thread":1,"t_us":0}"#,
+            r#"{"ev":"B","id":1,"parent":0,"name":"b","thread":1,"t_us":1}"#,
+        ]
+        .join("\n");
+        assert!(TraceReport::from_str(&dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_reported_not_fatal() {
+        let trace = r#"{"ev":"B","id":1,"parent":0,"name":"a","thread":1,"t_us":0}"#;
+        let report = TraceReport::from_str(trace).unwrap();
+        assert_eq!(report.unclosed, 1);
+        assert!(report.render().contains("never closed"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Span-scoped structured tracing, exported as one JSON object per line.
+//!
+//! A [`crate::Telemetry::span`] guard writes a `B` (begin) event when opened
+//! and an `E` (end) event when dropped; [`crate::Telemetry::record_span`]
+//! writes a single complete `X` event for intervals measured after the fact
+//! (e.g. queue wait, whose start happened on another thread). Every event
+//! carries:
+//!
+//! * `id` — span id, unique within one trace;
+//! * `parent` — enclosing span id on the same thread (0 = root), maintained
+//!   through a thread-local so nesting needs no plumbing;
+//! * `thread` — a small process-wide thread index (assigned on first event);
+//! * `t_us` — microseconds since the telemetry handle's epoch (monotonic,
+//!   from [`Instant`]);
+//! * `dur_us` — span duration (on `E` and `X` events).
+//!
+//! The format is parsed back by [`crate::report`] and `dcdiff report`.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{escape_into, parse_flat};
+
+thread_local! {
+    /// Innermost open span id on this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_THREAD_INDEX: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small stable per-thread index (process-wide, first-use order).
+    static THREAD_INDEX: u64 = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Destination for trace events.
+pub(crate) struct TraceSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    next_span: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    pub(crate) fn new(writer: Box<dyn Write + Send>) -> Self {
+        TraceSink {
+            writer: Mutex::new(writer),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    pub(crate) fn alloc_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn write_line(&self, line: &str) {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Trace I/O must never take down the serving path; a full disk loses
+        // trace lines, not jobs.
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    pub(crate) fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
+    }
+}
+
+/// The thread index of the calling thread.
+pub(crate) fn thread_index() -> u64 {
+    THREAD_INDEX.with(|i| *i)
+}
+
+/// The calling thread's innermost open span id (0 = none).
+pub(crate) fn current_span() -> u64 {
+    CURRENT_SPAN.with(Cell::get)
+}
+
+pub(crate) fn set_current_span(id: u64) {
+    CURRENT_SPAN.with(|c| c.set(id));
+}
+
+/// Build a `B` event line.
+pub(crate) fn begin_line(name: &str, id: u64, parent: u64, thread: u64, t_us: u64) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(line, "{{\"ev\":\"B\",\"id\":{id},\"parent\":{parent},\"name\":");
+    escape_into(&mut line, name);
+    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us}}}");
+    line
+}
+
+/// Build an `E` event line (name repeated so lines aggregate standalone).
+pub(crate) fn end_line(name: &str, id: u64, t_us: u64, dur_us: u64) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(line, "{{\"ev\":\"E\",\"id\":{id},\"name\":");
+    escape_into(&mut line, name);
+    let _ = write!(line, ",\"t_us\":{t_us},\"dur_us\":{dur_us}}}");
+    line
+}
+
+/// Build an `X` (complete-span) event line.
+pub(crate) fn complete_line(
+    name: &str,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    t_us: u64,
+    dur_us: u64,
+) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(line, "{{\"ev\":\"X\",\"id\":{id},\"parent\":{parent},\"name\":");
+    escape_into(&mut line, name);
+    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us},\"dur_us\":{dur_us}}}");
+    line
+}
+
+/// RAII span guard returned by [`crate::Telemetry::span`]. Dropping it writes
+/// the `E` event and restores the parent span as the thread's current span.
+/// Inert (zero work) when tracing is disabled.
+pub struct Span {
+    /// `None` when tracing is disabled.
+    pub(crate) active: Option<SpanActive>,
+}
+
+pub(crate) struct SpanActive {
+    pub(crate) tel: crate::Telemetry,
+    pub(crate) name: &'static str,
+    pub(crate) id: u64,
+    pub(crate) parent: u64,
+    pub(crate) start: Instant,
+}
+
+impl Span {
+    /// This span's id (0 when tracing is disabled).
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            active.tel.end_span(&active);
+        }
+    }
+}
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind: begin, end, or complete.
+    pub kind: EventKind,
+    /// Span id.
+    pub id: u64,
+    /// Parent span id (begin/complete events; 0 = root).
+    pub parent: u64,
+    /// Span name (empty on legacy end events without one).
+    pub name: String,
+    /// Thread index (begin/complete events).
+    pub thread: u64,
+    /// Microseconds since the trace epoch.
+    pub t_us: u64,
+    /// Duration in microseconds (end/complete events).
+    pub dur_us: u64,
+}
+
+/// Trace event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+    /// Complete span recorded in one event.
+    Complete,
+}
+
+impl TraceEvent {
+    /// Parse one JSONL trace line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let fields = parse_flat(line)?;
+        let get_int = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_int())
+        };
+        let kind = match fields
+            .iter()
+            .find(|(k, _)| k == "ev")
+            .and_then(|(_, v)| v.as_str())
+        {
+            Some("B") => EventKind::Begin,
+            Some("E") => EventKind::End,
+            Some("X") => EventKind::Complete,
+            other => return Err(format!("bad event kind {other:?}")),
+        };
+        let name = fields
+            .iter()
+            .find(|(k, _)| k == "name")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        if name.is_empty() && kind != EventKind::End {
+            return Err("missing span name".to_string());
+        }
+        Ok(TraceEvent {
+            kind,
+            id: get_int("id").ok_or("missing id")?,
+            parent: get_int("parent").unwrap_or(0),
+            name,
+            thread: get_int("thread").unwrap_or(0),
+            t_us: get_int("t_us").ok_or("missing t_us")?,
+            dur_us: get_int("dur_us").unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lines_round_trip() {
+        let b = begin_line("batch.exec", 3, 1, 2, 120);
+        let ev = TraceEvent::parse_line(&b).unwrap();
+        assert_eq!(ev.kind, EventKind::Begin);
+        assert_eq!((ev.id, ev.parent, ev.thread, ev.t_us), (3, 1, 2, 120));
+        assert_eq!(ev.name, "batch.exec");
+
+        let e = end_line("batch.exec", 3, 200, 80);
+        let ev = TraceEvent::parse_line(&e).unwrap();
+        assert_eq!(ev.kind, EventKind::End);
+        assert_eq!(ev.dur_us, 80);
+
+        let x = complete_line("queue.wait", 9, 0, 1, 50, 70);
+        let ev = TraceEvent::parse_line(&x).unwrap();
+        assert_eq!(ev.kind, EventKind::Complete);
+        assert_eq!((ev.t_us, ev.dur_us), (50, 70));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(TraceEvent::parse_line("not json").is_err());
+        assert!(TraceEvent::parse_line(r#"{"ev":"Z","id":1,"t_us":0}"#).is_err());
+        assert!(TraceEvent::parse_line(r#"{"ev":"B","t_us":0,"name":"x"}"#).is_err());
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`device`] — low-power encoder cost models (Table IV)
 //! * [`downstream`] — remote-sensing classification task (Table V)
 //! * [`runtime`] — multi-threaded batch-serving runtime (`dcdiff batch`)
+//! * [`telemetry`] — structured tracing, latency histograms and leveled
+//!   logging (`dcdiff batch --trace/--metrics`, `dcdiff report`)
 pub use dcdiff_baselines as baselines;
 pub use dcdiff_core as core;
 pub use dcdiff_data as data;
@@ -27,4 +29,5 @@ pub use dcdiff_jpeg as jpeg;
 pub use dcdiff_metrics as metrics;
 pub use dcdiff_nn as nn;
 pub use dcdiff_runtime as runtime;
+pub use dcdiff_telemetry as telemetry;
 pub use dcdiff_tensor as tensor;
