@@ -164,6 +164,11 @@ fn main() {
     let _ = writeln!(json, "  \"cpu_cores\": {cores},");
     let _ = writeln!(
         json,
+        "  \"kernel_config\": {},",
+        dcdiff_tensor::kernels::KernelConfig::current().to_json()
+    );
+    let _ = writeln!(
+        json,
         "  \"note\": \"each job blocks {INGEST_MS} ms simulating the IoT sender uplink before \
          sub-ms recover compute; worker speedup comes from overlapping those stalls (and, on \
          multi-core hosts, from compute parallelism)\","

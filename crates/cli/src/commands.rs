@@ -43,7 +43,8 @@ pub const USAGE: &str = "usage:
   dcdiff info    <in.jpg>
   dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
                                      [--size WxH] [--seed N]
-  dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
+  dcdiff batch   <manifest>          [--workers N (default: all cores)]
+                                     [--queue-cap M] [--retries R]
                                      [--batch K] [--fail-fast]
                                      [--trace t.jsonl] [--metrics m.json]
                                      [--log-level error|warn|info|debug]
@@ -321,8 +322,10 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
     // batch's trace.
     dcdiff_telemetry::install(tel.clone());
 
+    let default_workers =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let config = RuntimeConfig {
-        workers: parsed.int("--workers", 4)?.max(1) as usize,
+        workers: parsed.int("--workers", default_workers as u64)?.max(1) as usize,
         queue_cap: parsed.int("--queue-cap", 64)?.max(1) as usize,
         default_retries: parsed.int("--retries", 0)? as u32,
         batch_max: parsed.int("--batch", 8)?.max(1) as usize,

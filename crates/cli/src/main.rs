@@ -9,7 +9,8 @@
 //! dcdiff info    <in.jpg>
 //! dcdiff demo    <out.ppm>           [--scene smooth|natural|texture|urban|aerial]
 //!                                    [--size WxH] [--seed N]
-//! dcdiff batch   <manifest>          [--workers N] [--queue-cap M] [--retries R]
+//! dcdiff batch   <manifest>          [--workers N (default: all cores)]
+//!                                    [--queue-cap M] [--retries R]
 //!                                    [--trace t.jsonl] [--metrics m.json]
 //!                                    [--log-level error|warn|info|debug]
 //! dcdiff report  <trace.jsonl>

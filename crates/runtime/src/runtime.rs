@@ -17,7 +17,9 @@ use crate::stats::{RuntimeStats, StatsSnapshot};
 /// Tunables for a [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Worker thread count (at least 1).
+    /// Worker thread count (at least 1). Defaults to the machine's
+    /// available parallelism so batch serving uses every core out of the
+    /// box; override for deterministic single-threaded runs.
     pub workers: usize,
     /// Bounded queue capacity — the backpressure point.
     pub queue_cap: usize,
@@ -38,7 +40,7 @@ pub struct RuntimeConfig {
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
-            workers: 1,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             queue_cap: 64,
             default_retries: 0,
             backoff_base: Duration::from_millis(10),

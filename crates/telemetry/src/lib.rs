@@ -200,6 +200,12 @@ impl Telemetry {
         self.inner.trace.is_some()
     }
 
+    /// Whether two handles share the same underlying sinks and registry.
+    /// Lets hot paths cache metric handles and cheaply detect a re-[`install`].
+    pub fn ptr_eq(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// The monotonic instant all trace timestamps are relative to.
     pub fn epoch(&self) -> Instant {
         self.inner.epoch

@@ -1,0 +1,489 @@
+//! Cache-blocked, register-tiled, multi-threaded single-precision GEMM.
+//!
+//! `C += op(A) · op(B)` in the classic three-level blocking scheme
+//! (BLIS/GotoBLAS): the depth dimension is split into [`KC`] panels, B
+//! panels are packed into contiguous `NR`-column strips and A blocks into
+//! `MR`-row strips, and an `MR x NR` microkernel accumulates a C tile in
+//! registers across the whole depth panel with a dense inner loop — no
+//! per-element zero-skip branch, one C load/store per tile per depth panel
+//! instead of one per scalar multiply.
+//!
+//! The microkernel is picked once at runtime: an AVX2+FMA 6x16 kernel on
+//! x86 CPUs that report the feature bits (two 8-lane FMAs per row per
+//! depth step), otherwise a portable 4x8 kernel that LLVM auto-vectorises
+//! for the baseline target. Transposed operands are handled by the packing
+//! routines reading through `(row, col)` strides, so backward passes
+//! (`dA = dC·Bᵀ`, `dB = Aᵀ·dC`) never materialise a transposed copy.
+//!
+//! Large products are sharded across [`super::pool`]: disjoint row (or
+//! column) stripes of C go to different threads, each running the full
+//! blocked loop on its stripe. Packing buffers are reused per thread via
+//! [`super::scratch`].
+
+use std::sync::OnceLock;
+
+use super::config::{configured_threads, KC, MC, NC, PAR_FLOP_THRESHOLD};
+use super::pool::parallel_for;
+use super::scratch;
+
+/// Whether an operand participates as stored (`N`) or transposed (`T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the matrix as stored (row-major `rows x cols`).
+    N,
+    /// Use the transpose of the stored matrix.
+    T,
+}
+
+/// Row-major view of `op(X)` as `rows x cols` over stored data: element
+/// `(r, c)` lives at `r*rs + c*cs`.
+#[derive(Clone, Copy)]
+struct View {
+    rs: usize,
+    cs: usize,
+}
+
+impl View {
+    /// View of `op(X)` with logical shape `rows x cols`; when `trans` is
+    /// `T` the storage holds `cols x rows` row-major.
+    fn new(trans: Trans, rows: usize, cols: usize) -> View {
+        match trans {
+            Trans::N => View { rs: cols, cs: 1 },
+            Trans::T => View { rs: 1, cs: rows },
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> usize {
+        r * self.rs + c * self.cs
+    }
+}
+
+/// Upper bound on `MR * NR` across microkernels (accumulator staging).
+const ACC_MAX: usize = 8 * 16;
+
+/// One register microkernel: computes `acc[mr][nr] = Astrip · Bstrip` over
+/// a packed depth panel of `kc` (A strip interleaved `kc x mr`, B strip
+/// `kc x nr`, acc row-major with stride `nr`).
+///
+/// Safety contract: `astrip` holds `kc*mr` readable floats, `bstrip`
+/// `kc*nr`, `acc` `mr*nr` writable floats, and the CPU supports the
+/// kernel's ISA.
+#[derive(Clone, Copy)]
+struct Micro {
+    name: &'static str,
+    mr: usize,
+    nr: usize,
+    kernel: unsafe fn(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32),
+}
+
+/// Portable 4x8 kernel; fixed bounds keep the accumulator tile in
+/// registers and let LLVM vectorise for whatever the build target offers.
+unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let mut tile = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a = unsafe { std::slice::from_raw_parts(astrip.add(p * MR), MR) };
+        let b = unsafe { std::slice::from_raw_parts(bstrip.add(p * NR), NR) };
+        for (r, row) in tile.iter_mut().enumerate() {
+            let av = a[r];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += av * b[j];
+            }
+        }
+    }
+    for (r, row) in tile.iter().enumerate() {
+        unsafe { std::ptr::copy_nonoverlapping(row.as_ptr(), acc.add(r * NR), NR) };
+    }
+}
+
+/// AVX2+FMA 6x16 kernel: 12 ymm accumulators, two B loads and six
+/// broadcast-FMAs per depth step (~2 FMA issues per cycle on one core).
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    const MR: usize = 6;
+    unsafe {
+        let mut tile = [[_mm256_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(bstrip.add(p * 16));
+            let b1 = _mm256_loadu_ps(bstrip.add(p * 16 + 8));
+            for (r, row) in tile.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*astrip.add(p * MR + r));
+                row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+            }
+        }
+        for (r, row) in tile.iter().enumerate() {
+            _mm256_storeu_ps(acc.add(r * 16), row[0]);
+            _mm256_storeu_ps(acc.add(r * 16 + 8), row[1]);
+        }
+    }
+}
+
+fn detect_micro() -> Micro {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Micro { name: "avx2_fma_6x16", mr: 6, nr: 16, kernel: micro_avx2_6x16 };
+        }
+    }
+    Micro { name: "portable_4x8", mr: 4, nr: 8, kernel: micro_portable_4x8 }
+}
+
+fn active_micro() -> Micro {
+    static MICRO: OnceLock<Micro> = OnceLock::new();
+    *MICRO.get_or_init(detect_micro)
+}
+
+/// `(name, mr, nr)` of the microkernel selected for this CPU (recorded in
+/// bench artifacts by [`super::KernelConfig`]).
+pub fn microkernel_info() -> (&'static str, usize, usize) {
+    let micro = active_micro();
+    (micro.name, micro.mr, micro.nr)
+}
+
+/// Reference implementation: the seed repo's scalar `ikj` GEMM with the
+/// per-element zero-skip branch, kept as the parity baseline for tests and
+/// the naive side of `kernel_bench`.
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Pack the `mc x kc` block of `op(A)` starting at `(i0, p0)` into
+/// `mr`-row strips: strip `ir` holds `panel[(ir*kc + p)*mr + r]`,
+/// zero-padded past `mc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    panel: &mut [f32],
+    mr: usize,
+    a: &[f32],
+    view: View,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let strips = mc.div_ceil(mr);
+    debug_assert!(panel.len() >= strips * kc * mr);
+    for ir in 0..strips {
+        let row0 = ir * mr;
+        let full = (mc - row0).min(mr);
+        let strip = &mut panel[ir * kc * mr..(ir * kc + kc) * mr];
+        for p in 0..kc {
+            let dst = &mut strip[p * mr..p * mr + mr];
+            let base = view.at(i0 + row0, p0 + p);
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < full { a[base + r * view.rs] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` block of `op(B)` starting at `(p0, j0)` into
+/// `nr`-column strips: strip `jr` holds `panel[(jr*kc + p)*nr + j]`,
+/// zero-padded past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    panel: &mut [f32],
+    nr: usize,
+    b: &[f32],
+    view: View,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let strips = nc.div_ceil(nr);
+    debug_assert!(panel.len() >= strips * kc * nr);
+    for jr in 0..strips {
+        let col0 = jr * nr;
+        let full = (nc - col0).min(nr);
+        let strip = &mut panel[jr * kc * nr..(jr * kc + kc) * nr];
+        for p in 0..kc {
+            let dst = &mut strip[p * nr..p * nr + nr];
+            let base = view.at(p0 + p, j0 + col0);
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = if j < full { b[base + j * view.cs] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Run the full blocked loop for one C stripe: rows `i0..i0+ms`, columns
+/// `j0..j0+ns` of the logical `m x n` product, writing into row-major `c`
+/// with leading dimension `ldc`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_stripe(
+    micro: Micro,
+    k: usize,
+    a: &[f32],
+    av: View,
+    b: &[f32],
+    bv: View,
+    c: *mut f32,
+    ldc: usize,
+    i0: usize,
+    ms: usize,
+    j0: usize,
+    ns: usize,
+) {
+    let (mr, nr) = (micro.mr, micro.nr);
+    let mut apanel = scratch::take(MC.div_ceil(mr) * KC * mr);
+    let mut bpanel = scratch::take(NC.div_ceil(nr) * KC * nr);
+    let mut acc = [0.0f32; ACC_MAX];
+    for jc in (0..ns).step_by(NC) {
+        let nc = (ns - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            pack_b(&mut bpanel, nr, b, bv, pc, kc, j0 + jc, nc);
+            for ic in (0..ms).step_by(MC) {
+                let mc = (ms - ic).min(MC);
+                pack_a(&mut apanel, mr, a, av, i0 + ic, mc, pc, kc);
+                for jr in 0..nc.div_ceil(nr) {
+                    let bstrip = &bpanel[jr * kc * nr..(jr * kc + kc) * nr];
+                    let ncols = (nc - jr * nr).min(nr);
+                    for ir in 0..mc.div_ceil(mr) {
+                        let astrip = &apanel[ir * kc * mr..(ir * kc + kc) * mr];
+                        let nrows = (mc - ir * mr).min(mr);
+                        // Safety: strips hold kc*mr / kc*nr packed floats
+                        // and acc is ACC_MAX >= mr*nr; the kernel matching
+                        // the detected ISA was selected in detect_micro.
+                        unsafe {
+                            (micro.kernel)(kc, astrip.as_ptr(), bstrip.as_ptr(), acc.as_mut_ptr());
+                        }
+                        let crow0 = i0 + ic + ir * mr;
+                        let ccol0 = j0 + jc + jr * nr;
+                        for r in 0..nrows {
+                            let accrow = &acc[r * nr..r * nr + ncols];
+                            // Disjoint stripe of C owned by this call.
+                            let dst = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    c.add((crow0 + r) * ldc + ccol0),
+                                    ncols,
+                                )
+                            };
+                            for (d, &v) in dst.iter_mut().zip(accrow) {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    scratch::put(bpanel);
+    scratch::put(apanel);
+}
+
+/// Blocked, threaded GEMM: `C += op(A) · op(B)` where `op(A)` is `m x k`
+/// and `op(B)` is `k x n`, all row-major, with the configured thread
+/// budget ([`configured_threads`]).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its operand shape.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    sgemm_with_threads(configured_threads(), ta, tb, m, k, n, a, b, c);
+}
+
+/// [`sgemm`] with an explicit thread budget (1 forces the single-threaded
+/// blocked path; parity tests and benches sweep this).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its operand shape.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_with_threads(
+    threads: usize,
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A length must be m*k");
+    assert_eq!(b.len(), k * n, "B length must be k*n");
+    assert_eq!(c.len(), m * n, "C length must be m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return; // C += 0 contribution
+    }
+    let micro = active_micro();
+    let av = View::new(ta, m, k);
+    let bv = View::new(tb, k, n);
+    let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+    let budget = threads.max(1);
+    // Shard the larger C axis; every stripe must be big enough to amortise
+    // its redundant packing of the shared operand.
+    let shards = if flops < PAR_FLOP_THRESHOLD || budget == 1 {
+        1
+    } else {
+        budget
+            .min(if m >= n { m.div_ceil(micro.mr) } else { n.div_ceil(micro.nr) })
+            .max(1)
+    };
+    if shards == 1 {
+        gemm_stripe(micro, k, a, av, b, bv, c.as_mut_ptr(), n, 0, m, 0, n);
+        return;
+    }
+    let cptr = c.as_mut_ptr() as usize;
+    if m >= n {
+        // Row stripes, aligned to mr so no two shards share a C row.
+        let rows_per = m.div_ceil(shards).div_ceil(micro.mr) * micro.mr;
+        let tasks = m.div_ceil(rows_per);
+        parallel_for(tasks, &|t| {
+            let i0 = t * rows_per;
+            let ms = (m - i0).min(rows_per);
+            gemm_stripe(micro, k, a, av, b, bv, cptr as *mut f32, n, i0, ms, 0, n);
+        });
+    } else {
+        // Column stripes, aligned to nr.
+        let cols_per = n.div_ceil(shards).div_ceil(micro.nr) * micro.nr;
+        let tasks = n.div_ceil(cols_per);
+        parallel_for(tasks, &|t| {
+            let j0 = t * cols_per;
+            let ns = (n - j0).min(cols_per);
+            gemm_stripe(micro, k, a, av, b, bv, cptr as *mut f32, n, 0, m, j0, ns);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let av = View::new(ta, m, k);
+        let bv = View::new(tb, k, n);
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0f32;
+                for p in 0..k {
+                    dot += a[av.at(i, p)] * b[bv.at(p, j)];
+                }
+                c[i * n + j] = dot;
+            }
+        }
+        c
+    }
+
+    fn pattern(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32 * 0.37 + seed).sin() * 2.0).collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], what: &str) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let rel = (g - w).abs() / (1.0 + w.abs());
+            assert!(rel < 1e-4, "{what}[{i}]: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_trans_combinations() {
+        let (m, k, n) = (13, 21, 17);
+        for ta in [Trans::N, Trans::T] {
+            for tb in [Trans::N, Trans::T] {
+                let a = pattern(m * k, 1.0);
+                let b = pattern(k * n, 2.0);
+                let want = reference(ta, tb, m, k, n, &a, &b);
+                let mut c = vec![0.0f32; m * n];
+                sgemm_with_threads(1, ta, tb, m, k, n, &a, &b, &mut c);
+                assert_close(&c, &want, "st");
+                let mut ct = vec![0.0f32; m * n];
+                sgemm_with_threads(3, ta, tb, m, k, n, &a, &b, &mut ct);
+                assert_close(&ct, &want, "mt");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let (m, k, n) = (5, 4, 6);
+        let a = pattern(m * k, 0.1);
+        let b = pattern(k * n, 0.2);
+        let init = pattern(m * n, 0.3);
+        let mut want = init.clone();
+        gemm_naive(m, k, n, &a, &b, &mut want);
+        let mut c = init.clone();
+        sgemm(Trans::N, Trans::N, m, k, n, &a, &b, &mut c);
+        assert_close(&c, &want, "accumulate");
+    }
+
+    #[test]
+    fn spans_block_boundaries() {
+        // Larger than MC/KC in at least one axis to cross packing edges.
+        let (m, k, n) = (MC + 7, KC + 3, 37);
+        let a = pattern(m * k, 0.7);
+        let b = pattern(k * n, 0.9);
+        let want = reference(Trans::N, Trans::N, m, k, n, &a, &b);
+        let mut c = vec![0.0f32; m * n];
+        sgemm_with_threads(2, Trans::N, Trans::N, m, k, n, &a, &b, &mut c);
+        // fp association differs from the reference order; loose bound
+        for (i, (g, w)) in c.iter().zip(&want).enumerate() {
+            let rel = (g - w).abs() / (1.0 + w.abs());
+            assert!(rel < 1e-3, "c[{i}]: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_noops_or_tiny() {
+        let a: Vec<f32> = vec![];
+        let b: Vec<f32> = vec![];
+        let mut c = vec![1.0f32, 2.0];
+        sgemm(Trans::N, Trans::N, 2, 0, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![1.0, 2.0], "k=0 leaves C unchanged");
+        let mut c1 = vec![0.0f32];
+        sgemm(Trans::N, Trans::N, 1, 1, 1, &[3.0], &[4.0], &mut c1);
+        assert_eq!(c1, vec![12.0]);
+    }
+
+    #[test]
+    fn microkernel_info_is_coherent() {
+        let (name, mr, nr) = microkernel_info();
+        assert!(!name.is_empty());
+        assert!(mr * nr <= ACC_MAX);
+    }
+}

@@ -1,0 +1,84 @@
+//! Thread-local reuse of f32 work buffers.
+//!
+//! The autograd hot path used to allocate fresh im2col / packing / rearrange
+//! buffers on every call; at U-Net sizes those are multi-megabyte
+//! allocations hit hundreds of times per DDIM step. [`take`] hands back a
+//! zeroed buffer recycled from this thread's pool and [`put`] returns it;
+//! buffers that must outlive the call (e.g. im2col columns retained for the
+//! backward pass) are simply never returned and the pool regenerates.
+
+use std::cell::RefCell;
+
+/// Per-thread pool; a handful of entries covers the deepest nesting the
+/// kernels reach (GEMM packing inside a conv that holds cols + rearrange).
+const POOL_SLOTS: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A zero-filled buffer of exactly `len` elements, reusing this thread's
+/// returned buffers when one is large enough.
+pub fn take(len: usize) -> Vec<f32> {
+    let recycled = POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let pos = pool.iter().position(|buf| buf.capacity() >= len);
+        pos.map(|p| pool.swap_remove(p))
+    });
+    match recycled {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Return a buffer to this thread's pool for later [`take`]s. Keeps the
+/// [`POOL_SLOTS`] largest buffers and drops the rest.
+pub fn put(buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.push(buf);
+        if pool.len() > POOL_SLOTS {
+            pool.sort_by_key(|b| std::cmp::Reverse(b.capacity()));
+            pool.truncate(POOL_SLOTS);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_exact_len() {
+        let mut buf = take(16);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        put(buf);
+        let again = take(12);
+        assert_eq!(again.len(), 12);
+        assert!(again.iter().all(|&v| v == 0.0), "recycled buffer must be zeroed");
+    }
+
+    #[test]
+    fn reuses_capacity() {
+        let buf = take(1024);
+        let ptr = buf.as_ptr();
+        put(buf);
+        let again = take(512);
+        assert_eq!(again.as_ptr(), ptr, "smaller request should reuse the buffer");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        for _ in 0..3 * POOL_SLOTS {
+            put(vec![0.0; 8]);
+        }
+        POOL.with(|pool| assert!(pool.borrow().len() <= POOL_SLOTS));
+    }
+}

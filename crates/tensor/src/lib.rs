@@ -7,7 +7,10 @@
 //!
 //! * [`Tensor`] — an NCHW `f32` tensor with a reverse-mode autograd tape
 //!   (micrograd-style: each op records a backward closure over its parents);
-//! * dense 2-D [`Tensor::matmul`] and im2col-based [`Tensor::conv2d`];
+//! * [`kernels`] — the blocked, register-tiled, multi-threaded GEMM and
+//!   thread-pool layer every dense op dispatches to (`DCDIFF_THREADS`
+//!   controls the thread budget);
+//! * dense 2-D [`Tensor::matmul`] and batched im2col [`Tensor::conv2d`];
 //! * activations, group normalisation, pooling, upsampling, concatenation;
 //! * losses (MSE, L1, masked MSE, softmax cross-entropy);
 //! * [`optim`] — SGD and Adam;
@@ -28,6 +31,7 @@ mod ops;
 mod tensor;
 
 pub mod gradcheck;
+pub mod kernels;
 pub mod optim;
 pub mod serial;
 

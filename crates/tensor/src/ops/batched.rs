@@ -1,11 +1,17 @@
 //! Batched 3-D operations used by the attention block: batched matrix
 //! multiply, batched transpose and a softmax over the last axis.
 
-use super::matmul::{gemm, transpose};
+use std::time::Instant;
+
+use super::matmul::transpose;
+use crate::kernels::{self, sgemm, Trans};
 use crate::Tensor;
 
 impl Tensor {
-    /// Batched matrix product `[N, M, K] x [N, K, P] -> [N, M, P]`.
+    /// Batched matrix product `[N, M, K] x [N, K, P] -> [N, M, P]` on the
+    /// blocked [`kernels::sgemm`]; backward reads the transposed operands
+    /// through stride views (`dAᵢ = dCᵢ·Bᵢᵀ`, `dBᵢ = Aᵢᵀ·dCᵢ`) instead of
+    /// materialising per-sample transposes.
     ///
     /// # Panics
     ///
@@ -21,8 +27,11 @@ impl Tensor {
         let a = self.to_vec();
         let b = other.to_vec();
         let mut out = vec![0.0f32; n * m * p];
+        let t0 = Instant::now();
         for i in 0..n {
-            gemm(
+            sgemm(
+                Trans::N,
+                Trans::N,
                 m,
                 k,
                 p,
@@ -31,41 +40,50 @@ impl Tensor {
                 &mut out[i * m * p..(i + 1) * m * p],
             );
         }
-        let (pa, pb) = (self.clone(), other.clone());
+        kernels::metrics::record_gemm(t0.elapsed(), 2 * (n * m * k * p) as u64);
         Tensor::from_op(
             vec![n, m, p],
             out,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                let t0 = Instant::now();
+                let mut flops = 0u64;
+                if parents[0].tracks_grad() {
                     let mut ga = vec![0.0f32; n * m * k];
                     for i in 0..n {
-                        let bt = transpose(k, p, &b[i * k * p..(i + 1) * k * p]);
-                        gemm(
+                        sgemm(
+                            Trans::N,
+                            Trans::T,
                             m,
                             p,
                             k,
                             &g[i * m * p..(i + 1) * m * p],
-                            &bt,
+                            &b[i * k * p..(i + 1) * k * p],
                             &mut ga[i * m * k..(i + 1) * m * k],
                         );
                     }
-                    pa.accumulate_grad(&ga);
+                    flops += 2 * (n * m * p * k) as u64;
+                    parents[0].accumulate_grad(&ga);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gb = vec![0.0f32; n * k * p];
                     for i in 0..n {
-                        let at = transpose(m, k, &a[i * m * k..(i + 1) * m * k]);
-                        gemm(
+                        sgemm(
+                            Trans::T,
+                            Trans::N,
                             k,
                             m,
                             p,
-                            &at,
+                            &a[i * m * k..(i + 1) * m * k],
                             &g[i * m * p..(i + 1) * m * p],
                             &mut gb[i * k * p..(i + 1) * k * p],
                         );
                     }
-                    pb.accumulate_grad(&gb);
+                    flops += 2 * (n * k * m * p) as u64;
+                    parents[1].accumulate_grad(&gb);
+                }
+                if flops > 0 {
+                    kernels::metrics::record_gemm(t0.elapsed(), flops);
                 }
             }),
         )
@@ -85,19 +103,18 @@ impl Tensor {
             let t = transpose(m, k, &a[i * m * k..(i + 1) * m * k]);
             out[i * m * k..(i + 1) * m * k].copy_from_slice(&t);
         }
-        let pa = self.clone();
         Tensor::from_op(
             vec![n, k, m],
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut ga = vec![0.0f32; n * m * k];
                     for i in 0..n {
                         let t = transpose(k, m, &g[i * m * k..(i + 1) * m * k]);
                         ga[i * m * k..(i + 1) * m * k].copy_from_slice(&t);
                     }
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -126,13 +143,12 @@ impl Tensor {
             }
         }
         let saved = out.clone();
-        let pa = self.clone();
         Tensor::from_op(
             shape,
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     // dx = s * (g - sum(g * s)) per row
                     let mut ga = vec![0.0f32; g.len()];
                     for ((grow, srow), garow) in
@@ -143,7 +159,7 @@ impl Tensor {
                             *ga_i = s_i * (g_i - dot);
                         }
                     }
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )

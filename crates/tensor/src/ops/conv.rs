@@ -1,11 +1,17 @@
+use std::time::Instant;
+
 use super::elementwise::shape4;
-use super::matmul::{gemm, transpose};
+use crate::kernels::{self, parallel_chunks_mut, scratch, sgemm, Trans};
 use crate::Tensor;
 
-/// Unfold one `[C, H, W]` sample into an im2col matrix of shape
-/// `[C*kh*kw, ho*wo]` for the given stride/padding (zero padding).
+/// Unfold one `[C, H, W]` sample into rows-layout im2col: `col` has shape
+/// `[ho*wo, c*kh*kw]`, one row per output position (zero padding). The
+/// rows layout lets all samples' columns stack into a single
+/// `[N*ho*wo, C*kh*kw]` matrix so the whole batch runs as one GEMM.
+///
+/// Writes every element of `col` (callers may pass recycled buffers).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn im2col(
+pub(crate) fn im2col_rows(
     input: &[f32],
     c: usize,
     h: usize,
@@ -16,38 +22,42 @@ pub(crate) fn im2col(
     pad: usize,
     ho: usize,
     wo: usize,
-) -> Vec<f32> {
-    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
-    let owo = ho * wo;
-    for ci in 0..c {
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let row = ((ci * kh + ky) * kw + kx) * owo;
-                for oy in 0..ho {
+    col: &mut [f32],
+) {
+    let ckk = c * kh * kw;
+    debug_assert_eq!(col.len(), ho * wo * ckk);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = &mut col[(oy * wo + ox) * ckk..(oy * wo + ox + 1) * ckk];
+            let mut idx = 0;
+            for ci in 0..c {
+                for ky in 0..kh {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
+                        row[idx..idx + kw].fill(0.0);
+                        idx += kw;
                         continue;
                     }
                     let in_base = (ci * h + iy as usize) * w;
-                    let out_base = row + oy * wo;
-                    for ox in 0..wo {
+                    for kx in 0..kw {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        col[out_base + ox] = input[in_base + ix as usize];
+                        row[idx] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            input[in_base + ix as usize]
+                        };
+                        idx += 1;
                     }
                 }
             }
         }
     }
-    col
 }
 
-/// Fold an im2col gradient back onto a `[C, H, W]` input gradient
-/// (accumulating overlapping contributions).
+/// Fold a rows-layout im2col gradient (`[ho*wo, c*kh*kw]`) back onto a
+/// `[C, H, W]` input gradient, accumulating overlapping contributions.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn col2im(
+pub(crate) fn col2im_rows(
     col: &[f32],
     c: usize,
     h: usize,
@@ -60,24 +70,26 @@ pub(crate) fn col2im(
     wo: usize,
     out: &mut [f32],
 ) {
-    let owo = ho * wo;
-    for ci in 0..c {
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let row = ((ci * kh + ky) * kw + kx) * owo;
-                for oy in 0..ho {
+    let ckk = c * kh * kw;
+    debug_assert_eq!(col.len(), ho * wo * ckk);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = &col[(oy * wo + ox) * ckk..(oy * wo + ox + 1) * ckk];
+            let mut idx = 0;
+            for ci in 0..c {
+                for ky in 0..kh {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
+                        idx += kw;
                         continue;
                     }
                     let in_base = (ci * h + iy as usize) * w;
-                    let col_base = row + oy * wo;
-                    for ox in 0..wo {
+                    for kx in 0..kw {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                        if ix >= 0 && ix < w as isize {
+                            out[in_base + ix as usize] += row[idx];
                         }
-                        out[in_base + ix as usize] += col[col_base + ox];
+                        idx += 1;
                     }
                 }
             }
@@ -90,7 +102,13 @@ impl Tensor {
     ///
     /// `weight` has shape `[O, C, kh, kw]`; the result is
     /// `[N, O, ho, wo]` with `ho = (H + 2*pad - kh) / stride + 1`.
-    /// Uses im2col + GEMM in both the forward and backward passes.
+    ///
+    /// All N samples' im2col columns stack into one `[N*ho*wo, C*kh*kw]`
+    /// matrix so forward, weight-gradient and input-gradient passes each
+    /// run as a single blocked GEMM ([`kernels::sgemm`]); im2col/col2im
+    /// fan out across samples on the kernel thread pool. The column matrix
+    /// is retained for backward only when the weight tracks gradients —
+    /// inference recycles it through the scratch pool.
     ///
     /// # Panics
     ///
@@ -110,68 +128,106 @@ impl Tensor {
         let wo = (w + 2 * pad - kw) / stride + 1;
         let ckk = c * kh * kw;
         let owo = ho * wo;
+        let np = n * owo;
 
+        let t0 = Instant::now();
         let x = self.to_vec();
         let wt = weight.to_vec();
-        let mut out = vec![0.0f32; n * o * owo];
-        let mut cols: Vec<Vec<f32>> = Vec::with_capacity(n);
-        for ni in 0..n {
-            let sample = &x[ni * c * h * w..(ni + 1) * c * h * w];
-            let col = im2col(sample, c, h, w, kh, kw, stride, pad, ho, wo);
-            gemm(
-                o,
-                ckk,
-                owo,
-                &wt,
-                &col,
-                &mut out[ni * o * owo..(ni + 1) * o * owo],
-            );
-            cols.push(col);
-        }
+        let keep_cols = weight.tracks_grad();
 
-        let (px, pw) = (self.clone(), weight.clone());
+        // Batched im2col: sample ni fills the contiguous row block
+        // [ni*owo, (ni+1)*owo) of the [np, ckk] column matrix.
+        let mut cols = if keep_cols { vec![0.0f32; np * ckk] } else { scratch::take(np * ckk) };
+        let chw = c * h * w;
+        parallel_chunks_mut(&mut cols, owo * ckk, &|ni, block| {
+            im2col_rows(&x[ni * chw..(ni + 1) * chw], c, h, w, kh, kw, stride, pad, ho, wo, block);
+        });
+
+        // One GEMM for the whole batch: [np, ckk] x [ckk, o] with the
+        // weight read transposed through strides.
+        let mut out_rm = scratch::take(np * o);
+        sgemm(Trans::N, Trans::T, np, ckk, o, &cols, &wt, &mut out_rm);
+
+        // Scatter [np, o] row-major back to NCHW [n, o, ho*wo].
+        let mut out = vec![0.0f32; n * o * owo];
+        {
+            let out_rm = &out_rm[..];
+            parallel_chunks_mut(&mut out, o * owo, &|ni, block| {
+                for oi in 0..o {
+                    let dst = &mut block[oi * owo..(oi + 1) * owo];
+                    for (p, v) in dst.iter_mut().enumerate() {
+                        *v = out_rm[(ni * owo + p) * o + oi];
+                    }
+                }
+            });
+        }
+        scratch::put(out_rm);
+        let cols = if keep_cols {
+            Some(cols)
+        } else {
+            scratch::put(cols);
+            None
+        };
+        kernels::metrics::record_conv(t0.elapsed(), 2 * (np * ckk * o) as u64);
+
         Tensor::from_op(
             vec![n, o, ho, wo],
             out,
             vec![self.clone(), weight.clone()],
-            Box::new(move |g| {
-                if pw.tracks_grad() {
+            Box::new(move |g, parents| {
+                let t0 = Instant::now();
+                let mut flops = 0u64;
+                // Gather dOut [n, o, owo] into rows layout [np, o]; both
+                // gradient GEMMs consume it.
+                let mut g_rm = scratch::take(np * o);
+                parallel_chunks_mut(&mut g_rm, owo * o, &|ni, block| {
+                    let src = &g[ni * o * owo..(ni + 1) * o * owo];
+                    for p in 0..owo {
+                        let row = &mut block[p * o..(p + 1) * o];
+                        for (oi, v) in row.iter_mut().enumerate() {
+                            *v = src[oi * owo + p];
+                        }
+                    }
+                });
+                if parents[1].tracks_grad() {
+                    let cols = cols.as_deref().expect("columns retained when weight tracks grad");
+                    // dW [o, ckk] = dOutᵀ [o, np] · cols [np, ckk]
                     let mut gw = vec![0.0f32; o * ckk];
-                    for (ni, col) in cols.iter().enumerate() {
-                        // dW += dOut_n [o, owo] * col^T [owo, ckk]
-                        let colt = transpose(ckk, owo, col);
-                        gemm(o, owo, ckk, &g[ni * o * owo..(ni + 1) * o * owo], &colt, &mut gw);
-                    }
-                    pw.accumulate_grad(&gw);
+                    sgemm(Trans::T, Trans::N, o, np, ckk, &g_rm, cols, &mut gw);
+                    flops += 2 * (o * np * ckk) as u64;
+                    parents[1].accumulate_grad(&gw);
                 }
-                if px.tracks_grad() {
-                    let wtt = transpose(o, ckk, &wt);
-                    let mut gx = vec![0.0f32; n * c * h * w];
-                    for ni in 0..n {
-                        let mut gcol = vec![0.0f32; ckk * owo];
-                        gemm(
-                            ckk,
-                            o,
-                            owo,
-                            &wtt,
-                            &g[ni * o * owo..(ni + 1) * o * owo],
-                            &mut gcol,
-                        );
-                        col2im(
-                            &gcol,
-                            c,
-                            h,
-                            w,
-                            kh,
-                            kw,
-                            stride,
-                            pad,
-                            ho,
-                            wo,
-                            &mut gx[ni * c * h * w..(ni + 1) * c * h * w],
-                        );
+                if parents[0].tracks_grad() {
+                    // dCols [np, ckk] = dOut [np, o] · W [o, ckk], then
+                    // col2im folds each sample's rows back onto dX.
+                    let mut gcols = scratch::take(np * ckk);
+                    sgemm(Trans::N, Trans::N, np, o, ckk, &g_rm, &wt, &mut gcols);
+                    flops += 2 * (np * o * ckk) as u64;
+                    let mut gx = vec![0.0f32; n * chw];
+                    {
+                        let gcols = &gcols[..];
+                        parallel_chunks_mut(&mut gx, chw, &|ni, block| {
+                            col2im_rows(
+                                &gcols[ni * owo * ckk..(ni + 1) * owo * ckk],
+                                c,
+                                h,
+                                w,
+                                kh,
+                                kw,
+                                stride,
+                                pad,
+                                ho,
+                                wo,
+                                block,
+                            );
+                        });
                     }
-                    px.accumulate_grad(&gx);
+                    scratch::put(gcols);
+                    parents[0].accumulate_grad(&gx);
+                }
+                scratch::put(g_rm);
+                if flops > 0 {
+                    kernels::metrics::record_conv(t0.elapsed(), flops);
                 }
             }),
         )
@@ -197,13 +253,12 @@ impl Tensor {
                 }
             }
         }
-        let pa = self.clone();
         Tensor::from_op(
             vec![n, c, h2, w2],
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut gx = vec![0.0f32; n * c * h * w];
                     for nc in 0..n * c {
                         let gs = &g[nc * h2 * w2..(nc + 1) * h2 * w2];
@@ -214,7 +269,7 @@ impl Tensor {
                             }
                         }
                     }
-                    pa.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )
@@ -242,13 +297,12 @@ impl Tensor {
                 }
             }
         }
-        let pa = self.clone();
         Tensor::from_op(
             vec![n, c, h2, w2],
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut gx = vec![0.0f32; n * c * h * w];
                     for nc in 0..n * c {
                         let gs = &g[nc * h2 * w2..(nc + 1) * h2 * w2];
@@ -264,7 +318,7 @@ impl Tensor {
                             }
                         }
                     }
-                    pa.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )
@@ -283,13 +337,12 @@ impl Tensor {
         for (nc, o) in out.iter_mut().enumerate() {
             *o = x[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / hw;
         }
-        let pa = self.clone();
         Tensor::from_op(
             vec![n, c],
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut gx = vec![0.0f32; n * c * h * w];
                     for (nc, &gv) in g.iter().enumerate() {
                         let val = gv / hw;
@@ -297,7 +350,7 @@ impl Tensor {
                             *v += val;
                         }
                     }
-                    pa.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )
@@ -337,6 +390,25 @@ mod tests {
         let y = x.conv2d(&w, 2, 0);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.to_vec(), vec![2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn conv_batch_matches_per_sample() {
+        // The batched GEMM must agree with running each sample alone.
+        let mut rng = crate::seeded_rng(17);
+        let x = Tensor::randn(vec![3, 2, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(vec![4, 2, 3, 3], 0.5, &mut rng);
+        let batched = x.conv2d(&w, 1, 1).to_vec();
+        let xv = x.to_vec();
+        let per = 2 * 5 * 5;
+        for ni in 0..3 {
+            let xi = Tensor::from_vec(vec![1, 2, 5, 5], xv[ni * per..(ni + 1) * per].to_vec());
+            let yi = xi.conv2d(&w, 1, 1).to_vec();
+            let block = &batched[ni * yi.len()..(ni + 1) * yi.len()];
+            for (a, b) in block.iter().zip(&yi) {
+                assert!((a - b).abs() < 1e-5, "sample {ni}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -24,17 +24,16 @@ impl Tensor {
             .zip(other.data().iter())
             .map(|(&a, &b)| a + b)
             .collect();
-        let (pa, pb) = (self.clone(), other.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
-                if pb.tracks_grad() {
-                    pb.accumulate_grad(g);
+                if parents[1].tracks_grad() {
+                    parents[1].accumulate_grad(g);
                 }
             }),
         )
@@ -53,18 +52,17 @@ impl Tensor {
             .zip(other.data().iter())
             .map(|(&a, &b)| a - b)
             .collect();
-        let (pa, pb) = (self.clone(), other.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let neg: Vec<f32> = g.iter().map(|&v| -v).collect();
-                    pb.accumulate_grad(&neg);
+                    parents[1].accumulate_grad(&neg);
                 }
             }),
         )
@@ -80,19 +78,18 @@ impl Tensor {
         let a = self.to_vec();
         let b = other.to_vec();
         let data: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
-        let (pa, pb) = (self.clone(), other.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g.iter().zip(&b).map(|(&gv, &y)| gv * y).collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let gb: Vec<f32> = g.iter().zip(&a).map(|(&gv, &x)| gv * x).collect();
-                    pb.accumulate_grad(&gb);
+                    parents[1].accumulate_grad(&gb);
                 }
             }),
         )
@@ -101,15 +98,14 @@ impl Tensor {
     /// Multiply every element by a constant.
     pub fn scale(&self, factor: f32) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|&v| v * factor).collect();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g.iter().map(|&v| v * factor).collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -118,14 +114,13 @@ impl Tensor {
     /// Add a constant to every element.
     pub fn add_scalar(&self, value: f32) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|&v| v + value).collect();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
             }),
         )
@@ -140,19 +135,18 @@ impl Tensor {
     pub fn relu(&self) -> Tensor {
         let a = self.to_vec();
         let data: Vec<f32> = a.iter().map(|&v| v.max(0.0)).collect();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g
                         .iter()
                         .zip(&a)
                         .map(|(&gv, &x)| if x > 0.0 { gv } else { 0.0 })
                         .collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -163,13 +157,12 @@ impl Tensor {
     pub fn silu(&self) -> Tensor {
         let a = self.to_vec();
         let data: Vec<f32> = a.iter().map(|&v| v * sigmoid_f(v)).collect();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g
                         .iter()
                         .zip(&a)
@@ -178,7 +171,7 @@ impl Tensor {
                             gv * (s + x * s * (1.0 - s))
                         })
                         .collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -188,19 +181,18 @@ impl Tensor {
     pub fn sigmoid(&self) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|&v| sigmoid_f(v)).collect();
         let out = data.clone();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g
                         .iter()
                         .zip(&out)
                         .map(|(&gv, &s)| gv * s * (1.0 - s))
                         .collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -210,19 +202,18 @@ impl Tensor {
     pub fn tanh(&self) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|&v| v.tanh()).collect();
         let out = data.clone();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g
                         .iter()
                         .zip(&out)
                         .map(|(&gv, &t)| gv * (1.0 - t * t))
                         .collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )
@@ -248,16 +239,15 @@ impl Tensor {
                 }
             }
         }
-        let (pa, pb) = (self.clone(), bias.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), bias.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gb = vec![0.0f32; c];
                     for ni in 0..n {
                         for (ci, acc) in gb.iter_mut().enumerate() {
@@ -265,7 +255,7 @@ impl Tensor {
                             *acc += g[base..base + hw].iter().sum::<f32>();
                         }
                     }
-                    pb.accumulate_grad(&gb);
+                    parents[1].accumulate_grad(&gb);
                 }
             }),
         )
@@ -292,13 +282,12 @@ impl Tensor {
                 *v *= f;
             }
         }
-        let (pa, ps) = (self.clone(), s.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), s.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut ga = g.to_vec();
                     for ni in 0..n {
                         let f = sv[ni];
@@ -306,9 +295,9 @@ impl Tensor {
                             *v *= f;
                         }
                     }
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
-                if ps.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gs = vec![0.0f32; n];
                     for (ni, acc) in gs.iter_mut().enumerate() {
                         *acc += g[ni * chw..(ni + 1) * chw]
@@ -317,7 +306,7 @@ impl Tensor {
                             .map(|(&gv, &xv)| gv * xv)
                             .sum::<f32>();
                     }
-                    ps.accumulate_grad(&gs);
+                    parents[1].accumulate_grad(&gs);
                 }
             }),
         )
@@ -342,21 +331,20 @@ impl Tensor {
                 *x += add;
             }
         }
-        let (pa, pv) = (self.clone(), v.clone());
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone(), v.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
-                if pv.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gv = vec![0.0f32; n * c];
                     for (nc, acc) in gv.iter_mut().enumerate() {
                         *acc = g[nc * hw..(nc + 1) * hw].iter().sum();
                     }
-                    pv.accumulate_grad(&gv);
+                    parents[1].accumulate_grad(&gv);
                 }
             }),
         )
@@ -372,14 +360,13 @@ impl Tensor {
     pub fn sum_all(&self) -> Tensor {
         let total: f32 = self.data().iter().sum();
         let len = self.len();
-        let pa = self.clone();
         Tensor::from_op(
             vec![1],
             vec![total],
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(&vec![g[0]; len]);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(&vec![g[0]; len]);
                 }
             }),
         )
@@ -389,19 +376,18 @@ impl Tensor {
     pub fn abs(&self) -> Tensor {
         let a = self.to_vec();
         let data: Vec<f32> = a.iter().map(|&v| v.abs()).collect();
-        let pa = self.clone();
         Tensor::from_op(
             self.shape().to_vec(),
             data,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let ga: Vec<f32> = g
                         .iter()
                         .zip(&a)
                         .map(|(&gv, &x)| if x >= 0.0 { gv } else { -gv })
                         .collect();
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
             }),
         )

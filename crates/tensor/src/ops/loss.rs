@@ -58,14 +58,13 @@ impl Tensor {
             loss -= (probs[i * k + labels[i]]).max(1e-12).ln();
         }
         loss /= n as f32;
-        let pa = self.clone();
         let labels = labels.to_vec();
         Tensor::from_op(
             vec![1],
             vec![loss],
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let scale = g[0] / n as f32;
                     let mut gx = probs.clone();
                     for (i, &l) in labels.iter().enumerate() {
@@ -74,7 +73,7 @@ impl Tensor {
                     for v in &mut gx {
                         *v *= scale;
                     }
-                    pa.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )

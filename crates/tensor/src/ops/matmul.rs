@@ -1,27 +1,10 @@
+use std::time::Instant;
+
+use crate::kernels::{self, sgemm, Trans};
 use crate::Tensor;
 
-/// Dense row-major matrix multiply `c[m,n] += a[m,k] * b[k,n]` with an
-/// ikj loop order (streaming-friendly on the inner dimension).
-pub(crate) fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-}
-
-/// Transpose a row-major `rows x cols` matrix.
+/// Transpose a row-major `rows x cols` matrix (layout changes only; the
+/// GEMM ops themselves read transposed operands through strides).
 pub(crate) fn transpose(rows: usize, cols: usize, a: &[f32]) -> Vec<f32> {
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
@@ -33,7 +16,10 @@ pub(crate) fn transpose(rows: usize, cols: usize, a: &[f32]) -> Vec<f32> {
 }
 
 impl Tensor {
-    /// 2-D matrix product `[M, K] x [K, N] -> [M, N]`.
+    /// 2-D matrix product `[M, K] x [K, N] -> [M, N]` on the blocked,
+    /// threaded [`kernels::sgemm`]. The backward pass multiplies against
+    /// the transposed operands through stride views (`dA = dC·Bᵀ`,
+    /// `dB = Aᵀ·dC`) instead of materialising transposes.
     ///
     /// # Panics
     ///
@@ -47,26 +33,30 @@ impl Tensor {
         let a = self.to_vec();
         let b = other.to_vec();
         let mut out = vec![0.0f32; m * n];
-        gemm(m, k, n, &a, &b, &mut out);
-        let (pa, pb) = (self.clone(), other.clone());
+        let t0 = Instant::now();
+        sgemm(Trans::N, Trans::N, m, k, n, &a, &b, &mut out);
+        kernels::metrics::record_gemm(t0.elapsed(), 2 * (m * k * n) as u64);
         Tensor::from_op(
             vec![m, n],
             out,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    // dA = dC * B^T
-                    let bt = transpose(k, n, &b);
+            Box::new(move |g, parents| {
+                let t0 = Instant::now();
+                let mut flops = 0u64;
+                if parents[0].tracks_grad() {
                     let mut ga = vec![0.0f32; m * k];
-                    gemm(m, n, k, g, &bt, &mut ga);
-                    pa.accumulate_grad(&ga);
+                    sgemm(Trans::N, Trans::T, m, n, k, g, &b, &mut ga);
+                    flops += 2 * (m * n * k) as u64;
+                    parents[0].accumulate_grad(&ga);
                 }
-                if pb.tracks_grad() {
-                    // dB = A^T * dC
-                    let at = transpose(m, k, &a);
+                if parents[1].tracks_grad() {
                     let mut gb = vec![0.0f32; k * n];
-                    gemm(k, m, n, &at, g, &mut gb);
-                    pb.accumulate_grad(&gb);
+                    sgemm(Trans::T, Trans::N, k, m, n, &a, g, &mut gb);
+                    flops += 2 * (k * m * n) as u64;
+                    parents[1].accumulate_grad(&gb);
+                }
+                if flops > 0 {
+                    kernels::metrics::record_gemm(t0.elapsed(), flops);
                 }
             }),
         )
@@ -89,23 +79,22 @@ impl Tensor {
                 *v += bv;
             }
         }
-        let (pa, pb) = (self.clone(), bias.clone());
         Tensor::from_op(
             vec![m, n],
             data,
             vec![self.clone(), bias.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gb = vec![0.0f32; n];
                     for row in g.chunks(n) {
                         for (acc, &gv) in gb.iter_mut().zip(row) {
                             *acc += gv;
                         }
                     }
-                    pb.accumulate_grad(&gb);
+                    parents[1].accumulate_grad(&gb);
                 }
             }),
         )
@@ -116,15 +105,6 @@ impl Tensor {
 mod tests {
     use super::*;
     use crate::Tensor;
-
-    #[test]
-    fn gemm_identity() {
-        let a = vec![1.0, 2.0, 3.0, 4.0];
-        let id = vec![1.0, 0.0, 0.0, 1.0];
-        let mut c = vec![0.0; 4];
-        gemm(2, 2, 2, &a, &id, &mut c);
-        assert_eq!(c, a);
-    }
 
     #[test]
     fn matmul_forward_known_values() {

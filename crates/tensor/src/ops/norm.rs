@@ -52,15 +52,14 @@ impl Tensor {
             }
         }
 
-        let (px, pg, pb) = (self.clone(), gamma.clone(), beta.clone());
         let xhat_saved = xhat;
         Tensor::from_op(
             self.shape().to_vec(),
             out,
             vec![self.clone(), gamma.clone(), beta.clone()],
-            Box::new(move |g| {
+            Box::new(move |g, parents| {
                 // d gamma / d beta
-                if pg.tracks_grad() || pb.tracks_grad() {
+                if parents[1].tracks_grad() || parents[2].tracks_grad() {
                     let mut ggamma = vec![0.0f32; c];
                     let mut gbeta = vec![0.0f32; c];
                     for ni in 0..n {
@@ -72,14 +71,14 @@ impl Tensor {
                             }
                         }
                     }
-                    if pg.tracks_grad() {
-                        pg.accumulate_grad(&ggamma);
+                    if parents[1].tracks_grad() {
+                        parents[1].accumulate_grad(&ggamma);
                     }
-                    if pb.tracks_grad() {
-                        pb.accumulate_grad(&gbeta);
+                    if parents[2].tracks_grad() {
+                        parents[2].accumulate_grad(&gbeta);
                     }
                 }
-                if px.tracks_grad() {
+                if parents[0].tracks_grad() {
                     // dL/dxhat = g * gamma, then the standard norm backward
                     // within each group:
                     // dx = istd/M * (M*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
@@ -108,7 +107,7 @@ impl Tensor {
                             }
                         }
                     }
-                    px.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )

@@ -14,14 +14,13 @@ impl Tensor {
             self.len(),
             "reshape must preserve element count"
         );
-        let pa = self.clone();
         Tensor::from_op(
             shape,
             self.to_vec(),
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
-                    pa.accumulate_grad(g);
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
+                    parents[0].accumulate_grad(g);
                 }
             }),
         )
@@ -50,28 +49,27 @@ impl Tensor {
             dst[..c1 * hw].copy_from_slice(&a[ni * c1 * hw..(ni + 1) * c1 * hw]);
             dst[c1 * hw..(c1 + c2) * hw].copy_from_slice(&b[ni * c2 * hw..(ni + 1) * c2 * hw]);
         }
-        let (pa, pb) = (self.clone(), other.clone());
         Tensor::from_op(
             vec![n, c1 + c2, h, w],
             out,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut ga = vec![0.0f32; n * c1 * hw];
                     for ni in 0..n {
                         let src = &g[ni * (c1 + c2) * hw..];
                         ga[ni * c1 * hw..(ni + 1) * c1 * hw].copy_from_slice(&src[..c1 * hw]);
                     }
-                    pa.accumulate_grad(&ga);
+                    parents[0].accumulate_grad(&ga);
                 }
-                if pb.tracks_grad() {
+                if parents[1].tracks_grad() {
                     let mut gb = vec![0.0f32; n * c2 * hw];
                     for ni in 0..n {
                         let src = &g[ni * (c1 + c2) * hw..];
                         gb[ni * c2 * hw..(ni + 1) * c2 * hw]
                             .copy_from_slice(&src[c1 * hw..(c1 + c2) * hw]);
                     }
-                    pb.accumulate_grad(&gb);
+                    parents[1].accumulate_grad(&gb);
                 }
             }),
         )
@@ -93,19 +91,18 @@ impl Tensor {
             let src = &x[(ni * c + start) * hw..(ni * c + end) * hw];
             out[ni * cs * hw..(ni + 1) * cs * hw].copy_from_slice(src);
         }
-        let pa = self.clone();
         Tensor::from_op(
             vec![n, cs, h, w],
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                if pa.tracks_grad() {
+            Box::new(move |g, parents| {
+                if parents[0].tracks_grad() {
                     let mut gx = vec![0.0f32; n * c * hw];
                     for ni in 0..n {
                         gx[(ni * c + start) * hw..(ni * c + end) * hw]
                             .copy_from_slice(&g[ni * cs * hw..(ni + 1) * cs * hw]);
                     }
-                    pa.accumulate_grad(&gx);
+                    parents[0].accumulate_grad(&gx);
                 }
             }),
         )

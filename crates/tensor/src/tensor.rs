@@ -8,8 +8,11 @@ use rand_distr_normal::sample_standard_normal;
 
 static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
 
-/// Backward closure: receives the node's output gradient.
-pub(crate) type BackwardFn = Box<dyn Fn(&[f32])>;
+/// Backward closure: receives the node's output gradient and the node's
+/// parent handles. Passing the parents in (rather than each closure
+/// capturing its own clones) keeps one set of handles per tape node and
+/// lets ops capture only the saved values their math needs.
+pub(crate) type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
 
 pub(crate) struct Inner {
     pub(crate) id: usize,
@@ -268,7 +271,7 @@ impl Tensor {
                     .borrow()
                     .clone()
                     .unwrap_or_else(|| vec![0.0; node.len()]);
-                backward(&grad);
+                backward(&grad, &node.0.parents);
                 // Free intermediate gradient buffers eagerly.
                 if !node.0.requires_grad && node.0.id != self.0.id {
                     *node.0.grad.borrow_mut() = None;
