@@ -7,6 +7,23 @@
 //! checkpoint caching, and plain-text table rendering.
 //!
 //! Run e.g. `cargo run --release -p dcdiff-bench --bin table1 -- --quick`.
+//!
+//! # Example
+//!
+//! The roster machinery is usable directly — here the training-free
+//! TIP-2006 ancestor recovers a DC-dropped encode of a synthetic scene:
+//!
+//! ```
+//! use dcdiff_bench::{code_image, Method};
+//! use dcdiff_data::{SceneGenerator, SceneKind};
+//! use dcdiff_metrics::psnr;
+//!
+//! let image = SceneGenerator::new(SceneKind::Smooth, 48, 48).generate(1);
+//! let (_coeffs, dropped, reference) = code_image(&image);
+//! let ancestor = Method::Baseline(Box::new(dcdiff_baselines::Tip2006::new()));
+//! let recovered = ancestor.recover(&dropped);
+//! assert!(psnr(&reference, &recovered) > psnr(&reference, &dropped.to_image()));
+//! ```
 
 use std::path::PathBuf;
 

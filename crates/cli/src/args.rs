@@ -31,7 +31,7 @@ const VALUE_FLAGS: &[&str] = &[
 /// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected
 /// by name, so a typo like `--qualty` fails loudly instead of being silently
 /// swallowed as an unused boolean.
-const BOOL_FLAGS: &[&str] = &["--optimize", "--drop-dc", "--fail-fast"];
+const BOOL_FLAGS: &[&str] = &["--optimize", "--drop-dc", "--fail-fast", "--no-fallback"];
 
 impl Parsed {
     /// Parse an argument list.

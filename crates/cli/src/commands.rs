@@ -45,7 +45,7 @@ pub const USAGE: &str = "usage:
                                      [--size WxH] [--seed N]
   dcdiff batch   <manifest>          [--workers N (default: all cores)]
                                      [--queue-cap M] [--retries R]
-                                     [--batch K] [--fail-fast]
+                                     [--batch K] [--fail-fast] [--no-fallback]
                                      [--trace t.jsonl] [--metrics m.json]
                                      [--log-level error|warn|info|debug]
   dcdiff report  <trace.jsonl>";
@@ -287,7 +287,7 @@ fn demo(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Build the [`Telemetry`] handle described by `--trace`, `--metrics` and
+/// Build the [`dcdiff_telemetry::Telemetry`] handle described by `--trace`, `--metrics` and
 /// `--log-level`, shared by `batch` and any future instrumented command.
 fn telemetry_from_flags(parsed: &Parsed) -> Result<dcdiff_telemetry::Telemetry, String> {
     let level = match parsed.value("--log-level") {
@@ -305,7 +305,7 @@ fn telemetry_from_flags(parsed: &Parsed) -> Result<dcdiff_telemetry::Telemetry, 
 
 /// Run a manifest of jobs through the batch-serving runtime.
 fn batch(parsed: &Parsed) -> Result<(), String> {
-    use dcdiff_runtime::{Runtime, RuntimeConfig, ShutdownMode, SubmitError};
+    use dcdiff_runtime::{RecoveryPolicy, Runtime, RuntimeConfig, ShutdownMode, SubmitError};
 
     let manifest_path = need(parsed, 1, "manifest path")?;
     let text = std::fs::read_to_string(&manifest_path)
@@ -330,6 +330,11 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
         default_retries: parsed.int("--retries", 0)? as u32,
         batch_max: parsed.int("--batch", 8)?.max(1) as usize,
         telemetry: tel.clone(),
+        recovery: if parsed.has("--no-fallback") {
+            RecoveryPolicy::no_fallback()
+        } else {
+            RecoveryPolicy::default()
+        },
         ..RuntimeConfig::default()
     };
     let fail_fast = parsed.has("--fail-fast");

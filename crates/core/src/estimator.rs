@@ -8,6 +8,9 @@ use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
 use dcdiff_tensor::{seeded_rng, Rng, Tensor};
 use rand::Rng as _;
 
+use std::time::Instant;
+
+use crate::fallback::EstimateError;
 use crate::mask::{high_frequency_mask, DEFAULT_THRESHOLD};
 use crate::projection::{image_to_tensor, project_dc, tensor_to_image};
 use crate::refine::refine_dc_offsets;
@@ -383,6 +386,48 @@ impl DcDiff {
     /// Panics if `options.ddim_steps` is zero or exceeds the training
     /// schedule.
     pub fn recover_with(&self, dropped: &CoeffImage, options: &RecoverOptions) -> Image {
+        match self.recover_deadline(dropped, options, None) {
+            Ok(image) => image,
+            Err(err) => unreachable!("recovery without a deadline cannot fail: {err}"),
+        }
+    }
+
+    /// Fallible recovery with an optional wall-clock deadline.
+    ///
+    /// This is the entry point the degradation ladder
+    /// ([`crate::FallbackEstimator`]) uses: the deadline is checked
+    /// cooperatively before every DDIM step and at each phase boundary,
+    /// and any panic escaping the model stack is caught and reported as
+    /// [`EstimateError::Panicked`] instead of unwinding into the worker.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::DeadlineExceeded`] when `deadline` passes before
+    /// recovery completes; [`EstimateError::Panicked`] when the model
+    /// stack panics.
+    pub fn try_recover_with(
+        &self,
+        dropped: &CoeffImage,
+        options: &RecoverOptions,
+        deadline: Option<Instant>,
+    ) -> Result<Image, EstimateError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.recover_deadline(dropped, options, deadline)
+        }))
+        .unwrap_or_else(|payload| Err(EstimateError::panicked(payload)))
+    }
+
+    fn recover_deadline(
+        &self,
+        dropped: &CoeffImage,
+        options: &RecoverOptions,
+        deadline: Option<Instant>,
+    ) -> Result<Image, EstimateError> {
+        let check = |phase: &'static str| match deadline {
+            Some(d) if Instant::now() >= d => Err(EstimateError::DeadlineExceeded { phase }),
+            _ => Ok(()),
+        };
+        check("start")?;
         // Phase spans go to the process-wide telemetry handle (see
         // `dcdiff_telemetry::install`); without an installed trace they are
         // inert branches.
@@ -431,13 +476,16 @@ impl DcDiff {
             ph / 8,
             pw / 8,
         ];
-        let z = sampler.sample(&latent_shape, &mut rng, |z_t, t| {
-            self.stage2
-                .predict_noise(z_t, &[t], &control, Some((&s, &b)))
-        });
+        let z = sampler.try_sample(&latent_shape, &mut rng, |z_t, t| {
+            check("ddim")?;
+            Ok(self
+                .stage2
+                .predict_noise(z_t, &[t], &control, Some((&s, &b))))
+        })?;
         drop(sample_span);
 
         // decode and crop
+        check("decode")?;
         let decode_span = tel.span("recover.decode");
         let x_hat = self
             .stage1
@@ -447,14 +495,16 @@ impl DcDiff {
         drop(decode_span);
 
         if !options.use_projection {
-            return generated;
+            return Ok(generated);
         }
+        check("projection")?;
         let projection_span = tel.span("recover.projection");
         let projected = project_dc(dropped, &generated);
         drop(projection_span);
         if !options.use_mld {
-            return projected.to_image();
+            return Ok(projected.to_image());
         }
+        check("mld_refine")?;
         let _mld_span = tel.span("recover.mld_refine");
         let refined = refine_dc_offsets(
             dropped,
@@ -463,7 +513,7 @@ impl DcDiff {
             self.config.prior_weight,
             self.config.refine_sweeps,
         );
-        refined.to_image()
+        Ok(refined.to_image())
     }
 
     /// Serialise every sub-network into a checkpoint.

@@ -1,0 +1,500 @@
+//! Graceful degradation for DC recovery: diffusion → statistical
+//! baseline → flat DC, guarded by a circuit breaker.
+//!
+//! The diffusion estimator is the quality tier, but it is also the slow
+//! and failure-prone one: it can blow a latency deadline, and a model
+//! bug can panic. A serving receiver must still return *a* picture, so
+//! the [`FallbackEstimator`] walks a ladder:
+//!
+//! 1. **Diffusion** — [`DcDiff::try_recover_with`] under an optional
+//!    per-job deadline, panics caught;
+//! 2. **Baseline** — any [`DcRecovery`] method from `dcdiff-baselines`
+//!    (TIP-2006 by default: training-free, milliseconds, no failure
+//!    modes of its own);
+//! 3. **Flat DC** — decode with the dropped DC left at zero (mid-gray
+//!    blocks), which cannot fail by construction.
+//!
+//! A [`CircuitBreaker`] sits in front of tier 1: after `threshold`
+//! consecutive diffusion failures it opens and jobs go straight to the
+//! baseline (no deadline burned on an estimator that is currently
+//! broken), probing diffusion again after a cooldown. Every decision is
+//! observable through the process-wide telemetry handle: counters
+//! `estimator.primary_ok` / `estimator.primary_fail` /
+//! `estimator.fallback_baseline` / `estimator.fallback_flat` /
+//! `estimator.breaker_short_circuit`, and the gauge `breaker.state`
+//! (0 = closed, 1 = half-open, 2 = open).
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use dcdiff_core::{BreakerState, CircuitBreaker};
+//!
+//! let breaker = CircuitBreaker::new(2, Duration::from_millis(50));
+//! assert_eq!(breaker.state(), BreakerState::Closed);
+//! breaker.record_failure();
+//! breaker.record_failure(); // second consecutive failure trips it
+//! assert_eq!(breaker.state(), BreakerState::Open);
+//! assert!(!breaker.allow());
+//! std::thread::sleep(Duration::from_millis(60));
+//! assert!(breaker.allow()); // cooldown elapsed: half-open probe
+//! breaker.record_success();
+//! assert_eq!(breaker.state(), BreakerState::Closed);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use dcdiff_baselines::{DcRecovery, Tip2006};
+use dcdiff_image::Image;
+use dcdiff_jpeg::CoeffImage;
+
+use crate::estimator::{DcDiff, RecoverOptions};
+
+/// Why a diffusion recovery attempt did not produce an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The per-job deadline passed; `phase` names the pipeline phase
+    /// that observed it (`"start"`, `"ddim"`, `"decode"`, …).
+    DeadlineExceeded {
+        /// Pipeline phase at which the deadline was detected.
+        phase: &'static str,
+    },
+    /// The model stack panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl EstimateError {
+    /// Build [`EstimateError::Panicked`] from a caught panic payload.
+    pub(crate) fn panicked(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "estimator panicked".to_string());
+        EstimateError::Panicked(msg)
+    }
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::DeadlineExceeded { phase } => {
+                write!(f, "recovery deadline exceeded during {phase}")
+            }
+            EstimateError::Panicked(msg) => write!(f, "estimator panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every job tries the primary estimator.
+    Closed,
+    /// Tripped: jobs skip the primary until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe jobs try the primary again; one success
+    /// closes the breaker, one failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding used for the `breaker.state` telemetry gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+const CLOSED: u8 = 0;
+const HALF_OPEN: u8 = 1;
+const OPEN: u8 = 2;
+
+/// Thread-safe circuit breaker tripping after N consecutive failures.
+///
+/// Shared by every worker of a runtime (behind an `Arc`): all state is
+/// atomic, so recording outcomes from concurrent jobs is safe. The
+/// breaker is time-based — once open, it stays open for `cooldown`, then
+/// lets probes through ([`BreakerState::HalfOpen`]) until one succeeds
+/// (→ closed) or fails (→ open again, cooldown restarted).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    /// Nanoseconds from `epoch` at which the breaker last opened.
+    opened_at_nanos: AtomicU64,
+    epoch: Instant,
+}
+
+impl CircuitBreaker {
+    /// Breaker tripping after `threshold` consecutive failures, staying
+    /// open for `cooldown` before letting a probe through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero (the breaker would never close).
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        assert!(threshold > 0, "breaker threshold must be at least 1");
+        Self {
+            threshold,
+            cooldown,
+            state: AtomicU8::new(CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at_nanos: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Configured consecutive-failure threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Configured cooldown before probing resumes.
+    pub fn cooldown(&self) -> Duration {
+        self.cooldown
+    }
+
+    /// Whether the next job may try the primary estimator. Transitions
+    /// open → half-open when the cooldown has elapsed.
+    pub fn allow(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED | HALF_OPEN => true,
+            _ => {
+                let opened = self.opened_at_nanos.load(Ordering::Acquire);
+                let elapsed = self.epoch.elapsed().as_nanos() as u64 - opened;
+                if elapsed >= self.cooldown.as_nanos() as u64 {
+                    self.state.store(HALF_OPEN, Ordering::Release);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful primary recovery: resets the failure streak
+    /// and closes the breaker.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        self.state.store(CLOSED, Ordering::Release);
+    }
+
+    /// Record a failed primary recovery: a probe failure re-opens
+    /// immediately; in closed state the breaker opens once the streak
+    /// reaches the threshold.
+    pub fn record_failure(&self) {
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        let was = self.state.load(Ordering::Acquire);
+        if was == HALF_OPEN || streak >= self.threshold {
+            self.opened_at_nanos
+                .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Release);
+            self.state.store(OPEN, Ordering::Release);
+        }
+    }
+
+    /// Current state (open → half-open transitions happen in
+    /// [`CircuitBreaker::allow`], so this is a snapshot, not a poll).
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => BreakerState::Closed,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Open,
+        }
+    }
+}
+
+/// Which ladder tier produced the returned image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTier {
+    /// The diffusion estimator succeeded (full quality).
+    Diffusion,
+    /// The statistical baseline filled in (degraded quality).
+    Baseline,
+    /// Flat DC — dropped coefficients left at zero (worst quality, but
+    /// structurally valid and AC detail intact).
+    FlatDc,
+}
+
+impl std::fmt::Display for RecoveryTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryTier::Diffusion => "diffusion",
+            RecoveryTier::Baseline => "baseline",
+            RecoveryTier::FlatDc => "flat-dc",
+        })
+    }
+}
+
+/// Result of one walk down the ladder: the image that will be served,
+/// the tier that produced it, and (when degraded) why the primary tier
+/// did not.
+#[derive(Debug)]
+pub struct LadderOutcome {
+    /// The recovered image — always present; that is the point.
+    pub image: Image,
+    /// Tier that produced `image`.
+    pub tier: RecoveryTier,
+    /// The primary-tier failure when `tier` is not
+    /// [`RecoveryTier::Diffusion`]; `None` when the breaker was open and
+    /// the primary was never attempted.
+    pub primary_error: Option<EstimateError>,
+}
+
+/// The degradation ladder: diffusion under a deadline, then a
+/// statistical baseline, then flat DC — fronted by a [`CircuitBreaker`].
+///
+/// Shared across runtime workers behind an `Arc`; recovery takes `&self`
+/// and all breaker state is atomic.
+pub struct FallbackEstimator {
+    primary: DcDiff,
+    options: RecoverOptions,
+    baseline: Box<dyn DcRecovery + Send + Sync>,
+    breaker: CircuitBreaker,
+    deadline: Option<Duration>,
+}
+
+impl std::fmt::Debug for FallbackEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FallbackEstimator")
+            .field("baseline", &self.baseline.name())
+            .field("breaker", &self.breaker)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FallbackEstimator {
+    /// Ladder over `primary` with the default baseline (TIP-2006), a
+    /// breaker tripping after 3 consecutive failures with a 30-second
+    /// cooldown, and no deadline.
+    pub fn new(primary: DcDiff, options: RecoverOptions) -> Self {
+        Self {
+            primary,
+            options,
+            baseline: Box::new(Tip2006::new()),
+            breaker: CircuitBreaker::new(3, Duration::from_secs(30)),
+            deadline: None,
+        }
+    }
+
+    /// Builder-style replacement of the statistical baseline tier.
+    pub fn with_baseline(mut self, baseline: Box<dyn DcRecovery + Send + Sync>) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Builder-style breaker replacement (threshold / cooldown tuning).
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Builder-style per-job diffusion deadline (`None` = unbounded).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The breaker (for observability; state transitions happen inside
+    /// [`FallbackEstimator::recover`]).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Walk the ladder. Always returns an image — tier 3 cannot fail.
+    pub fn recover(&self, dropped: &CoeffImage) -> LadderOutcome {
+        let tel = dcdiff_telemetry::global();
+        let mut primary_error = None;
+        if self.breaker.allow() {
+            let deadline = self.deadline.map(|d| Instant::now() + d);
+            match self.primary.try_recover_with(dropped, &self.options, deadline) {
+                Ok(image) => {
+                    self.breaker.record_success();
+                    tel.counter("estimator.primary_ok").inc();
+                    tel.gauge("breaker.state")
+                        .set(self.breaker.state().as_gauge());
+                    return LadderOutcome {
+                        image,
+                        tier: RecoveryTier::Diffusion,
+                        primary_error: None,
+                    };
+                }
+                Err(err) => {
+                    self.breaker.record_failure();
+                    tel.counter("estimator.primary_fail").inc();
+                    tel.warn(format!(
+                        "diffusion recovery failed ({err}); falling back to {}",
+                        self.baseline.name()
+                    ));
+                    primary_error = Some(err);
+                }
+            }
+        } else {
+            tel.counter("estimator.breaker_short_circuit").inc();
+        }
+        tel.gauge("breaker.state")
+            .set(self.breaker.state().as_gauge());
+
+        // Tier 2: the statistical baseline. It has no failure modes of
+        // its own, but a panic here must not kill the ladder either.
+        match catch_unwind(AssertUnwindSafe(|| self.baseline.recover(dropped))) {
+            Ok(image) => {
+                tel.counter("estimator.fallback_baseline").inc();
+                LadderOutcome {
+                    image,
+                    tier: RecoveryTier::Baseline,
+                    primary_error,
+                }
+            }
+            Err(_) => {
+                // Tier 3: decode with DC left at zero — flat mid-gray
+                // blocks, AC detail intact. Cannot fail.
+                tel.counter("estimator.fallback_flat").inc();
+                LadderOutcome {
+                    image: dropped.to_image(),
+                    tier: RecoveryTier::FlatDc,
+                    primary_error,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::DcDiffConfig;
+    use dcdiff_jpeg::{ChromaSampling, DcDropMode};
+
+    fn dropped_coeffs() -> CoeffImage {
+        let img = Image::filled(48, 48, dcdiff_image::ColorSpace::Rgb, 140.0);
+        CoeffImage::from_image(&img, 50, ChromaSampling::Cs444).drop_dc(DcDropMode::KeepCorners)
+    }
+
+    fn tiny_system() -> DcDiff {
+        DcDiff::new(
+            DcDiffConfig {
+                stage1_base: 8,
+                latent_channels: 4,
+                unet_base: 8,
+                diffusion_steps: 50,
+                ddim_steps: 3,
+                ..DcDiffConfig::default()
+            },
+            0,
+        )
+    }
+
+    fn tiny_ladder() -> FallbackEstimator {
+        let system = tiny_system();
+        let mut options = RecoverOptions::from_config(system.config());
+        options.ddim_steps = 3;
+        FallbackEstimator::new(system, options)
+    }
+
+    #[test]
+    fn healthy_primary_serves_the_diffusion_tier() {
+        let ladder = tiny_ladder();
+        let out = ladder.recover(&dropped_coeffs());
+        assert_eq!(out.tier, RecoveryTier::Diffusion);
+        assert_eq!(out.image.dims(), (48, 48));
+        assert!(out.primary_error.is_none());
+        assert_eq!(ladder.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn zero_deadline_falls_back_to_baseline() {
+        let tel = dcdiff_telemetry::Telemetry::builder().build();
+        dcdiff_telemetry::install(tel.clone());
+        let ladder = tiny_ladder().with_deadline(Some(Duration::ZERO));
+        let before = tel.counter("estimator.fallback_baseline").get();
+        let out = ladder.recover(&dropped_coeffs());
+        assert_eq!(out.tier, RecoveryTier::Baseline);
+        assert_eq!(out.image.dims(), (48, 48));
+        assert!(matches!(
+            out.primary_error,
+            Some(EstimateError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(tel.counter("estimator.fallback_baseline").get(), before + 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_short_circuits() {
+        let ladder = tiny_ladder()
+            .with_deadline(Some(Duration::ZERO))
+            .with_breaker(CircuitBreaker::new(2, Duration::from_secs(3600)));
+        ladder.recover(&dropped_coeffs());
+        assert_eq!(ladder.breaker().state(), BreakerState::Closed);
+        ladder.recover(&dropped_coeffs());
+        assert_eq!(ladder.breaker().state(), BreakerState::Open);
+        // Third job: primary skipped entirely (no error recorded).
+        let out = ladder.recover(&dropped_coeffs());
+        assert_eq!(out.tier, RecoveryTier::Baseline);
+        assert!(out.primary_error.is_none());
+    }
+
+    #[test]
+    fn breaker_resets_after_cooldown_and_success() {
+        let breaker = CircuitBreaker::new(1, Duration::from_millis(10));
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(breaker.allow(), "cooldown elapsed: probe allowed");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_immediately() {
+        let breaker = CircuitBreaker::new(5, Duration::from_millis(5));
+        for _ in 0..5 {
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(breaker.allow());
+        breaker.record_failure(); // a single probe failure re-opens
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow(), "cooldown restarted");
+    }
+
+    #[test]
+    fn deadline_error_reports_the_phase() {
+        let system = tiny_system();
+        let mut options = RecoverOptions::from_config(system.config());
+        options.ddim_steps = 3;
+        let err = system
+            .try_recover_with(&dropped_coeffs(), &options, Some(Instant::now()))
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::DeadlineExceeded { .. }));
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn generous_deadline_recovers_normally() {
+        let system = tiny_system();
+        let mut options = RecoverOptions::from_config(system.config());
+        options.ddim_steps = 3;
+        let image = system
+            .try_recover_with(
+                &dropped_coeffs(),
+                &options,
+                Some(Instant::now() + Duration::from_secs(600)),
+            )
+            .expect("10 minutes is plenty for a tiny model");
+        assert_eq!(image.dims(), (48, 48));
+    }
+}

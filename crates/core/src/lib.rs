@@ -56,6 +56,7 @@ pub mod mld;
 
 mod discriminator;
 mod estimator;
+mod fallback;
 mod perceptual;
 mod projection;
 mod refine;
@@ -64,6 +65,9 @@ mod stage2;
 
 pub use discriminator::PatchDiscriminator;
 pub use estimator::{DcDiff, DcDiffConfig, RecoverOptions, TrainBudget, TrainReport};
+pub use fallback::{
+    BreakerState, CircuitBreaker, EstimateError, FallbackEstimator, LadderOutcome, RecoveryTier,
+};
 pub use perceptual::PerceptualLoss;
 pub use projection::{image_to_tensor, project_dc, tensor_to_image};
 pub use refine::{refine_dc_offsets, refine_dc_offsets_with, RefineConfig};

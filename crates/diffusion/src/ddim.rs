@@ -78,6 +78,31 @@ impl DdimSampler {
         rng: &mut Rng,
         eps_fn: impl Fn(&Tensor, usize) -> Tensor,
     ) -> Tensor {
+        let result: Result<Tensor, std::convert::Infallible> =
+            self.try_sample(shape, rng, |z_t, t| Ok(eps_fn(z_t, t)));
+        match result {
+            Ok(z) => z,
+        }
+    }
+
+    /// Fallible variant of [`DdimSampler::sample`] supporting cooperative
+    /// cancellation.
+    ///
+    /// The noise predictor may return `Err` (deadline blown, resource
+    /// exhausted, shutdown requested); sampling stops at that step and
+    /// the error propagates immediately instead of burning the remaining
+    /// DDIM steps. The estimator's degradation ladder uses this to bound
+    /// diffusion latency per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by `eps_fn`; no further steps run.
+    pub fn try_sample<E>(
+        &self,
+        shape: &[usize],
+        rng: &mut Rng,
+        mut eps_fn: impl FnMut(&Tensor, usize) -> Result<Tensor, E>,
+    ) -> Result<Tensor, E> {
         let mut z = Tensor::randn(shape.to_vec(), 1.0, rng);
         let ts = self.timesteps();
         // Per-step spans land in the process-wide trace when one is
@@ -85,7 +110,7 @@ impl DdimSampler {
         let tel = dcdiff_telemetry::global();
         for (i, &t) in ts.iter().enumerate() {
             let _step = tel.span("recover.ddim_step");
-            let eps = eps_fn(&z, t).detach();
+            let eps = eps_fn(&z, t)?.detach();
             let z0 = self.schedule.predict_z0(&z, t, &eps);
             if i + 1 < ts.len() {
                 let t_prev = ts[i + 1];
@@ -98,7 +123,7 @@ impl DdimSampler {
                 z = z0.detach();
             }
         }
-        z
+        Ok(z)
     }
 }
 
@@ -161,6 +186,34 @@ mod tests {
     #[should_panic(expected = "ddim steps")]
     fn rejects_zero_steps() {
         DdimSampler::new(NoiseSchedule::linear(10, 1e-3, 2e-2), 0);
+    }
+
+    #[test]
+    fn try_sample_stops_at_first_error() {
+        let sampler = DdimSampler::new(NoiseSchedule::linear(100, 1e-4, 2e-2), 10);
+        let mut rng = seeded_rng(3);
+        let mut calls = 0usize;
+        let result: Result<Tensor, &str> = sampler.try_sample(&[1, 1, 2, 2], &mut rng, |zt, _| {
+            calls += 1;
+            if calls == 4 {
+                Err("deadline blown")
+            } else {
+                Ok(zt.scale(0.1))
+            }
+        });
+        assert_eq!(result.unwrap_err(), "deadline blown");
+        assert_eq!(calls, 4, "sampling must stop at the failing step");
+    }
+
+    #[test]
+    fn try_sample_matches_sample_when_infallible() {
+        let sampler = DdimSampler::new(NoiseSchedule::linear(50, 1e-4, 2e-2), 5);
+        let mut r1 = seeded_rng(9);
+        let mut r2 = seeded_rng(9);
+        let a = sampler.sample(&[1, 1, 2, 2], &mut r1, |zt, _| zt.scale(0.1));
+        let b: Result<Tensor, std::convert::Infallible> =
+            sampler.try_sample(&[1, 1, 2, 2], &mut r2, |zt, _| Ok(zt.scale(0.1)));
+        assert_eq!(a.to_vec(), b.unwrap().to_vec());
     }
 }
 

@@ -1,0 +1,52 @@
+//! Regenerates the committed fault-corpus fixtures under
+//! `tests/fixtures/faults/` — one file per [`dcdiff_faults::FaultClass`].
+//!
+//! The fixtures pin the decoder-hardening contract outside proptest: a
+//! regression test decodes each committed file and asserts a typed error.
+//! Everything here is deterministic (fixed reference stream, fixed seeds),
+//! so rerunning the tool reproduces the exact committed bytes:
+//!
+//! ```text
+//! cargo run -p dcdiff-faults --bin fault_fixtures -- tests/fixtures/faults
+//! ```
+
+use dcdiff_faults::{corpus, marker_boundaries, reference_stream, FaultClass};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/fixtures/faults".to_string());
+    std::fs::create_dir_all(&dir).expect("create fixture directory");
+
+    let bytes = reference_stream(48, 32, 50).expect("reference stream");
+
+    // Marker truncation: cut immediately before the SOS marker, the deepest
+    // header-boundary cut (everything after it is entropy-coded payload).
+    let sos = bytes
+        .windows(2)
+        .position(|w| w == [0xFF, 0xDA])
+        .expect("reference stream has a scan");
+    assert!(marker_boundaries(&bytes).contains(&sos));
+    write(&dir, FaultClass::MarkerTruncation, &bytes[..sos]);
+
+    // The randomised families: for each class, the first corpus case (under
+    // the base seed the regression test documents) that actually fails to
+    // decode — some bit flips land in tolerated AC magnitudes.
+    for class in [
+        FaultClass::ScanTruncation,
+        FaultClass::BitFlip,
+        FaultClass::LengthCorruption,
+    ] {
+        let case = corpus(&bytes, 0xF1C5, 120)
+            .into_iter()
+            .find(|c| c.class == class && dcdiff_jpeg::JpegDecoder::decode(&c.bytes).is_err())
+            .expect("corpus produces a failing case per randomised class");
+        write(&dir, class, &case.bytes);
+    }
+}
+
+fn write(dir: &str, class: FaultClass, bytes: &[u8]) {
+    let path = format!("{dir}/{class}.jpg");
+    std::fs::write(&path, bytes).expect("write fixture");
+    println!("{path}: {} bytes", bytes.len());
+}

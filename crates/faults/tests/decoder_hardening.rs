@@ -1,0 +1,150 @@
+//! The decoder contract over the fault corpus: untrusted bytes never
+//! panic, and every failure is a typed, correctly-classified error.
+//!
+//! `JpegErrorKind::Internal` marks a caught panic or invariant breach
+//! inside the codec, so these tests also assert it never appears — the
+//! parser must reject corruption *by construction*, not by unwinding.
+
+use dcdiff_faults::{corpus, marker_boundaries, reference_stream, truncations, FaultClass};
+use dcdiff_jpeg::{JpegDecoder, JpegErrorKind};
+use proptest::prelude::*;
+
+fn streams() -> Vec<Vec<u8>> {
+    vec![
+        reference_stream(48, 32, 50).unwrap(),
+        reference_stream(37, 21, 75).unwrap(), // odd dims
+        reference_stream(16, 16, 10).unwrap(), // coarse quantisers
+    ]
+}
+
+#[test]
+fn every_marker_boundary_truncation_is_a_typed_error() {
+    for bytes in streams() {
+        assert!(!marker_boundaries(&bytes).is_empty());
+        for cut in truncations(&bytes) {
+            let err = JpegDecoder::decode(&cut)
+                .expect_err("a truncated stream can never decode");
+            assert_ne!(
+                err.kind(),
+                JpegErrorKind::Internal,
+                "truncation at {} bytes hit a codec bug: {err}",
+                cut.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn header_truncations_classify_as_truncated() {
+    // Cuts that end cleanly at a marker boundary before the scan are the
+    // canonical transient case: more bytes would have fixed them.
+    let bytes = reference_stream(48, 32, 50).unwrap();
+    let sos = bytes.windows(2).position(|w| w == [0xFF, 0xDA]).unwrap();
+    for b in marker_boundaries(&bytes) {
+        if b == 0 || b > sos {
+            continue; // empty prefix has no marker; post-SOS cuts differ
+        }
+        let err = JpegDecoder::decode(&bytes[..b]).unwrap_err();
+        assert_eq!(
+            err.kind(),
+            JpegErrorKind::Truncated,
+            "cut at header boundary {b}: {err}"
+        );
+        assert!(err.is_transient());
+    }
+}
+
+#[test]
+fn thousand_seeded_mutations_never_panic_or_hit_internal() {
+    let mut total = 0usize;
+    let mut failures_by_class = std::collections::HashMap::new();
+    for (i, bytes) in streams().into_iter().enumerate() {
+        for case in corpus(&bytes, 0xDC0F + i as u64 * 1_000, 400) {
+            total += 1;
+            // Ok is legitimate for e.g. a bit flip in an AC magnitude;
+            // what is never legitimate is a panic or an Internal error.
+            if let Err(err) = JpegDecoder::decode(&case.bytes) {
+                assert_ne!(
+                    err.kind(),
+                    JpegErrorKind::Internal,
+                    "seed {} ({}) exposed a codec bug: {err}",
+                    case.seed,
+                    case.class
+                );
+                *failures_by_class.entry(case.class).or_insert(0usize) += 1;
+            }
+        }
+    }
+    assert!(total >= 1000, "corpus too small: {total}");
+    // The corpus must actually bite: each randomised family has to
+    // produce decode failures, otherwise the harness tests nothing.
+    for class in [
+        FaultClass::BitFlip,
+        FaultClass::ScanTruncation,
+        FaultClass::LengthCorruption,
+    ] {
+        assert!(
+            failures_by_class.get(&class).copied().unwrap_or(0) > 0,
+            "{class} mutations never failed a decode"
+        );
+    }
+}
+
+#[test]
+fn scan_truncations_classify_as_truncated() {
+    let bytes = reference_stream(48, 32, 50).unwrap();
+    for case in corpus(&bytes, 0x7413, 90) {
+        if case.class != FaultClass::ScanTruncation {
+            continue;
+        }
+        let err = JpegDecoder::decode(&case.bytes)
+            .expect_err("cut scans cannot decode completely");
+        assert_eq!(err.kind(), JpegErrorKind::Truncated, "seed {}", case.seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_cut_points_never_panic(keep_frac in 0.0f64..1.0) {
+        let bytes = reference_stream(32, 24, 50).unwrap();
+        let keep = (bytes.len() as f64 * keep_frac) as usize;
+        if let Err(err) = JpegDecoder::decode(&bytes[..keep]) {
+            prop_assert_ne!(err.kind(), JpegErrorKind::Internal, "{}", err);
+        }
+    }
+
+    #[test]
+    fn random_double_bit_flips_never_panic(
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+        bits in any::<u8>(),
+    ) {
+        let bytes = reference_stream(32, 24, 50).unwrap();
+        let a = ((bytes.len() - 1) as f64 * a_frac) as usize;
+        let b = ((bytes.len() - 1) as f64 * b_frac) as usize;
+        let mut mutated = bytes;
+        mutated[a] ^= 1 << (bits % 8);
+        mutated[b] ^= 1 << ((bits >> 4) % 8);
+        if let Err(err) = JpegDecoder::decode(&mutated) {
+            prop_assert_ne!(err.kind(), JpegErrorKind::Internal, "{}", err);
+        }
+    }
+
+    #[test]
+    fn adversarial_dimension_headers_never_allocate_unbounded(
+        w in any::<u16>(), h in any::<u16>()
+    ) {
+        // Rewrite the SOF dimensions to arbitrary values: the decoder must
+        // reject oversized frames instead of allocating for them.
+        let bytes = reference_stream(16, 16, 50).unwrap();
+        let sof = bytes.windows(2).position(|win| win == [0xFF, 0xC0]).unwrap();
+        let mut mutated = bytes;
+        mutated[sof + 5..sof + 7].copy_from_slice(&h.to_be_bytes());
+        mutated[sof + 7..sof + 9].copy_from_slice(&w.to_be_bytes());
+        if let Err(err) = JpegDecoder::decode(&mutated) {
+            prop_assert_ne!(err.kind(), JpegErrorKind::Internal, "{}", err);
+        }
+    }
+}

@@ -3,8 +3,9 @@
 //! The JPEG pipeline, the neural substrates and the metrics all operate on
 //! [`Plane`] (a single 2-D channel of `f32` samples) and [`Image`] (one to
 //! three planes plus a [`ColorSpace`] tag). Samples are kept in the nominal
-//! `0.0..=255.0` range used by baseline JPEG; conversion helpers in
-//! [`color`] move between RGB and the JPEG (BT.601 full-range) YCbCr space.
+//! `0.0..=255.0` range used by baseline JPEG; the conversion helpers
+//! [`rgb_to_ycbcr_pixel`] / [`ycbcr_to_rgb_pixel`] move between RGB and the
+//! JPEG (BT.601 full-range) YCbCr space.
 //!
 //! # Example
 //!

@@ -7,6 +7,17 @@ use crate::quant::QuantTable;
 use crate::zigzag::{from_zigzag, to_zigzag};
 use crate::{JpegError, BLOCK, BLOCK_AREA};
 
+/// Upper bound on the decoded frame area (`width × height`) accepted by
+/// [`JpegDecoder`].
+///
+/// The header of an adversarial stream can declare up to 65535×65535
+/// pixels (≈ 4.3 G), which would drive multi-gigabyte coefficient
+/// allocations before a single entropy-coded bit is read. 2²⁴ pixels
+/// (a 4096×4096 frame) comfortably covers every dataset in the paper
+/// while bounding decoder memory; larger frames are rejected with a
+/// [`JpegErrorKind::Unsupported`](crate::JpegErrorKind::Unsupported) error.
+pub const MAX_DECODE_PIXELS: usize = 1 << 24;
+
 /// Chroma subsampling of the coded stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ChromaSampling {
@@ -105,8 +116,8 @@ impl JpegEncoder {
     ///
     /// # Errors
     ///
-    /// Returns [`JpegError::UnsupportedImage`] for images larger than
-    /// 65535 pixels on a side.
+    /// Returns a [`JpegErrorKind::Unsupported`](crate::JpegErrorKind::Unsupported) error for images larger
+    /// than 65535 pixels on a side.
     pub fn encode(&self, image: &Image) -> Result<Vec<u8>, JpegError> {
         let coeffs = self.to_coefficients(image);
         if self.restart_interval > 0 {
@@ -125,8 +136,8 @@ impl JpegEncoder {
 ///
 /// # Errors
 ///
-/// Returns [`JpegError::UnsupportedImage`] when dimensions exceed the
-/// 16-bit JFIF fields.
+/// Returns a [`JpegErrorKind::Unsupported`](crate::JpegErrorKind::Unsupported) error when dimensions exceed
+/// the 16-bit JFIF fields.
 pub fn encode_coefficients(coeffs: &CoeffImage) -> Result<Vec<u8>, JpegError> {
     let dc_l = HuffmanTable::dc_luma();
     let ac_l = HuffmanTable::ac_luma();
@@ -147,7 +158,7 @@ pub(crate) fn write_file_with_tables(
     scan: &[u8],
 ) -> Result<Vec<u8>, JpegError> {
     if coeffs.width() > 65_535 || coeffs.height() > 65_535 {
-        return Err(JpegError::UnsupportedImage(format!(
+        return Err(JpegError::unsupported(format!(
             "dimensions {}x{} exceed JFIF limits",
             coeffs.width(),
             coeffs.height()
@@ -193,10 +204,16 @@ pub struct JpegDecoder;
 impl JpegDecoder {
     /// Decode a JFIF stream to pixels.
     ///
+    /// This entry point accepts untrusted bytes: every corruption mode —
+    /// truncation, bit flips, bad segment lengths — surfaces as a typed
+    /// [`JpegError`] whose [`JpegErrorKind`](crate::JpegErrorKind) tells retry logic whether
+    /// re-fetching the payload could help.
+    ///
     /// # Errors
     ///
-    /// Returns [`JpegError::InvalidStream`] on malformed markers and
-    /// [`JpegError::TruncatedScan`] when entropy data ends early.
+    /// Returns a [`JpegErrorKind::Truncated`](crate::JpegErrorKind::Truncated) error when the stream ends
+    /// early, [`JpegErrorKind::Malformed`](crate::JpegErrorKind::Malformed) on syntax violations, and
+    /// [`JpegErrorKind::Unsupported`](crate::JpegErrorKind::Unsupported) for non-baseline features.
     pub fn decode(bytes: &[u8]) -> Result<Image, JpegError> {
         Ok(Self::decode_coefficients(bytes)?.to_image())
     }
@@ -207,10 +224,20 @@ impl JpegDecoder {
     ///
     /// # Errors
     ///
-    /// Returns [`JpegError::InvalidStream`] / [`JpegError::TruncatedScan`]
-    /// as for [`JpegDecoder::decode`].
+    /// As for [`JpegDecoder::decode`]. Additionally, any panic escaping
+    /// the parser (a codec bug) is caught and reported as a
+    /// [`JpegErrorKind::Internal`](crate::JpegErrorKind::Internal) error rather than unwinding into the
+    /// caller — decode of untrusted bytes never takes down a worker.
     pub fn decode_coefficients(bytes: &[u8]) -> Result<CoeffImage, JpegError> {
-        Parser::new(bytes).parse()
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Parser::new(bytes).parse()))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "parser panicked".to_string());
+                Err(JpegError::internal(format!("decoder panic: {msg}")))
+            })
     }
 }
 
@@ -388,14 +415,14 @@ pub(crate) fn encode_scan_restarts(
 ///
 /// # Errors
 ///
-/// Returns [`JpegError::UnsupportedImage`] for out-of-range dimensions
-/// or a zero/overlong interval.
+/// Returns a [`JpegErrorKind::Unsupported`](crate::JpegErrorKind::Unsupported) error for out-of-range
+/// dimensions or a zero/overlong interval.
 pub fn encode_coefficients_with_restarts(
     coeffs: &CoeffImage,
     interval: usize,
 ) -> Result<Vec<u8>, JpegError> {
     if interval == 0 || interval > 65_535 {
-        return Err(JpegError::UnsupportedImage(format!(
+        return Err(JpegError::unsupported(format!(
             "restart interval {interval} out of range 1..=65535"
         )));
     }
@@ -409,7 +436,7 @@ pub fn encode_coefficients_with_restarts(
     let sos = full
         .windows(2)
         .position(|w| w == [0xFF, 0xDA])
-        .expect("scan header present");
+        .ok_or_else(|| JpegError::internal("encoder emitted a stream without an SOS marker"))?;
     let mut out = Vec::with_capacity(full.len() + 6);
     out.extend_from_slice(&full[..sos]);
     out.extend_from_slice(&[0xFF, 0xDD, 0x00, 0x04]);
@@ -456,12 +483,12 @@ impl<'a> Parser<'a> {
     }
 
     fn err(msg: impl Into<String>) -> JpegError {
-        JpegError::InvalidStream(msg.into())
+        JpegError::malformed(msg)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], JpegError> {
         if self.pos + n > self.bytes.len() {
-            return Err(Self::err("unexpected end of stream"));
+            return Err(JpegError::truncated("stream ended inside a header segment"));
         }
         let slice = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -510,8 +537,16 @@ impl<'a> Parser<'a> {
                     return self.parse_scan();
                 }
                 0xC1..=0xCF => {
+                    return Err(JpegError::unsupported(format!(
+                        "frame type {marker:#04x} (baseline sequential only)"
+                    )))
+                }
+                // Standalone markers carry no length field; none of them is
+                // legal between header segments, so reading a bogus length
+                // here would desynchronise the parser.
+                0x01 | 0xD0..=0xD8 => {
                     return Err(Self::err(format!(
-                        "unsupported frame type {marker:#04x} (baseline only)"
+                        "standalone marker {marker:#04x} before SOS"
                     )))
                 }
                 _ => {
@@ -559,16 +594,24 @@ impl<'a> Parser<'a> {
         let _len = self.u16()?;
         let precision = self.u8()?;
         if precision != 8 {
-            return Err(Self::err("only 8-bit precision supported"));
+            return Err(JpegError::unsupported(format!(
+                "{precision}-bit sample precision (baseline is 8-bit)"
+            )));
         }
         self.height = self.u16()? as usize;
         self.width = self.u16()? as usize;
         if self.width == 0 || self.height == 0 {
             return Err(Self::err("zero image dimension"));
         }
+        if self.width.saturating_mul(self.height) > MAX_DECODE_PIXELS {
+            return Err(JpegError::unsupported(format!(
+                "frame {}x{} exceeds the {MAX_DECODE_PIXELS}-pixel decode limit",
+                self.width, self.height
+            )));
+        }
         let nf = self.u8()? as usize;
         if nf != 1 && nf != 3 {
-            return Err(Self::err(format!("unsupported component count {nf}")));
+            return Err(JpegError::unsupported(format!("component count {nf}")));
         }
         self.components.clear();
         for _ in 0..nf {
@@ -576,9 +619,6 @@ impl<'a> Parser<'a> {
             let hv = self.u8()?;
             let tq = self.u8()? as usize;
             let (h, v) = ((hv >> 4) as usize, (hv & 0x0F) as usize);
-            if !(1..=2).contains(&h) || !(1..=2).contains(&v) {
-                return Err(Self::err("sampling factors beyond 2 unsupported"));
-            }
             if tq > 3 {
                 return Err(Self::err("SOF quant table id out of range"));
             }
@@ -590,6 +630,24 @@ impl<'a> Parser<'a> {
                 dc_table: 0,
                 ac_table: 0,
             });
+        }
+        // Only the factor combinations this codec can emit are accepted;
+        // anything else (e.g. vertical-only subsampling) would build
+        // component planes whose dimensions disagree with the sampling
+        // tag and corrupt the reconstruction downstream.
+        let factors: Vec<(usize, usize)> =
+            self.components.iter().map(|c| (c.h, c.v)).collect();
+        let known = matches!(
+            factors.as_slice(),
+            [(1, 1)]
+                | [(1, 1), (1, 1), (1, 1)]
+                | [(2, 1), (1, 1), (1, 1)]
+                | [(2, 2), (1, 1), (1, 1)]
+        );
+        if !known {
+            return Err(JpegError::unsupported(format!(
+                "sampling factor combination {factors:?} (4:4:4, 4:2:2 and 4:2:0 only)"
+            )));
         }
         Ok(())
     }
@@ -687,7 +745,11 @@ impl<'a> Parser<'a> {
                                 "restart marker out of sequence: got RST{m}"
                             )))
                         }
-                        None => return Err(JpegError::TruncatedScan),
+                        None => {
+                            return Err(JpegError::truncated(
+                                "scan ended where a restart marker was expected",
+                            ))
+                        }
                     }
                 }
                 mcu_index += 1;
@@ -709,6 +771,14 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
+        }
+
+        // Byte stuffing guarantees `FF D9` cannot occur inside entropy
+        // data, so its absence means the stream tail was cut off — the
+        // scan may have "decoded" only because truncation landed on an
+        // MCU boundary.
+        if !scan.windows(2).any(|w| w == [0xFF, 0xD9]) {
+            return Err(JpegError::truncated("stream ends without an EOI marker"));
         }
 
         let qtables: Vec<QuantTable> = self
@@ -741,19 +811,20 @@ fn decode_block(
     ac_table: &HuffmanTable,
     pred: &mut i32,
 ) -> Result<[i32; BLOCK_AREA], JpegError> {
+    let truncated = || JpegError::truncated("entropy-coded scan ended mid-block");
     let mut zz = [0i32; BLOCK_AREA];
-    let size = dc_table.decode(reader).ok_or(JpegError::TruncatedScan)? as u32;
+    let size = dc_table.decode(reader).ok_or_else(truncated)? as u32;
     if size > 15 {
-        return Err(JpegError::InvalidStream(format!(
+        return Err(JpegError::malformed(format!(
             "DC size category {size} exceeds the baseline limit"
         )));
     }
-    let bits = reader.bits(size).ok_or(JpegError::TruncatedScan)?;
+    let bits = reader.bits(size).ok_or_else(truncated)?;
     *pred += magnitude_decode(size, bits);
     zz[0] = *pred;
     let mut k = 1usize;
     while k < BLOCK_AREA {
-        let sym = ac_table.decode(reader).ok_or(JpegError::TruncatedScan)?;
+        let sym = ac_table.decode(reader).ok_or_else(truncated)?;
         if sym == 0x00 {
             break; // EOB
         }
@@ -765,9 +836,9 @@ fn decode_block(
         let size = (sym & 0x0F) as u32; // 4 bits: size <= 15 by construction
         k += run;
         if k >= BLOCK_AREA {
-            return Err(JpegError::InvalidStream("AC run overflows block".into()));
+            return Err(JpegError::malformed("AC run overflows block"));
         }
-        let bits = reader.bits(size).ok_or(JpegError::TruncatedScan)?;
+        let bits = reader.bits(size).ok_or_else(truncated)?;
         zz[k] = magnitude_decode(size, bits);
         k += 1;
     }

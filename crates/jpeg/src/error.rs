@@ -1,25 +1,168 @@
+//! Typed error taxonomy for the JPEG codec.
+//!
+//! Every failure that can surface while encoding or — more importantly —
+//! while decoding *untrusted* bytes is reported as a [`JpegError`] carrying
+//! a coarse [`JpegErrorKind`]. The kind is the contract the serving layer
+//! builds on: [`JpegErrorKind::Truncated`] means "the bytes we got so far
+//! are consistent with a valid stream that was cut short", which a
+//! transport may fix by re-fetching (the runtime maps it to its transient
+//! / retryable class), while the other kinds are permanent — retrying the
+//! same bytes can never succeed.
+//!
+//! ```
+//! use dcdiff_jpeg::{JpegDecoder, JpegErrorKind};
+//!
+//! // Four bytes of SOI + EOI is a stream that ended too early.
+//! let err = JpegDecoder::decode(&[0xFF, 0xD8, 0xFF]).unwrap_err();
+//! assert_eq!(err.kind(), JpegErrorKind::Truncated);
+//! assert!(err.is_transient());
+//!
+//! // Garbage where a marker should be is malformed, not truncated.
+//! let err = JpegDecoder::decode(b"not a jpeg").unwrap_err();
+//! assert_eq!(err.kind(), JpegErrorKind::Malformed);
+//! assert!(!err.is_transient());
+//! ```
+
 use std::error::Error;
 use std::fmt;
 
+/// Coarse classification of a [`JpegError`].
+///
+/// The four kinds partition every decode/encode failure by *what could fix
+/// it*, which is exactly what a retrying caller needs to know:
+///
+/// | kind | meaning | retryable? |
+/// |------|---------|------------|
+/// | [`Truncated`](Self::Truncated) | stream ended before the syntax did | yes (transient) |
+/// | [`Malformed`](Self::Malformed) | bytes present but violate T.81 syntax | no |
+/// | [`Unsupported`](Self::Unsupported) | valid JPEG outside our baseline subset | no |
+/// | [`Internal`](Self::Internal) | codec invariant violated (a caught bug) | no |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JpegErrorKind {
+    /// The stream ended while more bytes were syntactically required —
+    /// a header segment ran off the end, or the entropy-coded scan
+    /// stopped mid-MCU. Re-fetching the payload may succeed, so the
+    /// runtime treats this as its transient class.
+    Truncated,
+    /// The bytes are present but are not a decodable baseline JPEG:
+    /// bad marker sequences, inconsistent segment lengths, zero
+    /// quantisers, out-of-range table ids, restart markers out of
+    /// sequence, AC runs overflowing a block, and similar.
+    Malformed,
+    /// The stream may be a perfectly valid JPEG, but uses features
+    /// outside the baseline subset this codec implements (progressive
+    /// frames, 12-bit precision, exotic sampling factors, dimensions
+    /// beyond the decode limits).
+    Unsupported,
+    /// A should-never-happen condition inside the codec itself was
+    /// detected and converted into an error instead of a panic. Seeing
+    /// this kind indicates a codec bug, not a property of the input.
+    Internal,
+}
+
+impl fmt::Display for JpegErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JpegErrorKind::Truncated => "truncated",
+            JpegErrorKind::Malformed => "malformed",
+            JpegErrorKind::Unsupported => "unsupported",
+            JpegErrorKind::Internal => "internal",
+        })
+    }
+}
+
 /// Error type for JPEG encoding and decoding.
-#[derive(Debug)]
-pub enum JpegError {
-    /// The image cannot be encoded (e.g. unsupported channel count).
-    UnsupportedImage(String),
-    /// The byte stream is not a decodable baseline JPEG.
-    InvalidStream(String),
-    /// The entropy-coded data ended unexpectedly.
-    TruncatedScan,
+///
+/// Pairs a [`JpegErrorKind`] (the machine-readable classification retry
+/// logic keys on) with a human-readable detail string describing the
+/// specific syntax element that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JpegError {
+    kind: JpegErrorKind,
+    detail: String,
+}
+
+impl JpegError {
+    /// Build an error of an explicit [`JpegErrorKind`].
+    pub fn new(kind: JpegErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// The stream ended before the syntax did (retryable).
+    pub fn truncated(detail: impl Into<String>) -> Self {
+        Self::new(JpegErrorKind::Truncated, detail)
+    }
+
+    /// The bytes violate baseline JPEG syntax (permanent).
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        Self::new(JpegErrorKind::Malformed, detail)
+    }
+
+    /// The stream uses features outside the supported subset (permanent).
+    pub fn unsupported(detail: impl Into<String>) -> Self {
+        Self::new(JpegErrorKind::Unsupported, detail)
+    }
+
+    /// A codec invariant was violated — a caught bug (permanent).
+    pub fn internal(detail: impl Into<String>) -> Self {
+        Self::new(JpegErrorKind::Internal, detail)
+    }
+
+    /// Machine-readable classification of this error.
+    pub fn kind(&self) -> JpegErrorKind {
+        self.kind
+    }
+
+    /// Human-readable description of the specific failure.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+
+    /// Whether a retry with a re-fetched payload could plausibly succeed.
+    ///
+    /// Only [`JpegErrorKind::Truncated`] is transient; every other kind
+    /// is a property of the bytes (or of the codec) that retrying cannot
+    /// change. The runtime's `ErrorClass` mapping mirrors this.
+    pub fn is_transient(&self) -> bool {
+        self.kind == JpegErrorKind::Truncated
+    }
 }
 
 impl fmt::Display for JpegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JpegError::UnsupportedImage(msg) => write!(f, "unsupported image: {msg}"),
-            JpegError::InvalidStream(msg) => write!(f, "invalid jpeg stream: {msg}"),
-            JpegError::TruncatedScan => write!(f, "entropy-coded scan ended unexpectedly"),
-        }
+        write!(f, "{} jpeg stream: {}", self.kind, self.detail)
     }
 }
 
 impl Error for JpegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_truncated_is_transient() {
+        assert!(JpegError::truncated("scan ended").is_transient());
+        assert!(!JpegError::malformed("bad marker").is_transient());
+        assert!(!JpegError::unsupported("progressive").is_transient());
+        assert!(!JpegError::internal("bug").is_transient());
+    }
+
+    #[test]
+    fn display_includes_kind_and_detail() {
+        let err = JpegError::malformed("zero quantiser entry");
+        let text = err.to_string();
+        assert!(text.contains("malformed"), "{text}");
+        assert!(text.contains("zero quantiser entry"), "{text}");
+    }
+
+    #[test]
+    fn kind_and_detail_accessors() {
+        let err = JpegError::unsupported("12-bit precision");
+        assert_eq!(err.kind(), JpegErrorKind::Unsupported);
+        assert_eq!(err.detail(), "12-bit precision");
+    }
+}

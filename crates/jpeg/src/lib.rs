@@ -45,11 +45,11 @@ mod optimize;
 
 pub use codec::{
     encode_coefficients, encode_coefficients_with_restarts, scan_length, ChromaSampling,
-    JpegDecoder, JpegEncoder,
+    JpegDecoder, JpegEncoder, MAX_DECODE_PIXELS,
 };
 pub use coeff::{CoeffImage, CoeffPlane, DcDropMode};
 pub use optimize::{encode_coefficients_optimized, size_comparison};
-pub use error::JpegError;
+pub use error::{JpegError, JpegErrorKind};
 
 /// Number of samples per block edge (8 in baseline JPEG).
 pub const BLOCK: usize = 8;

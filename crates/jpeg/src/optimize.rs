@@ -188,8 +188,8 @@ fn gather_frequencies(coeffs: &CoeffImage) -> [FreqTable; 4] {
 ///
 /// # Errors
 ///
-/// Returns [`JpegError::UnsupportedImage`] when dimensions exceed the
-/// JFIF 16-bit limits.
+/// Returns a [`crate::JpegErrorKind::Unsupported`] error when dimensions
+/// exceed the JFIF 16-bit limits.
 ///
 /// # Example
 ///

@@ -53,8 +53,8 @@ pub struct RateControlled {
 ///
 /// # Errors
 ///
-/// Returns [`JpegError::UnsupportedImage`] when even quality 1 exceeds
-/// the budget, and propagates encoder errors.
+/// Returns a [`crate::JpegErrorKind::Unsupported`] error when even
+/// quality 1 exceeds the budget, and propagates encoder errors.
 ///
 /// # Example
 ///
@@ -104,7 +104,7 @@ pub fn encode_to_budget(image: &Image, control: RateControl) -> Result<RateContr
         }
     }
     best.ok_or_else(|| {
-        JpegError::UnsupportedImage(format!(
+        JpegError::unsupported(format!(
             "budget of {} bytes unreachable even at quality 1",
             control.max_bytes
         ))

@@ -14,6 +14,21 @@
 //! plus [`laplacian`] — diagnostics for the Laplacian property of
 //! adjacent-pixel differences that underpins all statistical DC-recovery
 //! methods (Fig. 4 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use dcdiff_image::{ColorSpace, Image};
+//! use dcdiff_metrics::{psnr, ssim};
+//!
+//! let reference = Image::filled(32, 32, ColorSpace::Rgb, 128.0);
+//! // An identical image scores perfectly...
+//! assert_eq!(psnr(&reference, &reference), f32::INFINITY);
+//! assert!((ssim(&reference, &reference) - 1.0).abs() < 1e-6);
+//! // ...and a uniformly shifted one scores the textbook 20·log10(255/5).
+//! let shifted = Image::filled(32, 32, ColorSpace::Rgb, 133.0);
+//! assert!((psnr(&reference, &shifted) - 34.15).abs() < 0.05);
+//! ```
 
 pub mod bdrate;
 pub mod laplacian;

@@ -3,8 +3,12 @@
 //! a micro-batch of Recover jobs reuse one constructed method object instead
 //! of rebuilding state per image (the CLI's one-shot behaviour).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
 use dcdiff_baselines::{DcRecovery, Icip2022, SmartCom2019, Tip2006};
-use dcdiff_core::refine_dc_offsets;
+use dcdiff_core::{refine_dc_offsets, CircuitBreaker};
 use dcdiff_image::{read_pgm, read_ppm, write_pgm, write_ppm, Image};
 use dcdiff_jpeg::{
     encode_coefficients, encode_coefficients_optimized, encode_coefficients_with_restarts,
@@ -69,13 +73,53 @@ fn code(coeffs: &CoeffImage, opts: &CodingOpts) -> Result<Vec<u8>, JobError> {
     coded.map_err(|e| JobError::permanent(e.to_string()))
 }
 
+/// How Recover jobs degrade when the selected method fails.
+///
+/// One policy is shared by every worker of a [`crate::Runtime`] (the
+/// breaker is behind an `Arc`), so consecutive failures across workers
+/// accumulate into one per-runtime trip decision. The default enables the
+/// ladder — a panicking engine falls back to the TIP-2006 baseline, and a
+/// panicking baseline falls back to flat DC — mirroring the estimator-side
+/// ladder in `dcdiff_core::FallbackEstimator`. `dcdiff batch --no-fallback`
+/// selects [`RecoveryPolicy::no_fallback`] instead, surfacing the primary
+/// failure as a permanent [`JobError`].
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Whether failed recoveries degrade to lower tiers (default) or fail
+    /// the job.
+    pub fallback: bool,
+    /// Per-runtime breaker in front of the primary method; after its
+    /// threshold of consecutive failures, jobs skip straight to the
+    /// baseline tier until the cooldown elapses.
+    pub breaker: Arc<CircuitBreaker>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            fallback: true,
+            breaker: Arc::new(CircuitBreaker::new(3, Duration::from_secs(30))),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The `--no-fallback` escape hatch: primary failures fail the job.
+    pub fn no_fallback() -> Self {
+        RecoveryPolicy { fallback: false, ..RecoveryPolicy::default() }
+    }
+}
+
 /// Per-worker cache of constructed recovery objects, keyed by method config.
 ///
 /// The statistical baselines are stateless once built, so one instance can
 /// serve every image in a batch — and every later batch on the same worker.
+/// Also carries the runtime's [`RecoveryPolicy`] so [`execute`] keeps its
+/// signature while the degradation ladder stays configurable per runtime.
 #[derive(Default)]
 pub struct EngineCache {
     engines: Vec<(RecoverMethod, Box<dyn DcRecovery>)>,
+    policy: RecoveryPolicy,
     /// Batch jobs served by an already-constructed engine.
     pub hits: u64,
     /// Engine constructions.
@@ -83,9 +127,26 @@ pub struct EngineCache {
 }
 
 impl EngineCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty cache with the default [`RecoveryPolicy`].
     pub fn new() -> Self {
         EngineCache::default()
+    }
+
+    /// Fresh cache executing Recover jobs under `policy`.
+    pub fn with_policy(policy: RecoveryPolicy) -> Self {
+        EngineCache { policy, ..EngineCache::default() }
+    }
+
+    /// The degradation policy this cache executes Recover jobs under.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Replace a method's engine (tests inject failing engines with this).
+    #[cfg(test)]
+    fn inject(&mut self, method: RecoverMethod, engine: Box<dyn DcRecovery>) {
+        self.engines.retain(|(m, _)| !m.same_config(&method));
+        self.engines.push((method, engine));
     }
 
     /// The engine for `method`, constructing it on first use. `None` for
@@ -152,8 +213,11 @@ pub fn execute(
             let bytes = read_bytes(input)?;
             drop(read);
             let decode = tel.span("transcode.entropy_decode");
-            let mut coeffs = JpegDecoder::decode_coefficients(&bytes)
-                .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            let mut coeffs = JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
+                let mut err = JobError::from_jpeg(&e);
+                err.message = format!("{input}: {}", err.message);
+                err
+            })?;
             drop(decode);
             if opts.drop_dc {
                 let _drop_dc = tel.span("transcode.drop_dc");
@@ -171,11 +235,14 @@ pub fn execute(
             let bytes = read_bytes(input)?;
             drop(read);
             let decode = tel.span("recover.entropy_decode");
-            let dropped = JpegDecoder::decode_coefficients(&bytes)
-                .map_err(|e| JobError::permanent(format!("{input}: {e}")))?;
+            let dropped = JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
+                let mut err = JobError::from_jpeg(&e);
+                err.message = format!("{input}: {}", err.message);
+                err
+            })?;
             drop(decode);
             let estimate = tel.span("recover.estimate");
-            let image = recover_with(&dropped, method, engines);
+            let image = recover_guarded(&dropped, method, engines, tel)?;
             drop(estimate);
             let _write = tel.span("recover.write");
             write_image(output, &image)?;
@@ -226,6 +293,91 @@ pub fn recover_with(
     }
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "recovery engine panicked".to_string())
+}
+
+/// [`recover_with`] behind the cache's [`RecoveryPolicy`] ladder.
+///
+/// The primary method runs inside `catch_unwind`, fronted by the policy's
+/// per-runtime circuit breaker. On failure (and with fallback enabled) the
+/// job degrades to the TIP-2006 baseline, then to flat DC — always producing
+/// an image, with the tier recorded in telemetry counters
+/// (`estimator.primary_ok` / `estimator.primary_fail` /
+/// `estimator.fallback_baseline` / `estimator.fallback_flat` /
+/// `estimator.breaker_short_circuit`) and the `breaker.state` gauge.
+///
+/// # Errors
+///
+/// With fallback disabled ([`RecoveryPolicy::no_fallback`]), a primary
+/// failure returns a permanent [`JobError`] instead of degrading.
+pub fn recover_guarded(
+    dropped: &CoeffImage,
+    method: &RecoverMethod,
+    engines: &mut EngineCache,
+    tel: &Telemetry,
+) -> Result<Image, JobError> {
+    let policy = engines.policy.clone();
+    if !policy.fallback {
+        return catch_unwind(AssertUnwindSafe(|| recover_with(dropped, method, engines))).map_err(
+            |payload| {
+                JobError::permanent(format!(
+                    "recovery ({}) failed with --no-fallback: {}",
+                    method.name(),
+                    panic_msg(payload)
+                ))
+            },
+        );
+    }
+    if policy.breaker.allow() {
+        match catch_unwind(AssertUnwindSafe(|| recover_with(dropped, method, engines))) {
+            Ok(image) => {
+                policy.breaker.record_success();
+                tel.counter("estimator.primary_ok").inc();
+                tel.gauge("breaker.state").set(policy.breaker.state().as_gauge());
+                return Ok(image);
+            }
+            Err(payload) => {
+                policy.breaker.record_failure();
+                tel.counter("estimator.primary_fail").inc();
+                tel.warn(format!(
+                    "recovery ({}) failed ({}); degrading to baseline",
+                    method.name(),
+                    panic_msg(payload)
+                ));
+            }
+        }
+    } else {
+        tel.counter("estimator.breaker_short_circuit").inc();
+    }
+    tel.gauge("breaker.state").set(policy.breaker.state().as_gauge());
+    // Baseline tier: TIP-2006 is training-free and has no failure modes of
+    // its own, but a panic here must not kill the ladder either.
+    let baseline = catch_unwind(AssertUnwindSafe(|| {
+        engines
+            .engine(&RecoverMethod::Tip2006)
+            .expect("tip2006 is object-backed")
+            .recover(dropped)
+    }));
+    match baseline {
+        Ok(image) => {
+            tel.counter("estimator.fallback_baseline").inc();
+            Ok(image)
+        }
+        Err(_) => {
+            // Flat-DC tier: decode with the dropped DC left at zero. Cannot
+            // fail; the picture is degraded but structurally valid.
+            tel.counter("estimator.fallback_flat").inc();
+            Ok(dropped.to_image())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +393,125 @@ mod tests {
         assert!(cache
             .engine(&RecoverMethod::Mld { threshold: 10.0, sweeps: 5 })
             .is_none());
+    }
+
+    /// Test double standing in for a broken/mis-deployed recovery engine:
+    /// panics on every call and counts how often it was even asked.
+    struct PanickingRecovery(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+    impl DcRecovery for PanickingRecovery {
+        fn name(&self) -> &'static str {
+            "panicking-test-double"
+        }
+
+        fn recover(&self, dropped: &CoeffImage) -> Image {
+            self.recover_coefficients(dropped).to_image()
+        }
+
+        fn recover_coefficients(&self, _dropped: &CoeffImage) -> CoeffImage {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            panic!("injected engine failure");
+        }
+    }
+
+    fn dropped_coeffs() -> CoeffImage {
+        let image = Image::filled(32, 32, dcdiff_image::ColorSpace::Rgb, 100.0);
+        JpegEncoder::new(50).to_coefficients(&image).drop_dc(DcDropMode::KeepCorners)
+    }
+
+    fn silence_panics<T>(f: impl FnOnce() -> T) -> T {
+        // The injected engines panic by design; keep test output readable.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicking_primary_degrades_to_baseline() {
+        silence_panics(|| {
+            let tel = Telemetry::new();
+            let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let mut cache = EngineCache::new();
+            cache.inject(RecoverMethod::Icip, Box::new(PanickingRecovery(calls.clone())));
+            let dropped = dropped_coeffs();
+            let image =
+                recover_guarded(&dropped, &RecoverMethod::Icip, &mut cache, &tel).unwrap();
+            assert_eq!(image.dims(), (32, 32));
+            assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+            assert_eq!(tel.counter("estimator.primary_fail").get(), 1);
+            assert_eq!(tel.counter("estimator.fallback_baseline").get(), 1);
+            assert_eq!(tel.counter("estimator.fallback_flat").get(), 0);
+        });
+    }
+
+    #[test]
+    fn panicking_baseline_degrades_to_flat_dc() {
+        silence_panics(|| {
+            let tel = Telemetry::new();
+            let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let mut cache = EngineCache::new();
+            // Both the selected method AND the baseline tier are broken.
+            cache.inject(RecoverMethod::Tip2006, Box::new(PanickingRecovery(calls.clone())));
+            let dropped = dropped_coeffs();
+            let image =
+                recover_guarded(&dropped, &RecoverMethod::Tip2006, &mut cache, &tel).unwrap();
+            assert_eq!(image.dims(), (32, 32));
+            assert_eq!(tel.counter("estimator.fallback_flat").get(), 1);
+        });
+    }
+
+    #[test]
+    fn breaker_short_circuits_after_consecutive_failures() {
+        silence_panics(|| {
+            let tel = Telemetry::new();
+            let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let policy = RecoveryPolicy {
+                fallback: true,
+                breaker: Arc::new(CircuitBreaker::new(2, Duration::from_secs(3600))),
+            };
+            let mut cache = EngineCache::with_policy(policy);
+            cache.inject(RecoverMethod::Icip, Box::new(PanickingRecovery(calls.clone())));
+            let dropped = dropped_coeffs();
+            for _ in 0..4 {
+                recover_guarded(&dropped, &RecoverMethod::Icip, &mut cache, &tel).unwrap();
+            }
+            // Two failures trip the breaker; the last two jobs never touch
+            // the primary engine and go straight to the baseline tier.
+            assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 2);
+            assert_eq!(tel.counter("estimator.breaker_short_circuit").get(), 2);
+            assert_eq!(tel.counter("estimator.fallback_baseline").get(), 4);
+            assert_eq!(tel.gauge("breaker.state").get(), 2, "gauge reports open");
+        });
+    }
+
+    #[test]
+    fn no_fallback_surfaces_a_permanent_error() {
+        silence_panics(|| {
+            let tel = Telemetry::new();
+            let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let mut cache = EngineCache::with_policy(RecoveryPolicy::no_fallback());
+            cache.inject(RecoverMethod::Icip, Box::new(PanickingRecovery(calls)));
+            let dropped = dropped_coeffs();
+            let err =
+                recover_guarded(&dropped, &RecoverMethod::Icip, &mut cache, &tel).unwrap_err();
+            assert_eq!(err.class, crate::job::ErrorClass::Permanent);
+            assert!(err.message.contains("--no-fallback"), "{}", err.message);
+            assert!(err.message.contains("injected engine failure"), "{}", err.message);
+        });
+    }
+
+    #[test]
+    fn healthy_method_does_not_degrade() {
+        let tel = Telemetry::new();
+        let mut cache = EngineCache::new();
+        let dropped = dropped_coeffs();
+        let image = recover_guarded(&dropped, &RecoverMethod::Tip2006, &mut cache, &tel).unwrap();
+        assert_eq!(image.dims(), (32, 32));
+        assert_eq!(tel.counter("estimator.primary_ok").get(), 1);
+        assert_eq!(tel.counter("estimator.fallback_baseline").get(), 0);
+        assert_eq!(tel.gauge("breaker.state").get(), 0, "gauge reports closed");
     }
 
     #[test]

@@ -246,6 +246,19 @@ impl JobError {
         JobError { class: ErrorClass::Transient, message: message.into() }
     }
 
+    /// Classify a JPEG codec error by the decoder's own taxonomy:
+    /// [`dcdiff_jpeg::JpegErrorKind::Truncated`] streams are transient
+    /// (the sender's uplink may still deliver the missing bytes — a retry
+    /// can see a complete file), while malformed, unsupported and internal
+    /// errors are deterministic and therefore permanent.
+    pub fn from_jpeg(err: &dcdiff_jpeg::JpegError) -> Self {
+        if err.is_transient() {
+            JobError::transient(err.to_string())
+        } else {
+            JobError::permanent(err.to_string())
+        }
+    }
+
     /// Classify a `std::io` error: interruptions and timeouts are transient,
     /// everything else (not found, permissions, ...) is permanent.
     pub fn from_io(err: &std::io::Error) -> Self {
@@ -345,6 +358,17 @@ mod tests {
         assert_eq!(JobError::from_io(&interrupted).class, ErrorClass::Transient);
         let missing = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert_eq!(JobError::from_io(&missing).class, ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn jpeg_error_classification_follows_the_taxonomy() {
+        use dcdiff_jpeg::JpegDecoder;
+        // A cut-off header is the canonical transient case...
+        let truncated = JpegDecoder::decode(&[0xFF, 0xD8, 0xFF]).unwrap_err();
+        assert_eq!(JobError::from_jpeg(&truncated).class, ErrorClass::Transient);
+        // ...while garbage bytes are deterministically malformed.
+        let malformed = JpegDecoder::decode(b"not a jpeg").unwrap_err();
+        assert_eq!(JobError::from_jpeg(&malformed).class, ErrorClass::Permanent);
     }
 
     #[test]

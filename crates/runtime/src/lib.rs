@@ -54,7 +54,7 @@ pub mod queue;
 pub mod runtime;
 pub mod stats;
 
-pub use exec::{execute, recover_with, EngineCache};
+pub use exec::{execute, recover_guarded, recover_with, EngineCache, RecoveryPolicy};
 pub use job::{
     CodingOpts, ErrorClass, Job, JobError, JobFailure, JobId, JobOutput, JobResult, JobSpec,
     RecoverMethod, Stage,

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use dcdiff_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
-use crate::exec::{execute, EngineCache};
+use crate::exec::{execute, EngineCache, RecoveryPolicy};
 use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec, Stage};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{RuntimeStats, StatsSnapshot};
@@ -35,6 +35,13 @@ pub struct RuntimeConfig {
     /// logger. The default is a metrics-only handle, so leaving this alone
     /// adds no tracing overhead.
     pub telemetry: Telemetry,
+    /// Degradation policy for Recover jobs: the ladder (method → TIP-2006
+    /// baseline → flat DC) and the per-runtime circuit breaker in front of
+    /// the primary method. The breaker's `Arc` is shared by every worker,
+    /// so consecutive failures accumulate runtime-wide.
+    /// [`RecoveryPolicy::no_fallback`] (`dcdiff batch --no-fallback`) fails
+    /// jobs instead of degrading them.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +53,7 @@ impl Default for RuntimeConfig {
             backoff_base: Duration::from_millis(10),
             batch_max: 8,
             telemetry: Telemetry::new(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -322,7 +330,7 @@ fn worker_loop(
     let tel = &config.telemetry;
     // Per-worker utilisation: cumulative busy time (pop to batch done).
     let busy_us = tel.gauge(&format!("runtime.worker.{worker}.busy_us"));
-    let mut engines = EngineCache::new();
+    let mut engines = EngineCache::with_policy(config.recovery.clone());
     while let Some(first) = queue.pop() {
         let popped = Instant::now();
         // Depth as this worker saw it: the remaining queue plus the entry

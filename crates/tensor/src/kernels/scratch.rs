@@ -36,7 +36,7 @@ pub fn take(len: usize) -> Vec<f32> {
 }
 
 /// Return a buffer to this thread's pool for later [`take`]s. Keeps the
-/// [`POOL_SLOTS`] largest buffers and drops the rest.
+/// `POOL_SLOTS` largest buffers and drops the rest.
 pub fn put(buf: Vec<f32>) {
     if buf.capacity() == 0 {
         return;

@@ -51,6 +51,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("AC blocks altered by the surgery: {ac_mismatch} (must be 0)");
     assert_eq!(ac_mismatch, 0);
 
+    // --- what a relay sees when the uplink dies mid-transfer ---
+    // The decoder never panics on damaged input; it returns a typed error
+    // whose kind drives the runtime's retry decision (truncated streams are
+    // transient — the rest of the bytes may still arrive).
+    let cut = &surgered[..surgered.len() * 2 / 3];
+    let err = JpegDecoder::decode_coefficients(cut).expect_err("cut stream cannot parse");
+    println!(
+        "truncated upload: kind={:?}, retryable={} ({err})",
+        err.kind(),
+        err.is_transient()
+    );
+    assert!(err.is_transient());
+
     // --- what left the stream: the DC thumbnail ---
     let out_dir = std::env::temp_dir().join("dcdiff-bitstream-surgery");
     std::fs::create_dir_all(&out_dir)?;

@@ -18,6 +18,10 @@
 //! * [`runtime`] — multi-threaded batch-serving runtime (`dcdiff batch`)
 //! * [`telemetry`] — structured tracing, latency histograms and leveled
 //!   logging (`dcdiff batch --trace/--metrics`, `dcdiff report`)
+//!
+//! The test-side `dcdiff-faults` crate (deterministic JPEG fault
+//! injection) is a dev-dependency only; see `ARCHITECTURE.md` for the
+//! full workspace map.
 pub use dcdiff_baselines as baselines;
 pub use dcdiff_core as core;
 pub use dcdiff_data as data;

@@ -86,3 +86,55 @@ fn encoder_variants_agree_on_decoded_pixels() {
     assert!(a.mean_abs_diff(&b) < 1e-6, "optimised stream changes pixels");
     assert!(a.mean_abs_diff(&c) < 1e-6, "restart stream changes pixels");
 }
+
+/// One committed fixture per fault class (see `crates/faults`); regenerate
+/// with `cargo run -p dcdiff-faults --bin fault_fixtures -- tests/fixtures/faults`.
+fn fault_fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/faults/{name}.jpg", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn committed_fault_fixtures_stay_typed_errors() {
+    // Pins the decoder-hardening contract outside proptest: each fixture is
+    // a real corrupted stream that must keep failing with a typed,
+    // correctly-classified error — never a panic, never Internal.
+    use dcdiff::jpeg::JpegErrorKind;
+    use dcdiff_faults::FaultClass;
+    for (class, expect_kind) in [
+        (FaultClass::MarkerTruncation, Some(JpegErrorKind::Truncated)),
+        (FaultClass::ScanTruncation, Some(JpegErrorKind::Truncated)),
+        (FaultClass::BitFlip, None),
+        (FaultClass::LengthCorruption, None),
+    ] {
+        let bytes = fault_fixture(&class.to_string());
+        let err = JpegDecoder::decode(&bytes)
+            .expect_err(&format!("{class} fixture must not decode"));
+        assert_ne!(err.kind(), JpegErrorKind::Internal, "{class}: {err}");
+        if let Some(kind) = expect_kind {
+            assert_eq!(err.kind(), kind, "{class}: {err}");
+        }
+    }
+}
+
+#[test]
+fn fault_fixtures_match_their_generator() {
+    // The fixtures are deterministic outputs of the generator bin; drift
+    // between the committed bytes and the generator means one of them
+    // changed silently.
+    use dcdiff_faults::{corpus, reference_stream, FaultClass};
+    let bytes = reference_stream(48, 32, 50).unwrap();
+    let sos = bytes.windows(2).position(|w| w == [0xFF, 0xDA]).unwrap();
+    assert_eq!(fault_fixture("marker-truncation"), &bytes[..sos]);
+    for class in [
+        FaultClass::ScanTruncation,
+        FaultClass::BitFlip,
+        FaultClass::LengthCorruption,
+    ] {
+        let case = corpus(&bytes, 0xF1C5, 120)
+            .into_iter()
+            .find(|c| c.class == class && JpegDecoder::decode(&c.bytes).is_err())
+            .unwrap();
+        assert_eq!(fault_fixture(&class.to_string()), case.bytes, "{class}");
+    }
+}

@@ -163,7 +163,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng as _;
 
-    /// Length specification for [`vec`]: a fixed length or a length range.
+    /// Length specification for [`vec()`]: a fixed length or a length range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -190,7 +190,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -430,6 +430,10 @@ macro_rules! prop_assert_ne {
             left,
             right
         );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
     }};
 }
 
