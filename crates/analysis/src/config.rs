@@ -1,0 +1,190 @@
+//! Rule catalogue and per-rule scoping.
+//!
+//! Every rule has a *scope*: the set of workspace-relative paths it applies
+//! to. Contracts differ per layer — panic-freedom is a hard requirement in
+//! the crates that parse untrusted bytes (`jpeg`), inject faults
+//! (`faults`), or execute jobs (`runtime`), but a deliberate non-goal in
+//! test fixtures and the CLI, where `assert!` on programmer error is
+//! idiomatic. Scoping is data, not code, so the default workspace policy
+//! is a single function a reader can audit in one screen.
+
+/// All rule identifiers, in the order diagnostics are reported.
+pub const RULES: &[&str] = &[
+    "no-panic",
+    "no-unchecked-index",
+    "unsafe-audit",
+    "unsafe-ledger",
+    "lock-hygiene",
+    "condvar-wait-loop",
+    "telemetry-names",
+    "bad-allow",
+];
+
+/// Is `rule` a known rule id?
+pub fn is_rule(rule: &str) -> bool {
+    RULES.contains(&rule)
+}
+
+/// Path scope for one rule.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Path prefixes the rule applies to; empty means the whole workspace.
+    pub include: Vec<String>,
+    /// Substrings that exempt a path (checked after `include`).
+    pub exclude: Vec<String>,
+}
+
+impl Scope {
+    /// Does the rule apply to workspace-relative `path` (forward slashes)?
+    pub fn applies(&self, path: &str) -> bool {
+        let included =
+            self.include.is_empty() || self.include.iter().any(|p| path.starts_with(p.as_str()));
+        included && !self.exclude.iter().any(|p| path.contains(p.as_str()))
+    }
+}
+
+/// A lint configuration: which rules run, and where.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// When set, only this rule runs (`dcdiff lint --rule <id>`).
+    pub only: Option<String>,
+    /// Per-rule scopes, parallel to [`RULES`].
+    scopes: Vec<(&'static str, Scope)>,
+}
+
+impl Config {
+    /// The workspace policy this repository commits to.
+    ///
+    /// * `no-panic` — the untrusted-input and job-execution crates must
+    ///   not contain reachable panics: `crates/jpeg` (bytes off the wire),
+    ///   `crates/faults` library (runs inside recovery paths), and
+    ///   `crates/runtime` (must survive any job). The faults *fixture
+    ///   binary* is a dev tool and exempt.
+    /// * `no-unchecked-index` — the entropy-decode hot path is driven
+    ///   directly by untrusted bits, so plain `x[i]` indexing is banned in
+    ///   `bitstream.rs` and `huffman.rs` specifically.
+    /// * `unsafe-audit` / `unsafe-ledger` — workspace-wide except the
+    ///   vendored shims (third-party API stand-ins, not our contract).
+    /// * `lock-hygiene` / `condvar-wait-loop` — the two places that do
+    ///   nontrivial synchronisation: the tensor worker pool and the
+    ///   runtime.
+    /// * `telemetry-names` — workspace-wide except vendored shims and test
+    ///   code (tests pin wire formats with raw literals on purpose).
+    /// * `bad-allow` — everywhere: a malformed escape hatch is never okay.
+    pub fn default_workspace() -> Config {
+        let scope = |include: &[&str], exclude: &[&str]| Scope {
+            include: include.iter().map(|s| s.to_string()).collect(),
+            exclude: exclude.iter().map(|s| s.to_string()).collect(),
+        };
+        Config {
+            only: None,
+            scopes: vec![
+                (
+                    "no-panic",
+                    scope(
+                        &[
+                            "crates/jpeg/src/",
+                            "crates/faults/src/lib.rs",
+                            "crates/runtime/src/",
+                        ],
+                        &[],
+                    ),
+                ),
+                (
+                    "no-unchecked-index",
+                    scope(
+                        &["crates/jpeg/src/bitstream.rs", "crates/jpeg/src/huffman.rs"],
+                        &[],
+                    ),
+                ),
+                ("unsafe-audit", scope(&[], &["vendor/"])),
+                ("unsafe-ledger", scope(&[], &["vendor/"])),
+                (
+                    "lock-hygiene",
+                    scope(&["crates/tensor/src/kernels/", "crates/runtime/src/"], &[]),
+                ),
+                (
+                    "condvar-wait-loop",
+                    scope(&["crates/tensor/src/kernels/", "crates/runtime/src/"], &[]),
+                ),
+                (
+                    "telemetry-names",
+                    scope(&[], &["vendor/", "/tests/", "tests/"]),
+                ),
+                ("bad-allow", scope(&[], &["vendor/"])),
+            ],
+        }
+    }
+
+    /// Should `rule` run at all under this configuration?
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        match &self.only {
+            Some(only) => only == rule,
+            None => true,
+        }
+    }
+
+    /// Should `rule` run on workspace-relative `path`?
+    pub fn in_scope(&self, rule: &str, path: &str) -> bool {
+        self.rule_enabled(rule)
+            && self
+                .scopes
+                .iter()
+                .find(|(r, _)| *r == rule)
+                .is_some_and(|(_, s)| s.applies(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scopes_cover_the_contract_crates() {
+        let cfg = Config::default_workspace();
+        assert!(cfg.in_scope("no-panic", "crates/jpeg/src/codec.rs"));
+        assert!(cfg.in_scope("no-panic", "crates/runtime/src/exec.rs"));
+        assert!(cfg.in_scope("no-panic", "crates/faults/src/lib.rs"));
+        assert!(!cfg.in_scope("no-panic", "crates/faults/src/bin/fault_fixtures.rs"));
+        assert!(!cfg.in_scope("no-panic", "crates/cli/src/commands.rs"));
+    }
+
+    #[test]
+    fn unchecked_index_is_limited_to_the_entropy_decode_path() {
+        let cfg = Config::default_workspace();
+        assert!(cfg.in_scope("no-unchecked-index", "crates/jpeg/src/bitstream.rs"));
+        assert!(cfg.in_scope("no-unchecked-index", "crates/jpeg/src/huffman.rs"));
+        assert!(!cfg.in_scope("no-unchecked-index", "crates/jpeg/src/dct.rs"));
+    }
+
+    #[test]
+    fn vendored_shims_are_exempt_from_global_rules() {
+        let cfg = Config::default_workspace();
+        assert!(cfg.in_scope("unsafe-audit", "crates/tensor/src/kernels/gemm.rs"));
+        assert!(!cfg.in_scope("unsafe-audit", "vendor/rand/src/lib.rs"));
+        assert!(!cfg.in_scope("telemetry-names", "crates/telemetry/tests/telemetry.rs"));
+        assert!(cfg.in_scope("telemetry-names", "crates/runtime/src/exec.rs"));
+    }
+
+    #[test]
+    fn rule_filter_disables_everything_else() {
+        let mut cfg = Config::default_workspace();
+        cfg.only = Some("no-panic".to_string());
+        assert!(cfg.in_scope("no-panic", "crates/jpeg/src/codec.rs"));
+        assert!(!cfg.in_scope("unsafe-audit", "crates/tensor/src/kernels/gemm.rs"));
+    }
+
+    #[test]
+    fn rule_catalogue_is_consistent() {
+        let cfg = Config::default_workspace();
+        for rule in RULES {
+            assert!(is_rule(rule));
+            // every rule must have a scope entry (empty include = global)
+            assert!(
+                cfg.in_scope(rule, "crates/jpeg/src/bitstream.rs")
+                    || !cfg.in_scope(rule, "definitely/not/a/path.rs")
+            );
+        }
+        assert!(!is_rule("no-such-rule"));
+    }
+}

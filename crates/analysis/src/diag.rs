@@ -1,0 +1,156 @@
+//! Diagnostics: what a rule reports and how a run is serialised.
+
+use std::fmt;
+
+/// One finding from one rule at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix it (or how to annotate it away with a reason).
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        if !self.snippet.is_empty() {
+            writeln!(f, "    | {}", self.snippet)?;
+        }
+        if !self.hint.is_empty() {
+            writeln!(f, "    = hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files: usize,
+    /// `// analysis: allow(...)` annotations honoured (sites exempted).
+    pub allows_used: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings for one rule id.
+    pub fn by_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Machine-readable report: one JSON object with a `diagnostics` array.
+    /// Stable field order so the CI artifact diffs cleanly run-to-run.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 160);
+        out.push_str("{\"files\":");
+        out.push_str(&self.files.to_string());
+        out.push_str(",\"allows_used\":");
+        out.push_str(&self.allows_used.to_string());
+        out.push_str(",\"violations\":");
+        out.push_str(&self.diagnostics.len().to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":\"");
+            dcdiff_telemetry::json::escape_into(&mut out, d.rule);
+            out.push_str("\",\"file\":\"");
+            dcdiff_telemetry::json::escape_into(&mut out, &d.file);
+            out.push_str("\",\"line\":");
+            out.push_str(&d.line.to_string());
+            out.push_str(",\"message\":\"");
+            dcdiff_telemetry::json::escape_into(&mut out, &d.message);
+            out.push_str("\",\"snippet\":\"");
+            dcdiff_telemetry::json::escape_into(&mut out, &d.snippet);
+            out.push_str("\",\"hint\":\"");
+            dcdiff_telemetry::json::escape_into(&mut out, &d.hint);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable report: every diagnostic plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} allow annotation(s) honoured, {} violation(s)\n",
+            self.files,
+            self.allows_used,
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-panic",
+            file: "crates/jpeg/src/codec.rs".to_string(),
+            line: 42,
+            message: "`unwrap()` on untrusted data".to_string(),
+            snippet: "let v = table.unwrap();".to_string(),
+            hint: "propagate a JpegError instead".to_string(),
+        }
+    }
+
+    #[test]
+    fn display_includes_location_rule_and_hint() {
+        let text = sample().to_string();
+        assert!(text.contains("crates/jpeg/src/codec.rs:42"));
+        assert!(text.contains("[no-panic]"));
+        assert!(text.contains("hint:"));
+    }
+
+    #[test]
+    fn json_is_parseable_and_escapes_quotes() {
+        let mut report = Report::default();
+        let mut d = sample();
+        d.snippet = "panic!(\"bad byte\")".to_string();
+        report.diagnostics.push(d);
+        report.files = 3;
+        let json = report.to_json();
+        // must survive the workspace's own flat-JSON parser for the scalar
+        // fields and stay a single line
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with("{\"files\":3,"));
+        assert!(json.contains("\"violations\":1"));
+        // the inner quotes must be escaped, not terminate the string early
+        assert!(json.contains(r#"panic!(\"bad byte\")"#));
+    }
+
+    #[test]
+    fn clean_report_renders_zero_summary() {
+        let report = Report {
+            files: 7,
+            ..Report::default()
+        };
+        assert!(report.is_clean());
+        assert!(report.render().contains("0 violation(s)"));
+        assert!(report.to_json().contains("\"diagnostics\":[]"));
+    }
+}

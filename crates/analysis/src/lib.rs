@@ -1,0 +1,262 @@
+//! dcdiff-analysis: the workspace's own static-analysis engine.
+//!
+//! `cargo clippy` checks general Rust hygiene; this crate checks the
+//! *project's* contracts — the invariants this workspace commits to that
+//! no generic linter knows about:
+//!
+//! * **`no-panic`** — the crates that parse untrusted bytes or execute
+//!   jobs must be panic-free: no `unwrap`/`expect`, no panicking macros.
+//! * **`no-unchecked-index`** — the entropy-decode hot path must not use
+//!   `x[i]` indexing; malformed input must surface as a `JpegError`.
+//! * **`unsafe-audit`** — every `unsafe` site carries an adjacent
+//!   `// SAFETY:` justification.
+//! * **`unsafe-ledger`** — every `unsafe` site is reconciled against the
+//!   committed [`UNSAFE_LEDGER.md`] by content hash, so edited unsafe code
+//!   forces a re-review.
+//! * **`lock-hygiene`** — no `.lock().unwrap()`: poisoned locks are
+//!   recovered, not re-panicked.
+//! * **`condvar-wait-loop`** — `Condvar::wait` happens inside a loop.
+//! * **`telemetry-names`** — span/metric name literals come from the
+//!   registry in [`dcdiff_telemetry::names`].
+//! * **`bad-allow`** — the escape hatch itself is checked: an exemption
+//!   comment must name a real rule and give a reason.
+//!
+//! The engine is built from scratch on a hand-written lexer ([`lexer`])
+//! and a lightweight structural scanner ([`parse`]) — no rustc internals,
+//! no external parser — so it runs anywhere the workspace builds and adds
+//! nothing to the dependency tree. Entry point: [`analyze_workspace`];
+//! the `dcdiff lint` subcommand is a thin shell around it.
+//!
+//! [`UNSAFE_LEDGER.md`]: https://github.com/dcdiff/dcdiff/blob/main/UNSAFE_LEDGER.md
+
+pub mod config;
+pub mod diag;
+pub mod ledger;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, RULES};
+pub use diag::{Diagnostic, Report};
+
+/// Name of the committed ledger file at the workspace root.
+pub const LEDGER_FILE: &str = "UNSAFE_LEDGER.md";
+
+/// Lint the workspace rooted at `root` under `cfg`.
+///
+/// Scans every `.rs` file (skipping `target/` and dot-directories), runs
+/// the in-scope rules per file, then reconciles the collected unsafe
+/// sites against `UNSAFE_LEDGER.md`.
+///
+/// # Errors
+///
+/// Returns a message when the root cannot be walked or a source file
+/// cannot be read; individual non-UTF-8 files are skipped silently (the
+/// workspace has none).
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = walk(root)?;
+    let mut report = Report::default();
+    let mut sites: Vec<(String, parse::UnsafeSite)> = Vec::new();
+    for path in &files {
+        let rel = relative(root, path);
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue; // non-UTF-8 (none in this workspace)
+        };
+        report.files += 1;
+        let mut findings = rules::check_file(&rel, &src, cfg);
+        report.diagnostics.append(&mut findings.diagnostics);
+        report.allows_used += findings.allows_used;
+        sites.extend(findings.unsafe_sites.into_iter().map(|s| (rel.clone(), s)));
+    }
+
+    if cfg.rule_enabled("unsafe-ledger") {
+        match std::fs::read_to_string(root.join(LEDGER_FILE)) {
+            Ok(text) => ledger::reconcile(&sites, &ledger::parse(&text), &mut report.diagnostics),
+            Err(_) if sites.is_empty() => {}
+            Err(_) => report.diagnostics.push(Diagnostic {
+                rule: "unsafe-ledger",
+                file: LEDGER_FILE.to_string(),
+                line: 1,
+                message: format!(
+                    "{LEDGER_FILE} not found but the workspace has {} unsafe site(s)",
+                    sites.len()
+                ),
+                snippet: String::new(),
+                hint: "seed it with `dcdiff lint --update-ledger`".to_string(),
+            }),
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Render a fresh `UNSAFE_LEDGER.md` for the workspace at `root`,
+/// preserving justifications of unchanged sites from the existing ledger.
+///
+/// # Errors
+///
+/// Returns a message when the root cannot be walked.
+pub fn generate_ledger(root: &Path, cfg: &Config) -> Result<String, String> {
+    let mut sites = Vec::new();
+    for path in walk(root)? {
+        let rel = relative(root, &path);
+        if !cfg.in_scope("unsafe-ledger", &rel) {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let model = parse::FileModel::build(&src);
+        sites.extend(model.unsafe_sites.into_iter().map(|s| (rel.clone(), s)));
+    }
+    let existing = std::fs::read_to_string(root.join(LEDGER_FILE))
+        .map(|t| ledger::parse(&t))
+        .unwrap_or_default();
+    Ok(ledger::generate(&sites, &existing))
+}
+
+/// Workspace-relative path with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// All `.rs` files under `root`, sorted, skipping `target` and
+/// dot-directories.
+fn walk(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Build a throwaway workspace under the target-adjacent temp dir.
+    struct TempWs {
+        root: PathBuf,
+    }
+
+    impl TempWs {
+        fn new(tag: &str) -> TempWs {
+            let root = std::env::temp_dir().join(format!(
+                "dcdiff-analysis-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).unwrap();
+            TempWs { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+        }
+    }
+
+    impl Drop for TempWs {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn seeded_violation_fixture_fails_the_lint() {
+        let ws = TempWs::new("seeded");
+        ws.write(
+            "crates/jpeg/src/codec.rs",
+            "pub fn decode(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n",
+        );
+        let report = analyze_workspace(&ws.root, &Config::default_workspace()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics[0].rule, "no-panic");
+        assert!(report.to_json().contains("\"violations\":1"));
+    }
+
+    #[test]
+    fn clean_fixture_passes_and_counts_files() {
+        let ws = TempWs::new("clean");
+        ws.write(
+            "crates/jpeg/src/codec.rs",
+            "pub fn decode(b: &[u8]) -> u8 { b.first().copied().unwrap_or(0) }\n",
+        );
+        ws.write("crates/cli/src/main.rs", "fn main() { None::<u8>.unwrap(); }\n");
+        let report = analyze_workspace(&ws.root, &Config::default_workspace()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(report.files, 2);
+    }
+
+    #[test]
+    fn missing_ledger_with_unsafe_sites_is_a_violation() {
+        let ws = TempWs::new("noledger");
+        ws.write(
+            "crates/tensor/src/kernels/x.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller contract\n    unsafe { *p }\n}\n",
+        );
+        let report = analyze_workspace(&ws.root, &Config::default_workspace()).unwrap();
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].rule, "unsafe-ledger");
+        assert!(report.diagnostics[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn generated_ledger_reconciles_clean() {
+        let ws = TempWs::new("ledger");
+        ws.write(
+            "crates/tensor/src/kernels/x.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller contract\n    unsafe { *p }\n}\n",
+        );
+        let cfg = Config::default_workspace();
+        let ledger = generate_ledger(&ws.root, &cfg).unwrap();
+        fs::write(ws.root.join(LEDGER_FILE), ledger).unwrap();
+        let report = analyze_workspace(&ws.root, &cfg).unwrap();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn rule_filter_runs_only_the_named_rule() {
+        let ws = TempWs::new("filter");
+        ws.write(
+            "crates/jpeg/src/codec.rs",
+            "pub fn f(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n",
+        );
+        ws.write(
+            "crates/tensor/src/kernels/x.rs",
+            "pub fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        let mut cfg = Config::default_workspace();
+        cfg.only = Some("no-panic".to_string());
+        let report = analyze_workspace(&ws.root, &cfg).unwrap();
+        assert!(report.diagnostics.iter().all(|d| d.rule == "no-panic"));
+        assert_eq!(report.diagnostics.len(), 1);
+    }
+}

@@ -21,7 +21,7 @@ use dcdiff_runtime::{
     execute, CodingOpts, EngineCache, Job, JobSpec, RecoverMethod, Runtime, RuntimeConfig,
     ShutdownMode, StatsSnapshot,
 };
-use dcdiff_telemetry::Telemetry;
+use dcdiff_telemetry::{names, Telemetry};
 
 const IMAGES: usize = 16;
 const INGEST_MS: u64 = 25;
@@ -78,7 +78,7 @@ fn run(scratch: &std::path::Path, workers: usize, batch_max: usize) -> RunResult
     let wall = start.elapsed();
     assert!(report.results.iter().all(dcdiff_runtime::JobResult::is_ok), "all jobs must succeed");
     assert_eq!(
-        tel.histogram("runtime.job_wall_us").count(),
+        tel.histogram(names::HIST_JOB_WALL_US).count(),
         IMAGES as u64,
         "every job records one wall-latency sample"
     );
@@ -87,12 +87,12 @@ fn run(scratch: &std::path::Path, workers: usize, batch_max: usize) -> RunResult
         batch_max,
         wall,
         jobs_per_sec: IMAGES as f64 / wall.as_secs_f64(),
-        p50_ms: quantile_ms(&tel, "runtime.job_wall_us", 0.50),
-        p99_ms: quantile_ms(&tel, "runtime.job_wall_us", 0.99),
-        queue_p50_ms: quantile_ms(&tel, "runtime.queue_wait_us", 0.50),
-        queue_p99_ms: quantile_ms(&tel, "runtime.queue_wait_us", 0.99),
-        recover_p50_ms: quantile_ms(&tel, "stage.recover_us", 0.50),
-        recover_p99_ms: quantile_ms(&tel, "stage.recover_us", 0.99),
+        p50_ms: quantile_ms(&tel, names::HIST_JOB_WALL_US, 0.50),
+        p99_ms: quantile_ms(&tel, names::HIST_JOB_WALL_US, 0.99),
+        queue_p50_ms: quantile_ms(&tel, names::HIST_QUEUE_WAIT_US, 0.50),
+        queue_p99_ms: quantile_ms(&tel, names::HIST_QUEUE_WAIT_US, 0.99),
+        recover_p50_ms: quantile_ms(&tel, names::HIST_STAGE_RECOVER_US, 0.50),
+        recover_p99_ms: quantile_ms(&tel, names::HIST_STAGE_RECOVER_US, 0.99),
         stats: report.stats,
     }
 }

@@ -26,12 +26,21 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--metrics",
     "--log-level",
+    "--rule",
+    "--root",
 ];
 
 /// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected
 /// by name, so a typo like `--qualty` fails loudly instead of being silently
 /// swallowed as an unused boolean.
-const BOOL_FLAGS: &[&str] = &["--optimize", "--drop-dc", "--fail-fast", "--no-fallback"];
+const BOOL_FLAGS: &[&str] = &[
+    "--optimize",
+    "--drop-dc",
+    "--fail-fast",
+    "--no-fallback",
+    "--json",
+    "--update-ledger",
+];
 
 impl Parsed {
     /// Parse an argument list.

@@ -48,7 +48,8 @@ pub const USAGE: &str = "usage:
                                      [--batch K] [--fail-fast] [--no-fallback]
                                      [--trace t.jsonl] [--metrics m.json]
                                      [--log-level error|warn|info|debug]
-  dcdiff report  <trace.jsonl>";
+  dcdiff report  <trace.jsonl>
+  dcdiff lint    [--rule <id>] [--json] [--root DIR] [--update-ledger]";
 
 /// Dispatch the parsed command line.
 ///
@@ -73,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("demo") => demo(&parsed),
         Some("batch") => batch(&parsed),
         Some("report") => report(&parsed),
+        Some("lint") => lint(&parsed),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
     }
@@ -346,7 +348,7 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
 
     let runtime = Runtime::start(config);
     let started = std::time::Instant::now();
-    let batch_span = tel.span("batch.run");
+    let batch_span = tel.span(dcdiff_telemetry::names::SPAN_BATCH_RUN);
     let mut shed = 0usize;
     for spec in specs {
         let submitted = if fail_fast {
@@ -413,6 +415,48 @@ fn report(parsed: &Parsed) -> Result<(), String> {
         text.parse().map_err(|e| format!("{path}: {e}"))?;
     print!("{}", trace.render());
     Ok(())
+}
+
+/// `dcdiff lint` — run the workspace static-analysis engine
+/// ([`dcdiff_analysis`]) and fail with a non-zero exit when any contract
+/// rule fires. `--rule <id>` restricts the run to one rule, `--json`
+/// emits the machine-readable report (for the CI artifact), `--root DIR`
+/// lints a different tree, and `--update-ledger` regenerates
+/// `UNSAFE_LEDGER.md` from the workspace's unsafe sites instead of
+/// linting.
+fn lint(parsed: &Parsed) -> Result<(), String> {
+    let root = std::path::PathBuf::from(parsed.value("--root").unwrap_or("."));
+    let mut cfg = dcdiff_analysis::Config::default_workspace();
+    if let Some(rule) = parsed.value("--rule") {
+        if !dcdiff_analysis::config::is_rule(rule) {
+            return Err(format!(
+                "unknown rule '{rule}' (known: {})",
+                dcdiff_analysis::RULES.join(", ")
+            ));
+        }
+        cfg.only = Some(rule.to_string());
+    }
+    if parsed.has("--update-ledger") {
+        let ledger = dcdiff_analysis::generate_ledger(&root, &cfg)?;
+        let path = root.join(dcdiff_analysis::LEDGER_FILE);
+        std::fs::write(&path, ledger).map_err(io_err)?;
+        println!("wrote {}", path.display());
+        return Ok(());
+    }
+    let report = dcdiff_analysis::analyze_workspace(&root, &cfg)?;
+    if parsed.has("--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint failed: {} violation(s)",
+            report.diagnostics.len()
+        ))
+    }
 }
 
 #[cfg(test)]

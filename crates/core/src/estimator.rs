@@ -11,6 +11,7 @@ use rand::Rng as _;
 use std::time::Instant;
 
 use crate::fallback::EstimateError;
+use dcdiff_telemetry::names;
 use crate::mask::{high_frequency_mask, DEFAULT_THRESHOLD};
 use crate::projection::{image_to_tensor, project_dc, tensor_to_image};
 use crate::refine::refine_dc_offsets;
@@ -453,7 +454,7 @@ impl DcDiff {
         let x_tilde = image_to_tensor(&padded);
 
         // FreeU scales
-        let fmpp_span = tel.span("recover.fmpp");
+        let fmpp_span = tel.span(names::SPAN_RECOVER_FMPP);
         let (s, b) = if options.use_fmpp {
             self.fmpp.predict(&x_tilde)
         } else {
@@ -464,7 +465,7 @@ impl DcDiff {
         drop(fmpp_span);
 
         // DDIM sampling of the DC latent
-        let sample_span = tel.span("recover.sample");
+        let sample_span = tel.span(names::SPAN_RECOVER_SAMPLE);
         let cond = Stage2::condition_from(&x_tilde).detach();
         let control = self.stage2.control_features(&cond);
         let control: Vec<Tensor> = control.iter().map(Tensor::detach).collect();
@@ -486,7 +487,7 @@ impl DcDiff {
 
         // decode and crop
         check("decode")?;
-        let decode_span = tel.span("recover.decode");
+        let decode_span = tel.span(names::SPAN_RECOVER_DECODE);
         let x_hat = self
             .stage1
             .decode(&z.scale(self.latent_scale), &x_tilde)
@@ -498,14 +499,14 @@ impl DcDiff {
             return Ok(generated);
         }
         check("projection")?;
-        let projection_span = tel.span("recover.projection");
+        let projection_span = tel.span(names::SPAN_RECOVER_PROJECTION);
         let projected = project_dc(dropped, &generated);
         drop(projection_span);
         if !options.use_mld {
             return Ok(projected.to_image());
         }
         check("mld_refine")?;
-        let _mld_span = tel.span("recover.mld_refine");
+        let _mld_span = tel.span(names::SPAN_RECOVER_MLD_REFINE);
         let refined = refine_dc_offsets(
             dropped,
             &projected,

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use dcdiff_baselines::{DcRecovery, Tip2006};
 use dcdiff_image::Image;
+use dcdiff_telemetry::names;
 use dcdiff_jpeg::CoeffImage;
 
 use crate::estimator::{DcDiff, RecoverOptions};
@@ -321,8 +322,8 @@ impl FallbackEstimator {
             match self.primary.try_recover_with(dropped, &self.options, deadline) {
                 Ok(image) => {
                     self.breaker.record_success();
-                    tel.counter("estimator.primary_ok").inc();
-                    tel.gauge("breaker.state")
+                    tel.counter(names::CTR_ESTIMATOR_PRIMARY_OK).inc();
+                    tel.gauge(names::GAUGE_BREAKER_STATE)
                         .set(self.breaker.state().as_gauge());
                     return LadderOutcome {
                         image,
@@ -332,7 +333,7 @@ impl FallbackEstimator {
                 }
                 Err(err) => {
                     self.breaker.record_failure();
-                    tel.counter("estimator.primary_fail").inc();
+                    tel.counter(names::CTR_ESTIMATOR_PRIMARY_FAIL).inc();
                     tel.warn(format!(
                         "diffusion recovery failed ({err}); falling back to {}",
                         self.baseline.name()
@@ -341,16 +342,16 @@ impl FallbackEstimator {
                 }
             }
         } else {
-            tel.counter("estimator.breaker_short_circuit").inc();
+            tel.counter(names::CTR_ESTIMATOR_BREAKER_SHORT_CIRCUIT).inc();
         }
-        tel.gauge("breaker.state")
+        tel.gauge(names::GAUGE_BREAKER_STATE)
             .set(self.breaker.state().as_gauge());
 
         // Tier 2: the statistical baseline. It has no failure modes of
         // its own, but a panic here must not kill the ladder either.
         match catch_unwind(AssertUnwindSafe(|| self.baseline.recover(dropped))) {
             Ok(image) => {
-                tel.counter("estimator.fallback_baseline").inc();
+                tel.counter(names::CTR_ESTIMATOR_FALLBACK_BASELINE).inc();
                 LadderOutcome {
                     image,
                     tier: RecoveryTier::Baseline,
@@ -360,7 +361,7 @@ impl FallbackEstimator {
             Err(_) => {
                 // Tier 3: decode with DC left at zero — flat mid-gray
                 // blocks, AC detail intact. Cannot fail.
-                tel.counter("estimator.fallback_flat").inc();
+                tel.counter(names::CTR_ESTIMATOR_FALLBACK_FLAT).inc();
                 LadderOutcome {
                     image: dropped.to_image(),
                     tier: RecoveryTier::FlatDc,

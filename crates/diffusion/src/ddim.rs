@@ -1,3 +1,4 @@
+use dcdiff_telemetry::names;
 use dcdiff_tensor::{Rng, Tensor};
 
 use crate::NoiseSchedule;
@@ -109,7 +110,7 @@ impl DdimSampler {
         // installed (e.g. `dcdiff batch --trace`); otherwise inert.
         let tel = dcdiff_telemetry::global();
         for (i, &t) in ts.iter().enumerate() {
-            let _step = tel.span("recover.ddim_step");
+            let _step = tel.span(names::SPAN_RECOVER_DDIM_STEP);
             let eps = eps_fn(&z, t)?.detach();
             let z0 = self.schedule.predict_z0(&z, t, &eps);
             if i + 1 < ts.len() {

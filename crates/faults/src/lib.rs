@@ -255,7 +255,10 @@ pub fn corpus(bytes: &[u8], base_seed: u64, count: usize) -> Vec<FaultCase> {
                 Some(bytes[..cut].to_vec())
             }
             FaultClass::LengthCorruption => corrupt_length(bytes, &mut rng),
-            FaultClass::MarkerTruncation => unreachable!("enumerated by `truncations`"),
+            // Marker truncations are enumerated exhaustively by
+            // `truncations` above, never sampled here; skip rather than
+            // panic if a caller ever routes one through the sampler.
+            FaultClass::MarkerTruncation => None,
         };
         if let Some(mutated) = mutated {
             out.push(FaultCase {

@@ -24,6 +24,7 @@ impl BitWriter {
     ///
     /// Panics if `count > 24`.
     pub fn put(&mut self, bits: u32, count: u32) {
+        // analysis: allow(no-panic) — encoder-side documented `# Panics` contract; counts come from our own Huffman tables, never from input bytes
         assert!(count <= 24, "at most 24 bits per call");
         if count == 0 {
             return;
@@ -62,6 +63,7 @@ impl BitWriter {
     ///
     /// Panics unless `m < 8`.
     pub fn put_restart_marker(&mut self, m: u8) {
+        // analysis: allow(no-panic) — encoder-side documented `# Panics` contract; the encoder computes m modulo 8
         assert!(m < 8, "restart marker index must be 0..8");
         self.align();
         self.bytes.push(0xFF);
@@ -118,9 +120,11 @@ impl<'a> BitReader<'a> {
         self.nbits = 0;
         if self.marker.is_none() {
             // we may not have refilled up to the marker yet: scan forward
-            while self.pos + 1 < self.bytes.len() {
-                if self.bytes[self.pos] == 0xFF && self.bytes[self.pos + 1] != 0x00 {
-                    self.marker = Some(self.bytes[self.pos + 1]);
+            while let (Some(&b0), Some(&b1)) =
+                (self.bytes.get(self.pos), self.bytes.get(self.pos + 1))
+            {
+                if b0 == 0xFF && b1 != 0x00 {
+                    self.marker = Some(b1);
                     break;
                 }
                 self.pos += 1;
@@ -138,10 +142,9 @@ impl<'a> BitReader<'a> {
 
     fn refill(&mut self) -> bool {
         while self.nbits <= 24 {
-            if self.pos >= self.bytes.len() {
+            let Some(&byte) = self.bytes.get(self.pos) else {
                 return self.nbits > 0;
-            }
-            let byte = self.bytes[self.pos];
+            };
             self.pos += 1;
             if byte == 0xFF {
                 // a stuffed zero is data; a non-zero byte is a marker.
@@ -212,6 +215,7 @@ pub fn magnitude_code(value: i32) -> (u32, u32) {
 /// Panics if `size > 16` (callers must validate entropy-decoded
 /// categories first).
 pub fn magnitude_decode(size: u32, bits: u32) -> i32 {
+    // analysis: allow(no-panic) — documented `# Panics` contract; both decode_block call sites bound size (DC checked <= 15, AC is a 4-bit field)
     assert!(size <= 16, "baseline magnitude categories are at most 16 bits");
     if size == 0 {
         return 0;

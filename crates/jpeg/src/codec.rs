@@ -69,6 +69,7 @@ impl JpegEncoder {
     ///
     /// Panics unless `1 <= quality <= 100`.
     pub fn new(quality: u8) -> Self {
+        // analysis: allow(no-panic) — documented `# Panics` API contract on programmer input; the CLI validates quality before constructing an encoder
         assert!((1..=100).contains(&quality), "quality must be 1..=100");
         Self {
             quality,
@@ -670,7 +671,8 @@ impl<'a> Parser<'a> {
                 return Err(Self::err("huffman table too large"));
             }
             let vals = self.take(total)?.to_vec();
-            let table = HuffmanTable::new(bits, &vals);
+            let table = HuffmanTable::try_new(bits, &vals)
+                .map_err(|e| JpegError::malformed(format!("DHT: {e}")))?;
             if class == 0 {
                 self.dc_tables[id] = Some(table);
             } else {

@@ -86,6 +86,7 @@ impl CoeffPlane {
     ///
     /// Panics if either block count is zero.
     pub fn zeros(blocks_x: usize, blocks_y: usize, width: usize, height: usize) -> Self {
+        // analysis: allow(no-panic) — documented `# Panics` contract; block counts derive from validated SOF dimensions, which T.81 bounds above zero
         assert!(blocks_x > 0 && blocks_y > 0, "coefficient plane must be nonempty");
         Self {
             blocks_x,
@@ -122,6 +123,7 @@ impl CoeffPlane {
     ///
     /// Panics if out of bounds.
     pub fn block(&self, bx: usize, by: usize) -> &[i32; BLOCK_AREA] {
+        // analysis: allow(no-panic) — documented `# Panics` contract, the slice-indexing idiom: callers iterate 0..blocks_x/0..blocks_y
         assert!(bx < self.blocks_x && by < self.blocks_y, "block out of bounds");
         &self.blocks[by * self.blocks_x + bx]
     }
@@ -132,6 +134,7 @@ impl CoeffPlane {
     ///
     /// Panics if out of bounds.
     pub fn block_mut(&mut self, bx: usize, by: usize) -> &mut [i32; BLOCK_AREA] {
+        // analysis: allow(no-panic) — documented `# Panics` contract, the slice-indexing idiom: callers iterate 0..blocks_x/0..blocks_y
         assert!(bx < self.blocks_x && by < self.blocks_y, "block out of bounds");
         &mut self.blocks[by * self.blocks_x + bx]
     }
@@ -316,7 +319,7 @@ impl CoeffImage {
         width: usize,
         height: usize,
     ) -> Self {
-        assert!(!planes.is_empty(), "at least one component");
+        assert!(!planes.is_empty(), "at least one component"); // analysis: allow(no-panic) — documented `# Panics` contract; the decoder builds one quant table per parsed component before calling
         assert_eq!(planes.len(), qtables.len(), "one quant table per plane");
         Self {
             planes,
@@ -406,6 +409,7 @@ impl CoeffImage {
             ChromaSampling::Cs444 => {}
         }
         let ycbcr = Image::from_planes(vec![y, cb, cr], ColorSpace::YCbCr)
+            // analysis: allow(no-panic) — structural invariant: the chroma planes were just upsampled to the luma grid above
             .expect("component planes share dimensions");
         ycbcr.to_rgb()
     }
@@ -424,8 +428,8 @@ impl CoeffImage {
                 })
             })
             .collect();
-        if planes.len() == 1 {
-            return Image::from_gray(planes.into_iter().next().expect("one plane"));
+        if let [only] = planes.as_slice() {
+            return Image::from_gray(only.clone());
         }
         // chroma grids may be smaller under 4:2:0; upsample to the luma grid
         let (lw, lh) = planes[0].dims();
@@ -445,6 +449,7 @@ impl CoeffImage {
             })
             .collect();
         Image::from_planes(resized, ColorSpace::YCbCr)
+            // analysis: allow(no-panic) — structural invariant: every plane was just resized to the luma grid above
             .expect("planes share dimensions")
             .to_rgb()
     }

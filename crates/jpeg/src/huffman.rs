@@ -70,8 +70,25 @@ impl HuffmanTable {
     ///
     /// Panics if `vals.len()` does not match the total of `bits`.
     pub fn new(bits: [u8; 16], vals: &[u8]) -> Self {
+        // analysis: allow(no-panic) — documented `# Panics` contract; used only with the compile-time Annex-K tables, untrusted DHT segments go through `try_new`
+        Self::try_new(bits, vals).expect("BITS total must equal HUFFVAL length")
+    }
+
+    /// Build a table from untrusted `BITS`/`HUFFVAL` lists (a DHT segment).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `vals.len()` does not match the total of
+    /// `bits` — the one way a canonical table description can be
+    /// internally inconsistent.
+    pub fn try_new(bits: [u8; 16], vals: &[u8]) -> Result<Self, String> {
         let total: usize = bits.iter().map(|&b| b as usize).sum();
-        assert_eq!(total, vals.len(), "BITS total must equal HUFFVAL length");
+        if total != vals.len() {
+            return Err(format!(
+                "BITS total {total} does not match HUFFVAL length {}",
+                vals.len()
+            ));
+        }
         // Generate canonical code sizes/codes (T.81 C.1/C.2).
         let mut enc_code = [0u16; 256];
         let mut enc_size = [0u8; 256];
@@ -81,21 +98,23 @@ impl HuffmanTable {
 
         let mut code: u32 = 0;
         let mut k = 0usize;
-        for l in 1..=16usize {
-            let count = bits[l - 1] as usize;
-            min_code[l] = code as i32;
+        for (i, &count) in bits.iter().enumerate() {
+            let (l, count) = (i + 1, count as usize);
+            min_code[l] = code as i32; // analysis: allow(no-unchecked-index) — l = i+1 is 1..=16 into [_; 17] tables
             val_ptr[l] = k;
-            for _ in 0..count {
-                let sym = vals[k] as usize;
-                enc_code[sym] = code as u16;
-                enc_size[sym] = l as u8;
+            let chunk = vals
+                .get(k..k + count)
+                .ok_or("BITS total overflows HUFFVAL")?;
+            for &sym in chunk {
+                enc_code[sym as usize] = code as u16; // analysis: allow(no-unchecked-index) — sym is a u8 index into 256-entry tables
+                enc_size[sym as usize] = l as u8;
                 code += 1;
-                k += 1;
             }
-            max_code[l] = if count > 0 { code as i32 - 1 } else { -1 };
+            k += count;
+            max_code[l] = if count > 0 { code as i32 - 1 } else { -1 }; // analysis: allow(no-unchecked-index) — l = i+1 is 1..=16 into [_; 17] tables
             code <<= 1;
         }
-        Self {
+        Ok(Self {
             bits,
             vals: vals.to_vec(),
             enc_code,
@@ -103,7 +122,7 @@ impl HuffmanTable {
             min_code,
             max_code,
             val_ptr,
-        }
+        })
     }
 
     /// The Annex-K DC luminance table.
@@ -138,7 +157,7 @@ impl HuffmanTable {
 
     /// Code length in bits for `symbol`, or 0 when absent from the table.
     pub fn code_len(&self, symbol: u8) -> u8 {
-        self.enc_size[symbol as usize]
+        self.enc_size[symbol as usize] // analysis: allow(no-unchecked-index) — u8 index into a 256-entry table
     }
 
     /// Append the code for `symbol` to `writer`.
@@ -147,9 +166,10 @@ impl HuffmanTable {
     ///
     /// Panics if the symbol has no code in this table.
     pub fn encode(&self, writer: &mut BitWriter, symbol: u8) {
-        let size = self.enc_size[symbol as usize];
+        let size = self.code_len(symbol);
+        // analysis: allow(no-panic) — encoder-side documented `# Panics` contract; encoders only emit symbols from their own table
         assert!(size > 0, "symbol {symbol:#04x} not present in table");
-        writer.put(self.enc_code[symbol as usize] as u32, size as u32);
+        writer.put(self.enc_code[symbol as usize] as u32, size as u32); // analysis: allow(no-unchecked-index) — u8 index into a 256-entry table
     }
 
     /// Decode the next symbol from `reader`; `None` at end of data or on
@@ -158,9 +178,10 @@ impl HuffmanTable {
         let mut code: i32 = 0;
         for l in 1..=16usize {
             code = (code << 1) | reader.bit()? as i32;
+            // analysis: allow(no-unchecked-index) — l is 1..=16 into [_; 17] tables
             if self.max_code[l] >= 0 && code <= self.max_code[l] && code >= self.min_code[l] {
-                let idx = self.val_ptr[l] + (code - self.min_code[l]) as usize;
-                return Some(self.vals[idx]);
+                let idx = self.val_ptr[l] + (code - self.min_code[l]) as usize; // analysis: allow(no-unchecked-index) — l is 1..=16 into [_; 17] tables
+                return self.vals.get(idx).copied();
             }
         }
         None

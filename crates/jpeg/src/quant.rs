@@ -39,6 +39,7 @@ impl QuantTable {
     ///
     /// Panics if any entry is zero (division by the entry must be defined).
     pub fn from_values(values: [u16; BLOCK_AREA]) -> Self {
+        // analysis: allow(no-panic) — documented `# Panics` contract; parse_dqt rejects zero entries before constructing a table from untrusted bytes
         assert!(values.iter().all(|&v| v > 0), "quantiser entries must be positive");
         Self { values }
     }
@@ -60,6 +61,7 @@ impl QuantTable {
     ///
     /// Panics unless `1 <= quality <= 100`.
     pub fn scaled(base: &[u16; BLOCK_AREA], quality: u8) -> Self {
+        // analysis: allow(no-panic) — documented `# Panics` API contract on programmer input, validated at the CLI boundary
         assert!((1..=100).contains(&quality), "quality must be 1..=100");
         let scale: u32 = if quality < 50 {
             5000 / quality as u32
@@ -96,7 +98,7 @@ impl QuantTable {
             // all entries clamped: either extremely high or low quality
             return if self.values.iter().all(|&v| v == 1) { 100 } else { 1 };
         }
-        scales.sort_by(|a, b| a.partial_cmp(b).expect("finite scales"));
+        scales.sort_by(f64::total_cmp);
         let scale = scales[scales.len() / 2];
         let quality = if scale <= 100.0 {
             (200.0 - scale) / 2.0

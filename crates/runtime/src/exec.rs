@@ -15,6 +15,7 @@ use dcdiff_jpeg::{
     CoeffImage, DcDropMode, JpegDecoder, JpegEncoder,
 };
 use dcdiff_metrics::{psnr, ssim};
+use dcdiff_telemetry::names;
 use dcdiff_telemetry::Telemetry;
 
 use crate::job::{CodingOpts, Job, JobError, JobOutput, RecoverMethod};
@@ -164,11 +165,11 @@ impl EngineCache {
             RecoverMethod::Tip2006 => Box::new(Tip2006::new()),
             RecoverMethod::SmartCom => Box::new(SmartCom2019::new()),
             RecoverMethod::Icip => Box::new(Icip2022::new()),
-            RecoverMethod::Mld { .. } => unreachable!("handled above"),
+            RecoverMethod::Mld { .. } => return None, // early-returned above
         };
         self.misses += 1;
         self.engines.push((*method, engine));
-        Some(self.engines.last().expect("just pushed").1.as_ref())
+        self.engines.last().map(|(_, e)| e.as_ref())
     }
 }
 
@@ -190,29 +191,29 @@ pub fn execute(
             if !(1..=100).contains(quality) {
                 return Err(JobError::permanent("--quality must be 1..=100"));
             }
-            let read = tel.span("encode.read");
+            let read = tel.span(names::SPAN_ENCODE_READ);
             let image = read_image(input)?;
             drop(read);
-            let dct = tel.span("encode.dct");
+            let dct = tel.span(names::SPAN_ENCODE_DCT);
             let encoder = JpegEncoder::new(*quality).with_sampling(*sampling);
             let mut coeffs = encoder.to_coefficients(&image);
             drop(dct);
             if opts.drop_dc {
-                let _drop_dc = tel.span("encode.drop_dc");
+                let _drop_dc = tel.span(names::SPAN_ENCODE_DROP_DC);
                 coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
             }
-            let entropy = tel.span("encode.entropy");
+            let entropy = tel.span(names::SPAN_ENCODE_ENTROPY);
             let bytes = code(&coeffs, opts)?;
             drop(entropy);
-            let _write = tel.span("encode.write");
+            let _write = tel.span(names::SPAN_ENCODE_WRITE);
             write_bytes(output, &bytes)?;
             Ok(JobOutput::Encoded { bytes: bytes.len() })
         }
         Job::Transcode { input, output, opts } => {
-            let read = tel.span("transcode.read");
+            let read = tel.span(names::SPAN_TRANSCODE_READ);
             let bytes = read_bytes(input)?;
             drop(read);
-            let decode = tel.span("transcode.entropy_decode");
+            let decode = tel.span(names::SPAN_TRANSCODE_ENTROPY_DECODE);
             let mut coeffs = JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
                 let mut err = JobError::from_jpeg(&e);
                 err.message = format!("{input}: {}", err.message);
@@ -220,36 +221,36 @@ pub fn execute(
             })?;
             drop(decode);
             if opts.drop_dc {
-                let _drop_dc = tel.span("transcode.drop_dc");
+                let _drop_dc = tel.span(names::SPAN_TRANSCODE_DROP_DC);
                 coeffs = coeffs.drop_dc(DcDropMode::KeepCorners);
             }
-            let encode = tel.span("transcode.entropy_encode");
+            let encode = tel.span(names::SPAN_TRANSCODE_ENTROPY_ENCODE);
             let out = code(&coeffs, opts)?;
             drop(encode);
-            let _write = tel.span("transcode.write");
+            let _write = tel.span(names::SPAN_TRANSCODE_WRITE);
             write_bytes(output, &out)?;
             Ok(JobOutput::Transcoded { bytes_in: bytes.len(), bytes_out: out.len() })
         }
         Job::Recover { input, output, method } => {
-            let read = tel.span("recover.read");
+            let read = tel.span(names::SPAN_RECOVER_READ);
             let bytes = read_bytes(input)?;
             drop(read);
-            let decode = tel.span("recover.entropy_decode");
+            let decode = tel.span(names::SPAN_RECOVER_ENTROPY_DECODE);
             let dropped = JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
                 let mut err = JobError::from_jpeg(&e);
                 err.message = format!("{input}: {}", err.message);
                 err
             })?;
             drop(decode);
-            let estimate = tel.span("recover.estimate");
+            let estimate = tel.span(names::SPAN_RECOVER_ESTIMATE);
             let image = recover_guarded(&dropped, method, engines, tel)?;
             drop(estimate);
-            let _write = tel.span("recover.write");
+            let _write = tel.span(names::SPAN_RECOVER_WRITE);
             write_image(output, &image)?;
             Ok(JobOutput::Recovered { output: output.clone() })
         }
         Job::Metrics { reference, test } => {
-            let read = tel.span("metrics.read");
+            let read = tel.span(names::SPAN_METRICS_READ);
             let reference_img = read_image(reference)?;
             let test_img = read_image(test)?;
             drop(read);
@@ -262,7 +263,7 @@ pub fn execute(
                     test_img.height()
                 )));
             }
-            let _compare = tel.span("metrics.compare");
+            let _compare = tel.span(names::SPAN_METRICS_COMPARE);
             Ok(JobOutput::Metrics {
                 psnr: f64::from(psnr(&reference_img, &test_img)),
                 ssim: f64::from(ssim(&reference_img, &test_img)),
@@ -288,6 +289,7 @@ pub fn recover_with(
         }
         _ => engines
             .engine(method)
+            // analysis: allow(no-panic) — engine() is None only for MLD, which the arm above matches; backstopped by the job-level catch_unwind
             .expect("non-MLD methods are object-backed")
             .recover(dropped),
     }
@@ -338,13 +340,13 @@ pub fn recover_guarded(
         match catch_unwind(AssertUnwindSafe(|| recover_with(dropped, method, engines))) {
             Ok(image) => {
                 policy.breaker.record_success();
-                tel.counter("estimator.primary_ok").inc();
-                tel.gauge("breaker.state").set(policy.breaker.state().as_gauge());
+                tel.counter(names::CTR_ESTIMATOR_PRIMARY_OK).inc();
+                tel.gauge(names::GAUGE_BREAKER_STATE).set(policy.breaker.state().as_gauge());
                 return Ok(image);
             }
             Err(payload) => {
                 policy.breaker.record_failure();
-                tel.counter("estimator.primary_fail").inc();
+                tel.counter(names::CTR_ESTIMATOR_PRIMARY_FAIL).inc();
                 tel.warn(format!(
                     "recovery ({}) failed ({}); degrading to baseline",
                     method.name(),
@@ -353,26 +355,27 @@ pub fn recover_guarded(
             }
         }
     } else {
-        tel.counter("estimator.breaker_short_circuit").inc();
+        tel.counter(names::CTR_ESTIMATOR_BREAKER_SHORT_CIRCUIT).inc();
     }
-    tel.gauge("breaker.state").set(policy.breaker.state().as_gauge());
+    tel.gauge(names::GAUGE_BREAKER_STATE).set(policy.breaker.state().as_gauge());
     // Baseline tier: TIP-2006 is training-free and has no failure modes of
     // its own, but a panic here must not kill the ladder either.
     let baseline = catch_unwind(AssertUnwindSafe(|| {
         engines
             .engine(&RecoverMethod::Tip2006)
+            // analysis: allow(no-panic) — engine() is None only for MLD; this unwind is caught by the enclosing catch_unwind and falls through to the flat tier
             .expect("tip2006 is object-backed")
             .recover(dropped)
     }));
     match baseline {
         Ok(image) => {
-            tel.counter("estimator.fallback_baseline").inc();
+            tel.counter(names::CTR_ESTIMATOR_FALLBACK_BASELINE).inc();
             Ok(image)
         }
         Err(_) => {
             // Flat-DC tier: decode with the dropped DC left at zero. Cannot
             // fail; the picture is degraded but structurally valid.
-            tel.counter("estimator.fallback_flat").inc();
+            tel.counter(names::CTR_ESTIMATOR_FALLBACK_FLAT).inc();
             Ok(dropped.to_image())
         }
     }

@@ -162,8 +162,11 @@ impl<T> BoundedQueue<T> {
         let mut i = 0;
         while i < inner.items.len() && taken.len() < max {
             if matches(&inner.items[i]) {
-                // remove(i) preserves relative order of the rest.
-                taken.push(inner.items.remove(i).expect("index checked"));
+                // remove(i) preserves relative order of the rest; the loop
+                // condition keeps i in bounds, so None cannot happen.
+                if let Some(item) = inner.items.remove(i) {
+                    taken.push(item);
+                }
             } else {
                 i += 1;
             }

@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dcdiff_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use dcdiff_telemetry::names;
 
 use crate::exec::{execute, EngineCache, RecoveryPolicy};
 use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec, Stage};
@@ -82,16 +83,16 @@ struct RtMetrics {
 impl RtMetrics {
     fn new(tel: &Telemetry) -> Self {
         RtMetrics {
-            queue_depth: tel.gauge("runtime.queue_depth"),
-            queue_wait: tel.histogram("runtime.queue_wait_us"),
-            batch_size: tel.histogram("runtime.batch_size"),
-            job_wall: tel.histogram("runtime.job_wall_us"),
-            retries: tel.counter("runtime.retries"),
+            queue_depth: tel.gauge(names::GAUGE_QUEUE_DEPTH),
+            queue_wait: tel.histogram(names::HIST_QUEUE_WAIT_US),
+            batch_size: tel.histogram(names::HIST_BATCH_SIZE),
+            job_wall: tel.histogram(names::HIST_JOB_WALL_US),
+            retries: tel.counter(names::CTR_RETRIES),
             stage: [
-                tel.histogram("stage.encode_us"),
-                tel.histogram("stage.transcode_us"),
-                tel.histogram("stage.recover_us"),
-                tel.histogram("stage.metrics_us"),
+                tel.histogram(names::HIST_STAGE_ENCODE_US),
+                tel.histogram(names::HIST_STAGE_TRANSCODE_US),
+                tel.histogram(names::HIST_STAGE_RECOVER_US),
+                tel.histogram(names::HIST_STAGE_METRICS_US),
             ],
         }
     }
@@ -192,6 +193,7 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("dcdiff-worker-{i}"))
                     .spawn(move || worker_loop(i, &queue, &stats, &results, &config, &rt))
+                    // analysis: allow(no-panic) — one-time startup: failing to create worker threads is unrecoverable resource exhaustion, not a job-path error
                     .expect("spawn worker thread")
             })
             .collect();
@@ -304,8 +306,13 @@ impl Runtime {
         }
         for worker in self.workers {
             // Workers never panic on job errors; a panic here is a runtime
-            // bug and must surface loudly.
-            worker.join().expect("worker thread panicked");
+            // bug. Log it loudly instead of re-panicking so the results
+            // the other workers completed still reach the caller.
+            if worker.join().is_err() {
+                self.config
+                    .telemetry
+                    .error("worker thread panicked; returning completed results");
+            }
         }
         let results = std::mem::take(&mut *lock_results(&self.results));
         RuntimeReport { results, stats: self.stats.snapshot() }
@@ -329,7 +336,7 @@ fn worker_loop(
 ) {
     let tel = &config.telemetry;
     // Per-worker utilisation: cumulative busy time (pop to batch done).
-    let busy_us = tel.gauge(&format!("runtime.worker.{worker}.busy_us"));
+    let busy_us = tel.gauge(&names::worker_busy_gauge(worker));
     let mut engines = EngineCache::with_policy(config.recovery.clone());
     while let Some(first) = queue.pop() {
         let popped = Instant::now();
@@ -343,7 +350,7 @@ fn worker_loop(
         // method config, so one engine serves the whole batch.
         if config.batch_max > 1 {
             if let Some(method) = batch[0].job.recover_method().copied() {
-                let assemble = tel.span("batch.assemble");
+                let assemble = tel.span(names::SPAN_BATCH_ASSEMBLE);
                 let extras = queue.take_matching(config.batch_max - 1, |q| {
                     q.job
                         .recover_method()
@@ -358,7 +365,7 @@ fn worker_loop(
         for entry in &batch {
             let waited = popped.saturating_duration_since(entry.submitted);
             rt.queue_wait.record_duration(waited);
-            tel.record_span("queue.wait", entry.submitted, popped);
+            tel.record_span(names::SPAN_QUEUE_WAIT, entry.submitted, popped);
         }
         rt.batch_size.record(batch.len() as u64);
         stats.bump(&stats.batches);
@@ -367,7 +374,7 @@ fn worker_loop(
                 .batched_jobs
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
-        let exec_span = tel.span("batch.exec");
+        let exec_span = tel.span(names::SPAN_BATCH_EXEC);
         for entry in batch {
             let result = run_one(entry, stats, config, rt, &mut engines);
             if result.is_ok() {
@@ -385,10 +392,10 @@ fn worker_loop(
 /// Trace span name for a job of the given stage.
 fn stage_span_name(stage: Stage) -> &'static str {
     match stage {
-        Stage::Encode => "job.encode",
-        Stage::Transcode => "job.transcode",
-        Stage::Recover => "job.recover",
-        Stage::Metrics => "job.metrics",
+        Stage::Encode => names::SPAN_JOB_ENCODE,
+        Stage::Transcode => names::SPAN_JOB_TRANSCODE,
+        Stage::Recover => names::SPAN_JOB_RECOVER,
+        Stage::Metrics => names::SPAN_JOB_METRICS,
     }
 }
 
@@ -421,7 +428,7 @@ fn run_one(
         // Simulated sender-uplink wait (see `JobSpec::ingest`). It counts
         // against the wall clock but not `exec`; like execution itself it is
         // not preempted by the deadline once started.
-        let _ingest = tel.span("job.ingest");
+        let _ingest = tel.span(names::SPAN_JOB_INGEST);
         std::thread::sleep(stall);
     }
     let mut attempts = 0u32;
@@ -458,7 +465,7 @@ fn run_one(
                     // Exponential backoff: base * 2^(attempt-1), capped at
                     // 2^10 to keep the worst sleep bounded.
                     let exp = (attempts - 1).min(10);
-                    let _backoff = tel.span("job.backoff");
+                    let _backoff = tel.span(names::SPAN_JOB_BACKOFF);
                     std::thread::sleep(config.backoff_base * 2u32.pow(exp));
                     continue;
                 }

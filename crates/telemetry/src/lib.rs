@@ -46,6 +46,7 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod trace;
 

@@ -204,12 +204,17 @@ impl TraceReport {
         let mut names: Vec<&String> = self.spans.keys().collect();
         names.sort_by_key(|n| std::cmp::Reverse(self.spans[*n].total_us));
         let wall = self.wall_us().max(1);
+        let mut unregistered = Vec::new();
         for name in names {
             let s = &self.spans[name];
             let snap = s.histogram.snapshot();
+            let known = crate::names::is_registered(name);
+            if !known {
+                unregistered.push(name.clone());
+            }
             let _ = writeln!(
                 out,
-                "{:<24} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5.1}%",
+                "{:<24} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5.1}%{}",
                 name,
                 s.count,
                 s.total_us as f64 / 1e3,
@@ -218,9 +223,31 @@ impl TraceReport {
                 snap.quantile(0.99).unwrap_or(0) as f64 / 1e3,
                 snap.max as f64 / 1e3,
                 100.0 * s.total_us as f64 / wall as f64,
+                if known { "" } else { "  (?)" },
+            );
+        }
+        if !unregistered.is_empty() {
+            let _ = writeln!(
+                out,
+                "warning: {} span name(s) not in the telemetry registry \
+                 (dcdiff_telemetry::names) — dashboards keyed on registered \
+                 names will not see them: {}",
+                unregistered.len(),
+                unregistered.join(", "),
             );
         }
         out
+    }
+
+    /// Span names in this trace that are not in the telemetry name registry
+    /// ([`crate::names`]) — producers emitting these have drifted from the
+    /// registered namespaces dashboards key on.
+    pub fn unregistered_names(&self) -> Vec<&str> {
+        self.spans
+            .keys()
+            .map(String::as_str)
+            .filter(|n| !crate::names::is_registered(n))
+            .collect()
     }
 }
 

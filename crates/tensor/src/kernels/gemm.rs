@@ -79,11 +79,14 @@ struct Micro {
 
 /// Portable 4x8 kernel; fixed bounds keep the accumulator tile in
 /// registers and let LLVM vectorise for whatever the build target offers.
+// SAFETY: unsafe fn — callers uphold the `Micro::kernel` contract (packed
+// strip and accumulator sizes); no ISA requirement beyond the build target.
 unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
     const MR: usize = 4;
     const NR: usize = 8;
     let mut tile = [[0.0f32; NR]; MR];
     for p in 0..kc {
+        // SAFETY: the contract guarantees kc strips of MR / NR floats each.
         let a = unsafe { std::slice::from_raw_parts(astrip.add(p * MR), MR) };
         let b = unsafe { std::slice::from_raw_parts(bstrip.add(p * NR), NR) };
         for (r, row) in tile.iter_mut().enumerate() {
@@ -94,6 +97,7 @@ unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, 
         }
     }
     for (r, row) in tile.iter().enumerate() {
+        // SAFETY: acc holds MR*NR writable floats per the kernel contract.
         unsafe { std::ptr::copy_nonoverlapping(row.as_ptr(), acc.add(r * NR), NR) };
     }
 }
@@ -102,12 +106,16 @@ unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, 
 /// broadcast-FMAs per depth step (~2 FMA issues per cycle on one core).
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: unsafe fn — `Micro::kernel` contract plus a CPU with avx2+fma;
+// detect_micro only selects this kernel after checking the feature bits.
 unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
     #[cfg(target_arch = "x86")]
     use std::arch::x86::*;
     #[cfg(target_arch = "x86_64")]
     use std::arch::x86_64::*;
     const MR: usize = 6;
+    // SAFETY: every load/store indexes below kc*16 (B), kc*MR (A) or 6*16
+    // (acc), all guaranteed by the kernel contract; ISA is checked above.
     unsafe {
         let mut tile = [[_mm256_setzero_ps(); 2]; MR];
         for p in 0..kc {
@@ -267,9 +275,8 @@ fn gemm_stripe(
                     for ir in 0..mc.div_ceil(mr) {
                         let astrip = &apanel[ir * kc * mr..(ir * kc + kc) * mr];
                         let nrows = (mc - ir * mr).min(mr);
-                        // Safety: strips hold kc*mr / kc*nr packed floats
-                        // and acc is ACC_MAX >= mr*nr; the kernel matching
-                        // the detected ISA was selected in detect_micro.
+                        // SAFETY: strips hold kc*mr / kc*nr packed floats,
+                        // acc is ACC_MAX >= mr*nr, ISA checked at detection.
                         unsafe {
                             (micro.kernel)(kc, astrip.as_ptr(), bstrip.as_ptr(), acc.as_mut_ptr());
                         }
@@ -277,7 +284,8 @@ fn gemm_stripe(
                         let ccol0 = j0 + jc + jr * nr;
                         for r in 0..nrows {
                             let accrow = &acc[r * nr..r * nr + ncols];
-                            // Disjoint stripe of C owned by this call.
+                            // SAFETY: disjoint stripe of C owned by this
+                            // call; the row/col offsets stay inside it.
                             let dst = unsafe {
                                 std::slice::from_raw_parts_mut(
                                     c.add((crow0 + r) * ldc + ccol0),

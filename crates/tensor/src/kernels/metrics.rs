@@ -8,6 +8,7 @@
 //! handle is [`dcdiff_telemetry::install`]ed (checked with one `Arc`
 //! pointer comparison per record).
 
+use dcdiff_telemetry::names;
 use std::cell::RefCell;
 use std::time::Duration;
 
@@ -26,12 +27,12 @@ struct Handles {
 impl Handles {
     fn resolve(tel: Telemetry) -> Handles {
         Handles {
-            gemm_us: tel.histogram("tensor.gemm_us"),
-            gemm_flops: tel.counter("tensor.gemm_flops"),
-            gemm_mflops: tel.histogram("tensor.gemm_mflops"),
-            conv_us: tel.histogram("tensor.conv_us"),
-            conv_flops: tel.counter("tensor.conv_flops"),
-            conv_mflops: tel.histogram("tensor.conv_mflops"),
+            gemm_us: tel.histogram(names::HIST_GEMM_US),
+            gemm_flops: tel.counter(names::CTR_GEMM_FLOPS),
+            gemm_mflops: tel.histogram(names::HIST_GEMM_MFLOPS),
+            conv_us: tel.histogram(names::HIST_CONV_US),
+            conv_flops: tel.counter(names::CTR_CONV_FLOPS),
+            conv_mflops: tel.histogram(names::HIST_CONV_MFLOPS),
             tel,
         }
     }

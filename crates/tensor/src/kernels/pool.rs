@@ -90,6 +90,8 @@ struct Kick {
     latch: *const Latch,
 }
 
+// SAFETY: the pointers are dereferenced only while the issuing parallel_for
+// frame is blocked in Latch::wait, so they never outlive their referents.
 unsafe impl Send for Kick {}
 
 struct Pool {
@@ -104,7 +106,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Kick>>) {
             guard.recv()
         };
         let Ok(kick) = kick else { return };
-        // See `Kick` for why these raw derefs are in bounds.
+        // SAFETY: see `Kick` — pointers stay valid until the check-in below.
         let region: &Region<'_> = unsafe { &*kick.region };
         let latch: &Latch = unsafe { &*kick.latch };
         let panicked =
@@ -161,10 +163,12 @@ pub fn parallel_for(total: usize, f: &(dyn Fn(usize) + Sync)) {
     let region = Region { f, next: AtomicUsize::new(0), total };
     let latch = Latch::new(kicks);
     {
-        // Erase the stack lifetime; `latch.wait()` below restores the
-        // invariant that no worker touches `region` after we return.
-        let region_ptr: *const Region<'static> =
-            unsafe { std::mem::transmute::<*const Region<'_>, *const Region<'static>>(&region) };
+        // Erase the stack lifetime only for transport through the channel.
+        // SAFETY: `latch.wait()` below keeps this frame alive until every
+        // worker that received the pointer has checked in on the latch.
+        let region_ptr: *const Region<'static> = unsafe {
+            std::mem::transmute::<*const Region<'_>, *const Region<'static>>(&region)
+        };
         let sender = pool.sender.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for _ in 0..kicks {
             sender
@@ -196,7 +200,8 @@ pub fn parallel_chunks_mut(buf: &mut [f32], chunk: usize, f: &(dyn Fn(usize, &mu
     parallel_for(tasks, &|i| {
         let start = i * chunk;
         let end = (start + chunk).min(len);
-        // Disjoint per-index ranges of a live &mut [f32]; see doc comment.
+        // SAFETY: disjoint per-index ranges of a live &mut [f32] — no two
+        // tasks overlap and end is clamped to len; see the doc comment.
         let view = unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(start), end - start) };
         f(i, view);
     });

@@ -1,0 +1,61 @@
+//! Workspace self-check: the committed tree must satisfy every
+//! `dcdiff-analysis` contract (panic-freedom in untrusted crates, audited
+//! unsafe reconciled against `UNSAFE_LEDGER.md`, lock/condvar hygiene,
+//! registered telemetry names). This is the same check CI gates on via
+//! `dcdiff lint`; running it as a test keeps `cargo test` and the CI lint
+//! step from drifting apart.
+
+use std::path::Path;
+
+use dcdiff_analysis::{analyze_workspace, Config, RULES};
+
+fn workspace_root() -> &'static Path {
+    // The root package's manifest dir IS the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = analyze_workspace(workspace_root(), &Config::default_workspace())
+        .expect("workspace walk succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render()
+    );
+    assert!(report.files > 0, "walker found no Rust files");
+}
+
+#[test]
+fn every_rule_runs_clean_in_isolation() {
+    // Exercises the --rule path: each rule individually must also be clean
+    // (catches scoping mistakes where a rule only passes because another
+    // rule's allow annotation shadows it).
+    for rule in RULES {
+        let mut cfg = Config::default_workspace();
+        cfg.only = Some((*rule).to_string());
+        let report = analyze_workspace(workspace_root(), &cfg)
+            .unwrap_or_else(|e| panic!("rule {rule}: {e}"));
+        assert!(
+            report.is_clean(),
+            "rule {rule} has violations:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn committed_ledger_matches_generated() {
+    // `--update-ledger` must be a no-op on a clean tree: if this fails, an
+    // unsafe site changed without re-running the regeneration step.
+    let root = workspace_root();
+    let generated = dcdiff_analysis::generate_ledger(root, &Config::default_workspace())
+        .expect("ledger generation succeeds");
+    let committed = std::fs::read_to_string(root.join(dcdiff_analysis::LEDGER_FILE))
+        .expect("UNSAFE_LEDGER.md is committed");
+    assert_eq!(
+        committed.trim(),
+        generated.trim(),
+        "UNSAFE_LEDGER.md is stale; run `dcdiff lint --update-ledger`"
+    );
+}
