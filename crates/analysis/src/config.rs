@@ -57,9 +57,10 @@ impl Config {
     ///
     /// * `no-panic` — the untrusted-input and job-execution crates must
     ///   not contain reachable panics: `crates/jpeg` (bytes off the wire),
-    ///   `crates/faults` library (runs inside recovery paths), and
-    ///   `crates/runtime` (must survive any job). The faults *fixture
-    ///   binary* is a dev tool and exempt.
+    ///   `crates/faults` library (runs inside recovery paths),
+    ///   `crates/runtime` (must survive any job), and `crates/serve` (a
+    ///   long-lived server parsing untrusted network bytes). The faults
+    ///   *fixture binary* is a dev tool and exempt.
     /// * `no-unchecked-index` — the entropy-decode hot path is driven
     ///   directly by untrusted bits, so plain `x[i]` indexing is banned in
     ///   `bitstream.rs` and `huffman.rs` specifically.
@@ -86,6 +87,7 @@ impl Config {
                             "crates/jpeg/src/",
                             "crates/faults/src/lib.rs",
                             "crates/runtime/src/",
+                            "crates/serve/src/",
                         ],
                         &[],
                     ),
@@ -101,11 +103,25 @@ impl Config {
                 ("unsafe-ledger", scope(&[], &["vendor/"])),
                 (
                     "lock-hygiene",
-                    scope(&["crates/tensor/src/kernels/", "crates/runtime/src/"], &[]),
+                    scope(
+                        &[
+                            "crates/tensor/src/kernels/",
+                            "crates/runtime/src/",
+                            "crates/serve/src/",
+                        ],
+                        &[],
+                    ),
                 ),
                 (
                     "condvar-wait-loop",
-                    scope(&["crates/tensor/src/kernels/", "crates/runtime/src/"], &[]),
+                    scope(
+                        &[
+                            "crates/tensor/src/kernels/",
+                            "crates/runtime/src/",
+                            "crates/serve/src/",
+                        ],
+                        &[],
+                    ),
                 ),
                 (
                     "telemetry-names",
@@ -145,6 +161,10 @@ mod tests {
         assert!(cfg.in_scope("no-panic", "crates/jpeg/src/codec.rs"));
         assert!(cfg.in_scope("no-panic", "crates/runtime/src/exec.rs"));
         assert!(cfg.in_scope("no-panic", "crates/faults/src/lib.rs"));
+        assert!(cfg.in_scope("no-panic", "crates/serve/src/server.rs"));
+        assert!(cfg.in_scope("lock-hygiene", "crates/serve/src/server.rs"));
+        assert!(cfg.in_scope("condvar-wait-loop", "crates/serve/src/http.rs"));
+        assert!(!cfg.in_scope("no-panic", "crates/serve/tests/protocol.rs"));
         assert!(!cfg.in_scope("no-panic", "crates/faults/src/bin/fault_fixtures.rs"));
         assert!(!cfg.in_scope("no-panic", "crates/cli/src/commands.rs"));
     }

@@ -28,6 +28,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--log-level",
     "--rule",
     "--root",
+    "--addr",
+    "--class",
+    "--max-conns",
+    "--client-inflight",
+    "--max-body",
 ];
 
 /// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected
@@ -40,6 +45,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--no-fallback",
     "--json",
     "--update-ledger",
+    "--dc-plane",
 ];
 
 impl Parsed {

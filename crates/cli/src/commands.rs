@@ -49,6 +49,16 @@ pub const USAGE: &str = "usage:
                                      [--trace t.jsonl] [--metrics m.json]
                                      [--log-level error|warn|info|debug]
   dcdiff report  <trace.jsonl>
+  dcdiff serve   [--addr HOST:PORT]   [--workers N] [--queue-cap M] [--batch K]
+                                     [--method tip2006|smartcom|icip|mld]
+                                     [--threshold T] [--sweeps N] [--no-fallback]
+                                     [--max-conns C] [--client-inflight F]
+                                     [--max-body BYTES]
+                                     [--trace t.jsonl] [--metrics m.json]
+                                     [--log-level error|warn|info|debug]
+  dcdiff submit  <addr> <in.jpg> <out.ppm|out.pgm>
+                                     [--class interactive|standard|bulk]
+                                     [--dc-plane]
   dcdiff lint    [--rule <id>] [--json] [--root DIR] [--update-ledger]";
 
 /// Dispatch the parsed command line.
@@ -58,9 +68,12 @@ pub const USAGE: &str = "usage:
 /// Returns a human-readable message for any parse, I/O or codec failure.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(argv)?;
-    if parsed.positional_len() > 3 {
+    // `submit` takes <addr> <in> <out>; everything else at most two
+    // positionals after the command.
+    let max_positionals = if parsed.positional(0) == Some("submit") { 4 } else { 3 };
+    if parsed.positional_len() > max_positionals {
         return Err(format!(
-            "too many arguments ({} given, at most 3 expected)",
+            "too many arguments ({} given, at most {max_positionals} expected)",
             parsed.positional_len()
         ));
     }
@@ -74,6 +87,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("demo") => demo(&parsed),
         Some("batch") => batch(&parsed),
         Some("report") => report(&parsed),
+        Some("serve") => serve(&parsed),
+        Some("submit") => submit(&parsed),
         Some("lint") => lint(&parsed),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
@@ -404,6 +419,101 @@ fn batch(parsed: &Parsed) -> Result<(), String> {
     if failed > 0 {
         return Err(format!("{failed} of {total} job(s) failed"));
     }
+    Ok(())
+}
+
+/// Run the long-lived network front door (`dcdiff serve`).
+fn serve(parsed: &Parsed) -> Result<(), String> {
+    use dcdiff_runtime::{RecoveryPolicy, RuntimeConfig};
+    use dcdiff_serve::{method_from_name, ServeConfig, Server};
+
+    let tel = telemetry_from_flags(parsed)?;
+    dcdiff_telemetry::install(tel.clone());
+
+    let default_workers =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let method = method_from_name(
+        parsed.value("--method").unwrap_or("mld"),
+        parsed.float("--threshold", 10.0)?,
+        parsed.int("--sweeps", 300)? as usize,
+    )?;
+    let mut cfg = ServeConfig {
+        addr: parsed.value("--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        max_connections: parsed.int("--max-conns", 64)?.max(1) as usize,
+        per_client_inflight: parsed.int("--client-inflight", 4)?.max(1) as usize,
+        max_body_bytes: parsed.int("--max-body", 16 << 20)?.max(1024) as usize,
+        method,
+        ..ServeConfig::default()
+    };
+    cfg.runtime = RuntimeConfig {
+        workers: parsed.int("--workers", default_workers as u64)?.max(1) as usize,
+        queue_cap: parsed.int("--queue-cap", 64)?.max(1) as usize,
+        batch_max: parsed.int("--batch", 8)?.max(1) as usize,
+        telemetry: tel.clone(),
+        recovery: if parsed.has("--no-fallback") {
+            RecoveryPolicy::no_fallback()
+        } else {
+            RecoveryPolicy::default()
+        },
+        ..RuntimeConfig::default()
+    };
+
+    let server = Server::bind_with(cfg, tel.clone()).map_err(io_err)?;
+    dcdiff_serve::signal::install();
+    println!(
+        "serve: listening on {} ({} workers, queue cap {}, method {}); SIGTERM or POST /admin/drain to stop",
+        server.local_addr(),
+        parsed.int("--workers", default_workers as u64)?.max(1),
+        parsed.int("--queue-cap", 64)?.max(1),
+        parsed.value("--method").unwrap_or("mld"),
+    );
+    let report = server.run_until_shutdown();
+    if let Some(stats) = &report.stats {
+        println!("{}", stats.render());
+    }
+    if report.abandoned_connections > 0 {
+        println!(
+            "drain grace expired with {} connection(s) still open",
+            report.abandoned_connections
+        );
+    }
+    tel.flush();
+    if let Some(path) = parsed.value("--metrics") {
+        std::fs::write(path, tel.metrics_json()).map_err(|e| format!("--metrics {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = parsed.value("--trace") {
+        println!("trace written to {path} (inspect with `dcdiff report {path}`)");
+    }
+    println!("serve: drained cleanly");
+    Ok(())
+}
+
+/// Send one JPEG to a running `dcdiff serve` and save the response
+/// (`dcdiff submit`).
+fn submit(parsed: &Parsed) -> Result<(), String> {
+    let addr = need(parsed, 1, "server address (host:port)")?;
+    let input = need(parsed, 2, "input .jpg path")?;
+    let output = need(parsed, 3, "output image path")?;
+    let jpeg = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+    let dc_plane = parsed.has("--dc-plane") || output.to_ascii_lowercase().ends_with(".pgm");
+    let client = dcdiff_serve::Client::new(addr.as_str());
+    let response = client
+        .recover(&jpeg, parsed.value("--class"), dc_plane)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if !response.is_success() {
+        return Err(format!(
+            "{addr}: server answered {}: {}",
+            response.status,
+            String::from_utf8_lossy(&response.body).trim()
+        ));
+    }
+    std::fs::write(&output, &response.body).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{output}: {} bytes ({})",
+        response.body.len(),
+        response.header("content-type").unwrap_or("unknown type"),
+    );
     Ok(())
 }
 

@@ -14,6 +14,9 @@
 //!                                    [--trace t.jsonl] [--metrics m.json]
 //!                                    [--log-level error|warn|info|debug]
 //! dcdiff report  <trace.jsonl>
+//! dcdiff serve   [--addr HOST:PORT] [--workers N] [--queue-cap M]
+//!                                    [--method tip2006|smartcom|icip|mld]
+//! dcdiff submit  <addr> <in.jpg> <out.ppm|out.pgm> [--class C] [--dc-plane]
 //! ```
 
 use std::process::ExitCode;

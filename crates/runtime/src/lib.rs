@@ -61,5 +61,5 @@ pub use job::{
 };
 pub use manifest::{parse_line, parse_manifest};
 pub use queue::{BoundedQueue, PushError};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeReport, ShutdownMode, SubmitError};
+pub use runtime::{ResultHandle, Runtime, RuntimeConfig, RuntimeReport, ShutdownMode, SubmitError};
 pub use stats::{RuntimeStats, StatsSnapshot};

@@ -3,7 +3,7 @@
 //! bounded retry with exponential backoff, and drain/abort shutdown.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -134,6 +134,75 @@ struct Queued {
     deadline: Option<Instant>,
     max_retries: u32,
     ingest: Option<Duration>,
+    /// Watched submissions deliver their result here instead of the
+    /// shutdown report (see [`Runtime::submit_watched`]).
+    notify: Option<ResultHandle>,
+}
+
+#[derive(Debug, Default)]
+struct SlotInner {
+    result: Mutex<Option<JobResult>>,
+    ready: Condvar,
+}
+
+/// Waitable handle to one watched job's eventual [`JobResult`].
+///
+/// Returned by [`Runtime::submit_watched`]. The result is delivered exactly
+/// once — on completion, on deadline miss, or as [`JobFailure::Rejected`]
+/// when an abort shutdown sheds the job while queued — and is *taken* by the
+/// first waiter that sees it. Watched results never appear in the
+/// [`RuntimeReport`], which keeps a long-lived server's memory flat instead
+/// of accumulating every response it ever sent.
+#[derive(Debug, Clone, Default)]
+pub struct ResultHandle {
+    slot: Arc<SlotInner>,
+}
+
+impl ResultHandle {
+    fn fulfill(&self, result: JobResult) {
+        let mut slot = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some(result);
+        drop(slot);
+        self.slot.ready.notify_all();
+    }
+
+    /// Take the result if it has already been delivered.
+    pub fn try_take(&self) -> Option<JobResult> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    /// Block until the result arrives or `timeout` elapses; `None` on
+    /// timeout (the job is still owned by the runtime and will deliver
+    /// later — a subsequent wait can still take it).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while slot.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            slot = self
+                .slot
+                .ready
+                .wait_timeout(slot, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        slot.take()
+    }
 }
 
 /// Final report of a runtime's lifetime.
@@ -221,6 +290,7 @@ impl Runtime {
     fn enqueue(
         &self,
         spec: JobSpec,
+        notify: Option<ResultHandle>,
         push: impl FnOnce(&BoundedQueue<Queued>, Queued) -> Result<(), PushError>,
     ) -> Result<JobId, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -232,6 +302,7 @@ impl Runtime {
             deadline: spec.deadline.map(|d| now + d),
             max_retries: spec.max_retries,
             ingest: spec.ingest,
+            notify,
         };
         match push(&self.queue, entry) {
             Ok(()) => {
@@ -261,7 +332,7 @@ impl Runtime {
         if spec.max_retries == 0 {
             spec.max_retries = self.config.default_retries;
         }
-        self.enqueue(spec, BoundedQueue::try_push)
+        self.enqueue(spec, None, BoundedQueue::try_push)
     }
 
     /// Blocking submission: waits for queue space.
@@ -274,7 +345,42 @@ impl Runtime {
         if spec.max_retries == 0 {
             spec.max_retries = self.config.default_retries;
         }
-        self.enqueue(spec, BoundedQueue::push_blocking)
+        self.enqueue(spec, None, BoundedQueue::push_blocking)
+    }
+
+    /// Fail-fast *watched* submission for long-lived callers (the serve
+    /// front door): the job's result is delivered to the returned
+    /// [`ResultHandle`] the moment it completes instead of accumulating in
+    /// the shutdown report. Every accepted watched job is guaranteed exactly
+    /// one delivery: completion, deadline miss, or [`JobFailure::Rejected`]
+    /// under an abort shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit_watched(
+        &self,
+        spec: impl Into<JobSpec>,
+    ) -> Result<(JobId, ResultHandle), SubmitError> {
+        let mut spec = spec.into();
+        if spec.max_retries == 0 {
+            spec.max_retries = self.config.default_retries;
+        }
+        let handle = ResultHandle::default();
+        let id = self.enqueue(spec, Some(handle.clone()), BoundedQueue::try_push)?;
+        Ok((id, handle))
+    }
+
+    /// Current queue depth (jobs accepted but not yet popped by a worker).
+    /// Admission-control input for the serve front door.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The bounded queue's capacity — the backpressure point.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     /// Stop the runtime and collect every result.
@@ -290,18 +396,22 @@ impl Runtime {
             ShutdownMode::Abort => {
                 let shed = self.queue.close_and_take();
                 let now = Instant::now();
-                let mut results = lock_results(&self.results);
                 for entry in shed {
                     self.stats.bump(&self.stats.rejected);
-                    results.push(JobResult {
+                    let result = JobResult {
                         id: entry.id,
                         job: entry.job,
                         outcome: Err(JobFailure::Rejected),
                         wall: now.duration_since(entry.submitted),
                         exec: Duration::ZERO,
                         attempts: 0,
-                    });
+                    };
+                    match entry.notify {
+                        Some(handle) => handle.fulfill(result),
+                        None => lock_results(&self.results).push(result),
+                    }
                 }
+                self.rt.queue_depth.set(0);
             }
         }
         for worker in self.workers {
@@ -358,6 +468,9 @@ fn worker_loop(
                 });
                 drop(assemble);
                 batch.extend(extras);
+                // Batch assembly removed entries without going through pop,
+                // so republish the true remaining depth.
+                rt.queue_depth.set(queue.len() as i64);
             }
         }
         // Queue wait spans cross threads (begun on the submitter, finished
@@ -375,16 +488,24 @@ fn worker_loop(
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         let exec_span = tel.span(names::SPAN_BATCH_EXEC);
-        for entry in batch {
+        for mut entry in batch {
+            let notify = entry.notify.take();
             let result = run_one(entry, stats, config, rt, &mut engines);
             if result.is_ok() {
                 stats.bump(&stats.completed);
             } else {
                 stats.bump(&stats.failed);
             }
-            lock_results(results).push(result);
+            match notify {
+                Some(handle) => handle.fulfill(result),
+                None => lock_results(results).push(result),
+            }
         }
         drop(exec_span);
+        // Republish the depth after the batch completes so the gauge decays
+        // to zero when the runtime drains to idle between bursts, instead of
+        // freezing at the last pre-pop observation.
+        rt.queue_depth.set(queue.len() as i64);
         busy_us.add(popped.elapsed().as_micros() as i64);
     }
 }
@@ -408,7 +529,7 @@ fn run_one(
     engines: &mut EngineCache,
 ) -> JobResult {
     let tel = &config.telemetry;
-    let Queued { id, job, submitted, deadline, max_retries, ingest } = entry;
+    let Queued { id, job, submitted, deadline, max_retries, ingest, notify: _ } = entry;
     if let Some(deadline) = deadline {
         if Instant::now() > deadline {
             stats.bump(&stats.deadline_missed);
@@ -487,7 +608,7 @@ fn run_one(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{Job, JobFailure, JobSpec};
+    use crate::job::{Job, JobFailure, JobSpec, RecoverMethod};
 
     fn metrics_job(tag: &str) -> Job {
         // Nonexistent inputs: executes quickly and fails permanently, which
@@ -644,8 +765,110 @@ mod tests {
                 deadline: None,
                 max_retries: 0,
                 ingest: None,
+                notify: None,
             }),
             Err(PushError::Closed)
         ));
+    }
+
+    #[test]
+    fn watched_submission_delivers_result_while_running() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..RuntimeConfig::default()
+        });
+        let (id, handle) = runtime.submit_watched(metrics_job("w0")).unwrap();
+        let result = handle
+            .wait_timeout(Duration::from_secs(10))
+            .expect("watched result arrives while the runtime keeps serving");
+        assert_eq!(result.id, id);
+        assert!(matches!(result.outcome, Err(JobFailure::Error(_))));
+        // Delivered exactly once: the slot is now empty.
+        assert!(handle.try_take().is_none());
+        // Watched results never reach the shutdown report.
+        let report = runtime.shutdown(ShutdownMode::Drain);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.submitted, 1);
+        assert_eq!(report.stats.failed, 1);
+    }
+
+    #[test]
+    fn abort_shutdown_fulfills_queued_watched_jobs_as_rejected() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 64,
+            ..RuntimeConfig::default()
+        });
+        let handles: Vec<_> = (0..20)
+            .map(|i| runtime.submit_watched(metrics_job(&format!("wa{i}"))).unwrap().1)
+            .collect();
+        let report = runtime.shutdown(ShutdownMode::Abort);
+        assert!(report.results.is_empty(), "watched jobs stay out of the report");
+        // Every handle got a terminal delivery: executed or rejected.
+        let mut rejected = 0;
+        for handle in handles {
+            let result = handle.try_take().expect("abort delivers every watched result");
+            if result.outcome == Err(JobFailure::Rejected) {
+                rejected += 1;
+                assert_eq!(result.attempts, 0);
+            }
+        }
+        assert_eq!(report.stats.rejected, rejected);
+    }
+
+    #[test]
+    fn queue_depth_gauge_decays_to_zero_between_bursts() {
+        // Regression test: the gauge used to be set only on submit and on
+        // worker pop, so a micro-batch that emptied the queue via
+        // take_matching left the pre-pop depth frozen in the metrics while
+        // the runtime sat idle.
+        let tel = Telemetry::new();
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 16,
+            batch_max: 8,
+            telemetry: tel.clone(),
+            ..RuntimeConfig::default()
+        });
+        let recover = |tag: &str| Job::Recover {
+            input: format!("/nonexistent/{tag}.jpg"),
+            output: format!("/nonexistent/{tag}.ppm"),
+            method: RecoverMethod::Tip2006,
+        };
+        // The leader stalls in ingest long enough for the burst behind it to
+        // queue up; the worker then assembles the rest into one batch.
+        let (_, first) = runtime
+            .submit_watched(
+                JobSpec::new(recover("qd0")).with_ingest(Duration::from_millis(150)),
+            )
+            .unwrap();
+        let handles: Vec<_> = (1..6)
+            .map(|i| runtime.submit_watched(recover(&format!("qd{i}"))).unwrap().1)
+            .collect();
+        first.wait_timeout(Duration::from_secs(10)).expect("leader completes");
+        for handle in handles {
+            handle.wait_timeout(Duration::from_secs(10)).expect("burst job completes");
+        }
+        // All jobs are done and the runtime is idle (but still running): the
+        // gauge must read the true depth, zero.
+        assert_eq!(tel.gauge("runtime.queue_depth").get(), 0);
+        runtime.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn watched_wait_timeout_expires_then_delivers_later() {
+        let runtime = Runtime::start(RuntimeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..RuntimeConfig::default()
+        });
+        let spec = JobSpec::new(metrics_job("wt")).with_ingest(Duration::from_millis(120));
+        let (_, handle) = runtime.submit_watched(spec).unwrap();
+        // The ingest stall outlasts this first wait.
+        assert!(handle.wait_timeout(Duration::from_millis(5)).is_none());
+        let result = handle.wait_timeout(Duration::from_secs(10));
+        assert!(result.is_some(), "a later wait still takes the delivery");
+        runtime.shutdown(ShutdownMode::Drain);
     }
 }

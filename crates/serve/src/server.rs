@@ -1,0 +1,652 @@
+//! The serving loop: acceptor, per-connection handlers, admission control,
+//! and graceful drain.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept → read head/body → validate (400/404/411/413/422)
+//!        → admission: draining? class admit_below? fairness cap? (503/429)
+//!        → spool body → submit_watched(deadline by class)
+//!        → wait (504 on budget exhaustion)
+//!        → read recovered image → respond (PPM, or DC-plane PGM by Accept)
+//! ```
+//!
+//! ## Shed/drain state machine
+//!
+//! ```text
+//!            queue_depth < admit_below·cap        SIGTERM / POST /admin/drain
+//!  ACCEPTING ───────────────────────────▶ admit      │
+//!      │ otherwise                                   ▼
+//!      └────────────────────────────────▶ shed    DRAINING ── in-flight → 0 ──▶ STOPPED
+//!                                                    │ new requests → 503        (runtime
+//!                                                    └ idle keep-alives close     drained)
+//! ```
+//!
+//! Watched submissions ([`Runtime::submit_watched`]) keep the server's
+//! memory flat: results are delivered to the waiting handler thread and
+//! never accumulate in the runtime's shutdown report.
+
+use std::collections::HashMap;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dcdiff_image::{read_ppm, Image, Plane};
+use dcdiff_runtime::{
+    Job, JobFailure, JobOutput, JobSpec, Runtime, ShutdownMode, StatsSnapshot, SubmitError,
+};
+use dcdiff_telemetry::{names, Telemetry};
+
+use crate::config::{DeadlineClass, ServeConfig};
+use crate::http::{
+    self, parse_request_line, read_message, write_response, HttpError, Message,
+};
+use crate::signal;
+
+/// JPEG SOI marker — the only payload sniffing the front door does; real
+/// validation happens in the decoder behind the runtime.
+const SOI: [u8; 2] = [0xFF, 0xD8];
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared by the acceptor, every connection handler, and the drain.
+struct Shared {
+    cfg: ServeConfig,
+    tel: Telemetry,
+    /// `None` once the drain has taken the runtime down.
+    runtime: Mutex<Option<Runtime>>,
+    queue_cap: usize,
+    draining: AtomicBool,
+    /// Open connections (mirrors the `serve.connections` gauge, but the
+    /// drain loop needs an exact count, not a telemetry read).
+    conns: AtomicUsize,
+    /// Admitted requests a response is still owed for.
+    in_flight: AtomicUsize,
+    /// Per-peer-IP admitted-request counts (the fairness cap).
+    per_client: Mutex<HashMap<IpAddr, usize>>,
+    next_req: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || signal::shutdown_requested()
+    }
+}
+
+/// Summary returned by [`Server::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Final runtime counters (None when the runtime was already taken).
+    pub stats: Option<StatsSnapshot>,
+    /// Connections that were still open when the drain grace expired.
+    pub abandoned_connections: usize,
+}
+
+/// A running `dcdiff serve` instance.
+///
+/// Dropping a `Server` without calling [`Server::drain`] leaves the
+/// acceptor thread to exit on its own once the drain flag is set; call
+/// `drain` for an orderly shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`, start the runtime and the acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener or creating the spool
+    /// directory.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        Self::bind_with(cfg, Telemetry::new())
+    }
+
+    /// [`Server::bind`] with an explicit telemetry handle (tests and the
+    /// CLI pass one that also traces the runtime).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener or creating the spool
+    /// directory.
+    pub fn bind_with(mut cfg: ServeConfig, tel: Telemetry) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.spool_dir)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        cfg.runtime.telemetry = tel.clone();
+        let queue_cap = cfg.runtime.queue_cap.max(1);
+        let runtime = Runtime::start(cfg.runtime.clone());
+        let shared = Arc::new(Shared {
+            cfg,
+            tel,
+            runtime: Mutex::new(Some(runtime)),
+            queue_cap,
+            draining: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            per_client: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(0),
+        });
+        shared.tel.gauge(names::GAUGE_SERVE_DRAINING).set(0);
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with `:0` bind requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Telemetry handle the server publishes `serve.*` series on.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.tel
+    }
+
+    /// Whether a drain has been requested (signal, `/admin/drain`, or
+    /// [`Server::drain`]).
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Block until a shutdown signal or `/admin/drain` request arrives,
+    /// then drain.
+    pub fn run_until_shutdown(self) -> DrainReport {
+        while !self.shared.draining() {
+            thread::sleep(Duration::from_millis(100));
+        }
+        self.drain()
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish
+    /// (bounded by `drain_grace`), then drain the runtime itself.
+    pub fn drain(mut self) -> DrainReport {
+        let tel = self.shared.tel.clone();
+        let span = tel.span(names::SPAN_SERVE_DRAIN);
+        self.shared.draining.store(true, Ordering::Relaxed);
+        tel.gauge(names::GAUGE_SERVE_DRAINING).set(1);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let deadline = Instant::now() + self.shared.cfg.drain_grace;
+        while self.shared.conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(20));
+        }
+        let abandoned = self.shared.conns.load(Ordering::Relaxed);
+        let runtime = lock(&self.shared.runtime).take();
+        let stats = runtime.map(|rt| rt.shutdown(ShutdownMode::Drain).stats);
+        drop(span);
+        tel.flush();
+        DrainReport {
+            stats,
+            abandoned_connections: abandoned,
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let conn_gauge = shared.tel.gauge(names::GAUGE_SERVE_CONNECTIONS);
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.conns.load(Ordering::Relaxed) >= shared.cfg.max_connections {
+                    shared.tel.counter(names::CTR_SERVE_SHED).inc();
+                    let mut stream = stream;
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"connection limit reached\n",
+                        true,
+                    );
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::Relaxed);
+                conn_gauge.add(1);
+                let conn_shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(&conn_shared, stream, peer);
+                        conn_shared.conns.fetch_sub(1, Ordering::Relaxed);
+                        conn_shared
+                            .tel
+                            .gauge(names::GAUGE_SERVE_CONNECTIONS)
+                            .add(-1);
+                    });
+                if spawned.is_err() {
+                    shared.conns.fetch_sub(1, Ordering::Relaxed);
+                    conn_gauge.add(-1);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// What the dispatcher decided for one request.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+    close: bool,
+}
+
+impl Reply {
+    fn text(status: u16, reason: &'static str, body: &str) -> Reply {
+        Reply {
+            status,
+            reason,
+            content_type: "text/plain",
+            body: body.as_bytes().to_vec(),
+            close: false,
+        }
+    }
+
+    fn closing(mut self) -> Reply {
+        self.close = true;
+        self
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, peer: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(http::READ_SLICE));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let give_up = || shared.draining();
+        let read_span = shared.tel.span(names::SPAN_SERVE_READ);
+        let message = read_message(
+            &mut stream,
+            shared.cfg.max_body_bytes,
+            shared.cfg.keep_alive_idle,
+            &give_up,
+        );
+        drop(read_span);
+        let reply = match message {
+            Ok(None) => return, // clean close or drained idle keep-alive
+            Ok(Some(request)) => {
+                let started = Instant::now();
+                let span = shared.tel.span(names::SPAN_SERVE_REQUEST);
+                let reply = dispatch(shared, &request, peer.ip());
+                drop(span);
+                shared
+                    .tel
+                    .histogram(names::HIST_SERVE_REQUEST_WALL_US)
+                    .record_duration(started.elapsed());
+                reply
+            }
+            Err(HttpError::TooLarge(n)) => {
+                shared.tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+                Reply::text(
+                    413,
+                    "Payload Too Large",
+                    &format!(
+                        "declared body of {n} bytes exceeds the {}-byte limit\n",
+                        shared.cfg.max_body_bytes
+                    ),
+                )
+                .closing()
+            }
+            Err(HttpError::Malformed(why)) => {
+                shared.tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+                Reply::text(400, "Bad Request", &format!("{why}\n")).closing()
+            }
+            Err(HttpError::Truncated) | Err(HttpError::Io(_)) => {
+                shared.tel.counter(names::CTR_SERVE_DISCONNECTS).inc();
+                return;
+            }
+        };
+        let close = reply.close || shared.draining();
+        let write_span = shared.tel.span(names::SPAN_SERVE_WRITE);
+        let written = write_response(
+            &mut stream,
+            reply.status,
+            reply.reason,
+            reply.content_type,
+            &reply.body,
+            close,
+        );
+        drop(write_span);
+        if written.is_err() {
+            shared.tel.counter(names::CTR_SERVE_DISCONNECTS).inc();
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, request: &Message, peer: IpAddr) -> Reply {
+    let (method, target) = match parse_request_line(&request.start_line) {
+        Ok(pair) => pair,
+        Err(_) => {
+            shared.tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+            return Reply::text(400, "Bad Request", "unparseable request line\n").closing();
+        }
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    match (method, path) {
+        ("GET", "/healthz") => {
+            if shared.draining() {
+                Reply::text(503, "Service Unavailable", "draining\n")
+            } else {
+                Reply::text(200, "OK", "ok\n")
+            }
+        }
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: shared.tel.metrics_json().into_bytes(),
+            close: false,
+        },
+        ("POST", "/admin/drain") => {
+            shared.draining.store(true, Ordering::Relaxed);
+            shared.tel.gauge(names::GAUGE_SERVE_DRAINING).set(1);
+            Reply::text(202, "Accepted", "draining\n").closing()
+        }
+        ("POST", "/recover") => recover_request(shared, request, peer),
+        _ => {
+            shared.tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+            Reply::text(404, "Not Found", "unknown endpoint\n")
+        }
+    }
+}
+
+/// Decrements the per-client in-flight count (and gauge) on every exit
+/// path out of the admitted section.
+struct AdmitGuard<'a> {
+    shared: &'a Shared,
+    peer: IpAddr,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut map = lock(&self.shared.per_client);
+        if let Some(count) = map.get_mut(&self.peer) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                map.remove(&self.peer);
+            }
+        }
+        drop(map);
+        self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.shared
+            .tel
+            .gauge(names::GAUGE_SERVE_IN_FLIGHT)
+            .add(-1);
+    }
+}
+
+fn recover_request(shared: &Arc<Shared>, request: &Message, peer: IpAddr) -> Reply {
+    let tel = &shared.tel;
+    // -- validation (counts as bad_request, never reaches the queue) ------
+    if request.header("content-length").is_none() {
+        tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+        return Reply::text(411, "Length Required", "content-length required\n").closing();
+    }
+    tel.histogram(names::HIST_SERVE_BODY_BYTES)
+        .record(request.body.len() as u64);
+    if request.body.get(..2) != Some(&SOI[..]) {
+        tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+        return Reply::text(422, "Unprocessable Entity", "not a JPEG stream (no SOI)\n");
+    }
+    let class_name = request
+        .header("x-deadline-class")
+        .unwrap_or(shared.cfg.default_class.as_str());
+    let Some(class) = shared.cfg.class(class_name) else {
+        tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
+        return Reply::text(400, "Bad Request", &format!("unknown class '{class_name}'\n"));
+    };
+    // -- admission --------------------------------------------------------
+    if shared.draining() {
+        tel.counter(names::CTR_SERVE_SHED).inc();
+        return Reply::text(503, "Service Unavailable", "draining\n").closing();
+    }
+    let depth = lock(&shared.runtime)
+        .as_ref()
+        .map(Runtime::queue_depth);
+    let Some(depth) = depth else {
+        tel.counter(names::CTR_SERVE_SHED).inc();
+        return Reply::text(503, "Service Unavailable", "draining\n").closing();
+    };
+    let admit_limit = (class.admit_below * shared.queue_cap as f64).ceil() as usize;
+    if depth >= admit_limit.max(1) {
+        tel.counter(names::CTR_SERVE_SHED).inc();
+        tel.counter(&names::class_shed_counter(&class.name)).inc();
+        return Reply::text(
+            503,
+            "Service Unavailable",
+            &format!("queue depth {depth} sheds class '{}'\n", class.name),
+        );
+    }
+    // -- fairness ---------------------------------------------------------
+    {
+        let mut map = lock(&shared.per_client);
+        let count = map.entry(peer).or_insert(0);
+        if *count >= shared.cfg.per_client_inflight {
+            drop(map);
+            tel.counter(names::CTR_SERVE_FAIRNESS_REJECT).inc();
+            return Reply::text(
+                429,
+                "Too Many Requests",
+                "per-client in-flight limit reached\n",
+            );
+        }
+        *count += 1;
+    }
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    tel.gauge(names::GAUGE_SERVE_IN_FLIGHT).add(1);
+    let guard = AdmitGuard { shared, peer };
+    let reply = admitted_request(shared, request, class);
+    drop(guard);
+    reply
+}
+
+fn admitted_request(shared: &Arc<Shared>, request: &Message, class: &DeadlineClass) -> Reply {
+    let tel = &shared.tel;
+    let req_id = shared.next_req.fetch_add(1, Ordering::Relaxed);
+    let input = shared.cfg.spool_dir.join(format!("req-{req_id}.jpg"));
+    let output = shared.cfg.spool_dir.join(format!("req-{req_id}.ppm"));
+    if std::fs::write(&input, &request.body).is_err() {
+        tel.counter(names::CTR_SERVE_FAILED).inc();
+        return Reply::text(500, "Internal Server Error", "spool write failed\n");
+    }
+    let mut spec = JobSpec::new(Job::Recover {
+        input: input.to_string_lossy().into_owned(),
+        output: output.to_string_lossy().into_owned(),
+        method: shared.cfg.method,
+    });
+    if let Some(deadline) = class.deadline {
+        spec = spec.with_deadline(deadline);
+    }
+    // Fault-injection knob mirroring the batch manifest's ingest stalls:
+    // `x-ingest-stall-ms` simulates a slow sender uplink inside the job,
+    // capped so untrusted clients cannot park a worker indefinitely.
+    if let Some(stall) = request
+        .header("x-ingest-stall-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        spec = spec.with_ingest(Duration::from_millis(stall.min(10_000)));
+    }
+    let submitted = lock(&shared.runtime)
+        .as_ref()
+        .map(|rt| rt.submit_watched(spec));
+    let handle = match submitted {
+        Some(Ok((_, handle))) => {
+            tel.counter(names::CTR_SERVE_ACCEPTED).inc();
+            tel.counter(&names::class_admitted_counter(&class.name)).inc();
+            handle
+        }
+        Some(Err(SubmitError::QueueFull)) => {
+            tel.counter(names::CTR_SERVE_SHED).inc();
+            tel.counter(&names::class_shed_counter(&class.name)).inc();
+            cleanup(&input, &output);
+            return Reply::text(503, "Service Unavailable", "queue full\n");
+        }
+        Some(Err(SubmitError::ShuttingDown)) | None => {
+            tel.counter(names::CTR_SERVE_SHED).inc();
+            cleanup(&input, &output);
+            return Reply::text(503, "Service Unavailable", "draining\n").closing();
+        }
+    };
+    let wait_budget = class
+        .deadline
+        .map_or(shared.cfg.bulk_wait, |d| d + shared.cfg.wait_grace);
+    let wait_span = tel.span(names::SPAN_SERVE_WAIT);
+    // analysis: allow(condvar-wait-loop) — ResultHandle::wait_timeout is the runtime's blocking API, not a raw condvar wait; it re-checks the fulfilled slot in a while loop internally
+    let result = handle.wait_timeout(wait_budget);
+    drop(wait_span);
+    let reply = match result {
+        None => {
+            tel.counter(names::CTR_SERVE_FAILED).inc();
+            Reply::text(504, "Gateway Timeout", "recovery exceeded its wait budget\n")
+        }
+        Some(result) => match result.outcome {
+            Ok(JobOutput::Recovered { output: path }) => respond_with_image(shared, request, &path),
+            Ok(_) => {
+                tel.counter(names::CTR_SERVE_FAILED).inc();
+                Reply::text(500, "Internal Server Error", "unexpected job output\n")
+            }
+            Err(JobFailure::DeadlineExceeded) => {
+                tel.counter(names::CTR_SERVE_FAILED).inc();
+                Reply::text(
+                    504,
+                    "Gateway Timeout",
+                    &format!("class '{}' deadline exceeded in queue\n", class.name),
+                )
+            }
+            Err(JobFailure::Rejected) => {
+                tel.counter(names::CTR_SERVE_SHED).inc();
+                Reply::text(503, "Service Unavailable", "job shed during shutdown\n").closing()
+            }
+            Err(JobFailure::Error(e)) => {
+                tel.counter(names::CTR_SERVE_FAILED).inc();
+                Reply::text(422, "Unprocessable Entity", &format!("recovery failed: {e:?}\n"))
+            }
+        },
+    };
+    cleanup(&input, &output);
+    reply
+}
+
+fn cleanup(input: &PathBuf, output: &PathBuf) {
+    let _ = std::fs::remove_file(input);
+    let _ = std::fs::remove_file(output);
+}
+
+/// `Accept: image/x-portable-graymap` negotiates the estimated DC plane
+/// (one sample per 8×8 block) instead of the full recovered image.
+fn wants_dc_plane(request: &Message) -> bool {
+    request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("image/x-portable-graymap"))
+}
+
+fn respond_with_image(shared: &Arc<Shared>, request: &Message, path: &str) -> Reply {
+    let tel = &shared.tel;
+    if wants_dc_plane(request) {
+        match read_ppm(path).map(|image| dc_plane_pgm(&image)) {
+            Ok(body) => {
+                tel.counter(names::CTR_SERVE_COMPLETED).inc();
+                Reply {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "image/x-portable-graymap",
+                    body,
+                    close: false,
+                }
+            }
+            Err(_) => {
+                tel.counter(names::CTR_SERVE_FAILED).inc();
+                Reply::text(500, "Internal Server Error", "recovered image unreadable\n")
+            }
+        }
+    } else {
+        match std::fs::read(path) {
+            Ok(body) => {
+                tel.counter(names::CTR_SERVE_COMPLETED).inc();
+                Reply {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "image/x-portable-pixmap",
+                    body,
+                    close: false,
+                }
+            }
+            Err(_) => {
+                tel.counter(names::CTR_SERVE_FAILED).inc();
+                Reply::text(500, "Internal Server Error", "recovered image missing\n")
+            }
+        }
+    }
+}
+
+/// Collapse a recovered image to its DC plane — the per-block mean the
+/// estimator actually reconstructs — as an in-memory binary PGM.
+pub fn dc_plane_pgm(image: &Image) -> Vec<u8> {
+    let gray = image.to_gray();
+    let plane = gray.plane(0);
+    let bw = plane.width().div_ceil(8);
+    let bh = plane.height().div_ceil(8);
+    let mut means = Plane::new(bw.max(1), bh.max(1));
+    for by in 0..bh {
+        for bx in 0..bw {
+            let mut sum = 0.0f32;
+            let mut count = 0u32;
+            for y in (by * 8)..((by * 8 + 8).min(plane.height())) {
+                for x in (bx * 8)..((bx * 8 + 8).min(plane.width())) {
+                    sum += plane.get(x, y);
+                    count += 1;
+                }
+            }
+            means.set(bx, by, if count > 0 { sum / count as f32 } else { 0.0 });
+        }
+    }
+    let mut out = format!("P5\n{} {}\n255\n", means.width(), means.height()).into_bytes();
+    out.extend(
+        means
+            .as_slice()
+            .iter()
+            .map(|&v| v.round().clamp(0.0, 255.0) as u8),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_plane_pgm_is_one_sample_per_block() {
+        let plane = Plane::from_fn(16, 10, |x, _| if x < 8 { 64.0 } else { 192.0 });
+        let image = Image::from_gray(plane);
+        let pgm = dc_plane_pgm(&image);
+        let header = b"P5\n2 2\n255\n";
+        assert_eq!(pgm.get(..header.len()), Some(&header[..]));
+        let samples = pgm.get(header.len()..).expect("payload present");
+        assert_eq!(samples, &[64, 192, 64, 192]);
+    }
+}

@@ -1,0 +1,94 @@
+//! SIGTERM/SIGINT → graceful-drain flag, in pure std.
+//!
+//! The handler does exactly one async-signal-safe thing — a relaxed atomic
+//! store — and the serving loop polls [`shutdown_requested`]. `libc` is not
+//! available in this build environment, so on Unix we declare the C
+//! `signal(2)` entry point ourselves; std already links the symbol.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal (or [`request_shutdown`]) has been observed.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Trip the shutdown flag programmatically (used by `/admin/drain` and by
+/// tests; exactly what the signal handler does).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Reset the flag — test-only, so one process can exercise several drains.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // `signal(2)` from the platform C library, which std itself links.
+        // The handler type is a plain C function pointer, so no sighandler_t
+        // integer casts are needed on either side of the call.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only async-signal-safe work is allowed here: one atomic store.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the C-library entry point with the declared ABI;
+        // `on_signal` lives for the whole program and only stores an atomic.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that trip the shutdown flag.
+///
+/// Returns `false` on platforms without Unix signals, where only
+/// [`request_shutdown`] (the `/admin/drain` endpoint) can trigger a drain.
+pub fn install() -> bool {
+    imp::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_trips_and_resets() {
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_succeeds_on_unix() {
+        assert!(install());
+    }
+}

@@ -11,9 +11,9 @@
 //!
 //! Naming convention: `<subsystem>.<measurement>[_<unit>]`, where the
 //! subsystem is one of the registered namespaces (`runtime.*`, `stage.*`,
-//! `estimator.*`, `breaker.*`, `tensor.*`, and the span families `batch.*`,
-//! `queue.*`, `job.*`, `encode.*`, `recover.*`, `metrics.*`). Histograms
-//! carry their unit as a suffix (`_us`, `_mflops`).
+//! `estimator.*`, `breaker.*`, `tensor.*`, `serve.*`, and the span families
+//! `batch.*`, `queue.*`, `job.*`, `encode.*`, `recover.*`, `metrics.*`).
+//! Histograms carry their unit as a suffix (`_us`, `_mflops`).
 
 // ---------------------------------------------------------------- spans --
 
@@ -87,6 +87,17 @@ pub const SPAN_METRICS_READ: &str = "metrics.read";
 /// Metrics stage: computing the quality metrics.
 pub const SPAN_METRICS_COMPARE: &str = "metrics.compare";
 
+/// One served request, accept-to-response.
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+/// Reading one request head + body off the socket.
+pub const SPAN_SERVE_READ: &str = "serve.read";
+/// Blocking wait for the runtime to deliver a watched result.
+pub const SPAN_SERVE_WAIT: &str = "serve.wait";
+/// Writing one response back to the client.
+pub const SPAN_SERVE_WRITE: &str = "serve.write";
+/// Graceful drain: stop accepting, flush in-flight, shut the runtime down.
+pub const SPAN_SERVE_DRAIN: &str = "serve.drain";
+
 // ----------------------------------------------------------- histograms --
 
 /// Submission-to-pop queue wait per job, microseconds.
@@ -111,6 +122,10 @@ pub const HIST_GEMM_MFLOPS: &str = "tensor.gemm_mflops";
 pub const HIST_CONV_US: &str = "tensor.conv_us";
 /// Throughput of one conv2d call, MFLOP/s.
 pub const HIST_CONV_MFLOPS: &str = "tensor.conv_mflops";
+/// Whole-request wall latency at the server, microseconds.
+pub const HIST_SERVE_REQUEST_WALL_US: &str = "serve.request_wall_us";
+/// Request body size, bytes.
+pub const HIST_SERVE_BODY_BYTES: &str = "serve.body_bytes";
 
 // ------------------------------------------------------------- counters --
 
@@ -130,6 +145,22 @@ pub const CTR_ESTIMATOR_FALLBACK_FLAT: &str = "estimator.fallback_flat";
 pub const CTR_GEMM_FLOPS: &str = "tensor.gemm_flops";
 /// Cumulative multiply-adds issued by conv2d (x2).
 pub const CTR_CONV_FLOPS: &str = "tensor.conv_flops";
+/// Requests admitted into the runtime queue by the server.
+pub const CTR_SERVE_ACCEPTED: &str = "serve.accepted";
+/// Requests shed by admission control (queue too deep for the class, or
+/// the server was draining).
+pub const CTR_SERVE_SHED: &str = "serve.shed";
+/// Requests rejected by the per-client in-flight fairness cap.
+pub const CTR_SERVE_FAIRNESS_REJECT: &str = "serve.fairness_reject";
+/// Requests rejected before submission: malformed HTTP, bad body,
+/// oversized payload.
+pub const CTR_SERVE_BAD_REQUEST: &str = "serve.bad_request";
+/// Requests that completed with a recovered payload.
+pub const CTR_SERVE_COMPLETED: &str = "serve.completed";
+/// Requests whose job failed or timed out after admission.
+pub const CTR_SERVE_FAILED: &str = "serve.failed";
+/// Connections that dropped before the response was fully written.
+pub const CTR_SERVE_DISCONNECTS: &str = "serve.disconnects";
 
 // --------------------------------------------------------------- gauges --
 
@@ -139,10 +170,30 @@ pub const GAUGE_QUEUE_DEPTH: &str = "runtime.queue_depth";
 pub const GAUGE_BREAKER_STATE: &str = "breaker.state";
 /// Prefix of the per-worker busy-time gauges (`runtime.worker.<i>.busy_us`).
 pub const GAUGE_WORKER_PREFIX: &str = "runtime.worker.";
+/// Open client connections at the server.
+pub const GAUGE_SERVE_CONNECTIONS: &str = "serve.connections";
+/// Requests admitted and not yet responded to.
+pub const GAUGE_SERVE_IN_FLIGHT: &str = "serve.in_flight";
+/// 1 while the server is draining, else 0.
+pub const GAUGE_SERVE_DRAINING: &str = "serve.draining";
+/// Prefix of the per-deadline-class shed counters
+/// (`serve.class.<name>.shed`) and admit counters
+/// (`serve.class.<name>.admitted`).
+pub const SERVE_CLASS_PREFIX: &str = "serve.class.";
 
 /// Name of the per-worker cumulative busy-time gauge.
 pub fn worker_busy_gauge(worker: usize) -> String {
     format!("{GAUGE_WORKER_PREFIX}{worker}.busy_us")
+}
+
+/// Name of the per-deadline-class shed counter.
+pub fn class_shed_counter(class: &str) -> String {
+    format!("{SERVE_CLASS_PREFIX}{class}.shed")
+}
+
+/// Name of the per-deadline-class admitted counter.
+pub fn class_admitted_counter(class: &str) -> String {
+    format!("{SERVE_CLASS_PREFIX}{class}.admitted")
 }
 
 // ------------------------------------------------------------- registry --
@@ -181,6 +232,11 @@ pub const REGISTERED: &[&str] = &[
     SPAN_RECOVER_MLD_REFINE,
     SPAN_METRICS_READ,
     SPAN_METRICS_COMPARE,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_READ,
+    SPAN_SERVE_WAIT,
+    SPAN_SERVE_WRITE,
+    SPAN_SERVE_DRAIN,
     HIST_QUEUE_WAIT_US,
     HIST_BATCH_SIZE,
     HIST_JOB_WALL_US,
@@ -192,6 +248,8 @@ pub const REGISTERED: &[&str] = &[
     HIST_GEMM_MFLOPS,
     HIST_CONV_US,
     HIST_CONV_MFLOPS,
+    HIST_SERVE_REQUEST_WALL_US,
+    HIST_SERVE_BODY_BYTES,
     CTR_RETRIES,
     CTR_ESTIMATOR_PRIMARY_OK,
     CTR_ESTIMATOR_PRIMARY_FAIL,
@@ -200,14 +258,24 @@ pub const REGISTERED: &[&str] = &[
     CTR_ESTIMATOR_FALLBACK_FLAT,
     CTR_GEMM_FLOPS,
     CTR_CONV_FLOPS,
+    CTR_SERVE_ACCEPTED,
+    CTR_SERVE_SHED,
+    CTR_SERVE_FAIRNESS_REJECT,
+    CTR_SERVE_BAD_REQUEST,
+    CTR_SERVE_COMPLETED,
+    CTR_SERVE_FAILED,
+    CTR_SERVE_DISCONNECTS,
     GAUGE_QUEUE_DEPTH,
     GAUGE_BREAKER_STATE,
+    GAUGE_SERVE_CONNECTIONS,
+    GAUGE_SERVE_IN_FLIGHT,
+    GAUGE_SERVE_DRAINING,
 ];
 
 /// Prefixes under which names are built at runtime (one series per worker);
 /// a name matching one of these is registered even though it cannot appear
 /// in [`REGISTERED`] verbatim.
-pub const DYNAMIC_PREFIXES: &[&str] = &[GAUGE_WORKER_PREFIX];
+pub const DYNAMIC_PREFIXES: &[&str] = &[GAUGE_WORKER_PREFIX, SERVE_CLASS_PREFIX];
 
 /// Whether `name` is a registered series: either listed in [`REGISTERED`]
 /// or under one of the [`DYNAMIC_PREFIXES`].
@@ -232,6 +300,13 @@ mod tests {
         assert!(is_registered(&worker_busy_gauge(0)));
         assert!(is_registered(&worker_busy_gauge(31)));
         assert!(!is_registered("runtime.worker_typo.0.busy_us"));
+    }
+
+    #[test]
+    fn dynamic_class_series_are_registered() {
+        assert!(is_registered(&class_shed_counter("interactive")));
+        assert!(is_registered(&class_admitted_counter("bulk")));
+        assert!(!is_registered("serve.klass.interactive.shed"));
     }
 
     #[test]
