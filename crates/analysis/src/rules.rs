@@ -598,6 +598,21 @@ mod tests {
     }
 
     #[test]
+    fn unregistered_dynamic_style_literal_fails_the_lint() {
+        // A literal that *looks* like a dynamic per-class series but whose
+        // prefix is not in `names::DYNAMIC_PREFIXES` must be flagged: only
+        // registered prefixes may mint series at runtime.
+        let src = "fn f(tel: &Telemetry) {\n    tel.counter(\"serve.klass.interactive.shed\").inc();\n}\n";
+        let f = run("crates/serve/src/server.rs", src);
+        assert_eq!(f.diagnostics.len(), 1, "{:?}", f.diagnostics);
+        assert_eq!(f.diagnostics[0].rule, "telemetry-names");
+        assert!(f.diagnostics[0].message.contains("serve.klass.interactive.shed"));
+        // The registered prefix spelling passes.
+        let ok = "fn f(tel: &Telemetry) {\n    tel.counter(\"serve.class.interactive.shed\").inc();\n}\n";
+        assert!(run("crates/serve/src/server.rs", ok).diagnostics.is_empty());
+    }
+
+    #[test]
     fn out_of_scope_files_are_not_checked() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(run("crates/cli/src/commands.rs", src).diagnostics.is_empty());

@@ -33,6 +33,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-conns",
     "--client-inflight",
     "--max-body",
+    "--interval-ms",
 ];
 
 /// Boolean flags. Anything not listed here or in [`VALUE_FLAGS`] is rejected
@@ -46,6 +47,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--json",
     "--update-ledger",
     "--dc-plane",
+    "--once",
 ];
 
 impl Parsed {

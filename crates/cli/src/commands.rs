@@ -37,7 +37,7 @@ pub const USAGE: &str = "usage:
                                      [--optimize] [--restart N] [--drop-dc]
   dcdiff decode  <in.jpg> <out.ppm>
   dcdiff transcode <in.jpg> <out.jpg> [--drop-dc] [--optimize] [--restart N]
-  dcdiff recover <in.jpg> <out.ppm>  [--method tip2006|smartcom|icip|mld]
+  dcdiff recover <in.jpg> <out.ppm>  [--method tip2006|smartcom|icip|mld|diffusion]
                                      [--threshold T] [--sweeps N]
   dcdiff metrics <ref.ppm> <test.ppm>
   dcdiff info    <in.jpg>
@@ -48,9 +48,9 @@ pub const USAGE: &str = "usage:
                                      [--batch K] [--fail-fast] [--no-fallback]
                                      [--trace t.jsonl] [--metrics m.json]
                                      [--log-level error|warn|info|debug]
-  dcdiff report  <trace.jsonl>
+  dcdiff report  <trace.jsonl> [more.jsonl ...]
   dcdiff serve   [--addr HOST:PORT]   [--workers N] [--queue-cap M] [--batch K]
-                                     [--method tip2006|smartcom|icip|mld]
+                                     [--method tip2006|smartcom|icip|mld|diffusion]
                                      [--threshold T] [--sweeps N] [--no-fallback]
                                      [--max-conns C] [--client-inflight F]
                                      [--max-body BYTES]
@@ -59,6 +59,7 @@ pub const USAGE: &str = "usage:
   dcdiff submit  <addr> <in.jpg> <out.ppm|out.pgm>
                                      [--class interactive|standard|bulk]
                                      [--dc-plane]
+  dcdiff top     <addr>              [--interval-ms MS] [--once]
   dcdiff lint    [--rule <id>] [--json] [--root DIR] [--update-ledger]";
 
 /// Dispatch the parsed command line.
@@ -68,9 +69,14 @@ pub const USAGE: &str = "usage:
 /// Returns a human-readable message for any parse, I/O or codec failure.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(argv)?;
-    // `submit` takes <addr> <in> <out>; everything else at most two
-    // positionals after the command.
-    let max_positionals = if parsed.positional(0) == Some("submit") { 4 } else { 3 };
+    // `submit` takes <addr> <in> <out>, `report` merges any number of
+    // trace files; everything else at most two positionals after the
+    // command.
+    let max_positionals = match parsed.positional(0) {
+        Some("submit") => 4,
+        Some("report") => usize::MAX,
+        _ => 3,
+    };
     if parsed.positional_len() > max_positionals {
         return Err(format!(
             "too many arguments ({} given, at most {max_positionals} expected)",
@@ -89,6 +95,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("report") => report(&parsed),
         Some("serve") => serve(&parsed),
         Some("submit") => submit(&parsed),
+        Some("top") => top(&parsed),
         Some("lint") => lint(&parsed),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
@@ -218,7 +225,21 @@ fn recover(parsed: &Parsed) -> Result<(), String> {
             let sweeps = parsed.int("--sweeps", 300)? as usize;
             refine_dc_offsets(&dropped, &dropped, threshold, 5e-4, sweeps.max(1)).to_image()
         }
-        other => return Err(format!("unknown method '{other}'")),
+        "diffusion" => {
+            // Full DDIM sampler, quality-oriented offline defaults
+            // (`DcDiffConfig::ddim_steps`); `--sweeps` overrides the step
+            // count, clamped to the legal 1..=diffusion_steps range.
+            let config = dcdiff_core::DcDiffConfig::default();
+            let mut options = dcdiff_core::RecoverOptions::from_config(&config);
+            if parsed.value("--sweeps").is_some() {
+                let steps = parsed.int("--sweeps", options.ddim_steps as u64)? as usize;
+                options.ddim_steps = steps.clamp(1, config.diffusion_steps);
+            }
+            dcdiff_core::DcDiff::new(config, 0xdcd1ff).recover_with(&dropped, &options)
+        }
+        other => return Err(format!(
+            "unknown method '{other}' (tip2006, smartcom, icip, mld or diffusion)"
+        )),
     };
     write_image(&output, &image)?;
     println!("{output}: recovered with {method}");
@@ -517,14 +538,216 @@ fn submit(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Aggregate and render a JSONL trace produced by `dcdiff batch --trace`.
+/// Aggregate and render one or more JSONL traces produced by
+/// `dcdiff batch --trace` / `dcdiff serve --trace`. Multiple files are
+/// merged end-to-end ([`dcdiff_telemetry::TraceReport::from_texts`]), so a
+/// fleet of per-run traces rolls up into one table.
 fn report(parsed: &Parsed) -> Result<(), String> {
-    let path = need(parsed, 1, "trace .jsonl path")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let trace: dcdiff_telemetry::TraceReport =
-        text.parse().map_err(|e| format!("{path}: {e}"))?;
+    let mut paths = Vec::new();
+    let mut i = 1;
+    while let Some(path) = parsed.positional(i) {
+        paths.push(path.to_string());
+        i += 1;
+    }
+    if paths.is_empty() {
+        return Err("missing trace .jsonl path".to_string());
+    }
+    let mut texts = Vec::new();
+    for path in &paths {
+        texts.push(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let trace = dcdiff_telemetry::TraceReport::from_texts(&refs)
+        .map_err(|e| format!("{}: {e}", paths.join(", ")))?;
+    if paths.len() > 1 {
+        println!("merged {} trace file(s)", paths.len());
+    }
     print!("{}", trace.render());
     Ok(())
+}
+
+/// Live serving dashboard (`dcdiff top <addr>`): polls `GET /metrics` with
+/// `Accept: text/plain`, parses the Prometheus exposition back through
+/// [`dcdiff_telemetry::prometheus::parse`], and renders a refreshing
+/// terminal table. `--once` prints a single frame (CI smoke); `--interval-ms`
+/// sets the refresh cadence.
+fn top(parsed: &Parsed) -> Result<(), String> {
+    let addr = need(parsed, 1, "server address (host:port)")?;
+    let interval =
+        std::time::Duration::from_millis(parsed.int("--interval-ms", 1000)?.max(100));
+    let once = parsed.has("--once");
+    let client = dcdiff_serve::Client::new(addr.as_str());
+    loop {
+        let response = client
+            .get_with("/metrics", &[("accept", "text/plain")])
+            .map_err(|e| format!("{addr}: {e}"))?;
+        if !response.is_success() {
+            return Err(format!("{addr}: server answered {}", response.status));
+        }
+        let text = String::from_utf8_lossy(&response.body);
+        let samples = dcdiff_telemetry::prometheus::parse(&text)
+            .map_err(|e| format!("{addr}: bad exposition: {e}"))?;
+        let frame = render_top(&addr, &samples);
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear screen + home, then the frame: a cheap full-redraw "top".
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(interval);
+    }
+}
+
+/// Format one `dcdiff top` frame from parsed exposition samples.
+fn render_top(addr: &str, samples: &[dcdiff_telemetry::prometheus::Sample]) -> String {
+    use std::fmt::Write as _;
+
+    let plain = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    };
+    let quantile = |name: &str, q: &str, window: Option<&str>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.label("quantile") == Some(q)
+                    && s.label("window") == window
+            })
+            .map(|s| s.value)
+    };
+    // First windowed rate for a counter, with its window label.
+    let rate = |name: &str| {
+        let rate_name = format!("{name}_rate");
+        samples
+            .iter()
+            .find(|s| s.name == rate_name && s.label("window").is_some())
+            .map(|s| (s.label("window").unwrap_or("?").to_string(), s.value))
+    };
+    let fmt_count = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"));
+    let fmt_rate = |r: Option<(String, f64)>| {
+        r.map_or_else(String::new, |(w, v)| format!(" ({v:.2}/s over {w})"))
+    };
+    let fmt_ms = |v: Option<f64>| {
+        v.map_or_else(|| "-".to_string(), |us| format!("{:.1}ms", us / 1e3))
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dcdiff top — {addr}");
+    let _ = writeln!(
+        out,
+        "queue depth {}   in-flight {}   connections {}   draining {}",
+        fmt_count(plain("runtime_queue_depth")),
+        fmt_count(plain("serve_in_flight")),
+        fmt_count(plain("serve_connections")),
+        fmt_count(plain("serve_draining")),
+    );
+    let _ = writeln!(
+        out,
+        "accepted {}{}   completed {}   shed {}{}   failed {}",
+        fmt_count(plain("serve_accepted")),
+        fmt_rate(rate("serve_accepted")),
+        fmt_count(plain("serve_completed")),
+        fmt_count(plain("serve_shed")),
+        fmt_rate(rate("serve_shed")),
+        fmt_count(plain("serve_failed")),
+    );
+
+    // Per-deadline-class admitted/shed: the class set is dynamic, so scan
+    // for `serve_class_<c>_admitted` sample names instead of assuming the
+    // default ladder.
+    let mut classes: Vec<&str> = samples
+        .iter()
+        .filter_map(|s| {
+            s.name
+                .strip_prefix("serve_class_")
+                .and_then(|rest| rest.strip_suffix("_admitted"))
+        })
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    for class in classes {
+        let _ = writeln!(
+            out,
+            "  class {class:<12} admitted {}{}   shed {}{}",
+            fmt_count(plain(&format!("serve_class_{class}_admitted"))),
+            fmt_rate(rate(&format!("serve_class_{class}_admitted"))),
+            fmt_count(plain(&format!("serve_class_{class}_shed"))),
+            fmt_rate(rate(&format!("serve_class_{class}_shed"))),
+        );
+    }
+
+    // Latency: cumulative and (when the window has data) rolling quantiles.
+    for (label, name) in [
+        ("request wall", "serve_request_wall_us"),
+        ("recover stage", "stage_recover_us"),
+        ("queue wait", "runtime_queue_wait_us"),
+    ] {
+        let windowed = samples
+            .iter()
+            .find(|s| s.name == name && s.label("window").is_some() && s.label("quantile") == Some("0.99"))
+            .and_then(|s| s.label("window"))
+            .map(str::to_string);
+        let mut line = format!(
+            "{label:<14} p50 {}  p99 {}",
+            fmt_ms(quantile(name, "0.5", None)),
+            fmt_ms(quantile(name, "0.99", None)),
+        );
+        if let Some(w) = windowed {
+            let _ = write!(
+                line,
+                "   [{w}] p50 {}  p99 {}",
+                fmt_ms(quantile(name, "0.5", Some(&w))),
+                fmt_ms(quantile(name, "0.99", Some(&w))),
+            );
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    // Worker busy gauges (`runtime.worker.<n>.busy_us`, cumulative).
+    let mut workers: Vec<(&str, f64)> = samples
+        .iter()
+        .filter_map(|s| {
+            s.name
+                .strip_prefix("runtime_worker_")
+                .and_then(|rest| rest.strip_suffix("_busy_us"))
+                .map(|id| (id, s.value))
+        })
+        .collect();
+    workers.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    if !workers.is_empty() {
+        let busy: Vec<String> = workers
+            .iter()
+            .map(|(id, us)| format!("w{id} {:.1}s", us / 1e6))
+            .collect();
+        let _ = writeln!(out, "workers busy   {}", busy.join("  "));
+    }
+
+    let breaker = plain("breaker_state").map(|v| match v as i64 {
+        0 => "0 (closed)".to_string(),
+        1 => "1 (half-open)".to_string(),
+        2 => "2 (open)".to_string(),
+        other => format!("{other} (?)"),
+    });
+    if let Some(state) = breaker {
+        let _ = writeln!(out, "breaker state  {state}");
+    }
+    let _ = writeln!(
+        out,
+        "estimator      primary ok {}  fail {}  fallback {}  log suppressed {}",
+        fmt_count(plain("estimator_primary_ok")),
+        fmt_count(plain("estimator_primary_fail")),
+        fmt_count(
+            plain("estimator_fallback_baseline")
+                .map(|b| b + plain("estimator_fallback_flat").unwrap_or(0.0))
+        ),
+        fmt_count(plain("log_suppressed")),
+    );
+    out
 }
 
 /// `dcdiff lint` — run the workspace static-analysis engine
@@ -742,9 +965,17 @@ mod tests {
         // within the 10% bound `dcdiff report` advertises.
         assert!(report.coverage() > 0.9, "coverage {}", report.coverage());
 
-        // `dcdiff report` renders it without error.
+        // `dcdiff report` renders it without error, including the
+        // multi-file merge path (same file twice doubles every count).
         run(&["report", &trace]).unwrap();
+        run(&["report", &trace, &trace]).unwrap();
+        let doubled = {
+            let text = std::fs::read_to_string(&trace).unwrap();
+            dcdiff_telemetry::TraceReport::from_texts(&[&text, &text]).unwrap()
+        };
+        assert_eq!(doubled.spans["queue.wait"].count, 6);
         assert!(run(&["report", &tmp("tr-nonexistent.jsonl")]).is_err());
+        assert!(run(&["report"]).is_err());
 
         // The metrics export is present and names the runtime histograms.
         let exported = std::fs::read_to_string(&metrics).unwrap();
@@ -754,6 +985,48 @@ mod tests {
         for f in [&scene, &manifest, &jpg, &out, &trace, &metrics] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn render_top_formats_the_expected_rows() {
+        let text = "runtime_queue_depth 3\n\
+                    serve_accepted 12\n\
+                    serve_accepted_rate{window=\"10s\"} 1.5\n\
+                    serve_class_interactive_admitted 7\n\
+                    serve_class_interactive_shed 1\n\
+                    serve_request_wall_us{quantile=\"0.5\"} 2000\n\
+                    serve_request_wall_us{quantile=\"0.99\"} 9000\n\
+                    serve_request_wall_us{window=\"10s\",quantile=\"0.5\"} 400\n\
+                    serve_request_wall_us{window=\"10s\",quantile=\"0.99\"} 500\n\
+                    runtime_worker_0_busy_us 2500000\n\
+                    breaker_state 0\n";
+        let samples = dcdiff_telemetry::prometheus::parse(text).unwrap();
+        let frame = render_top("127.0.0.1:1", &samples);
+        assert!(frame.contains("queue depth 3"), "{frame}");
+        assert!(frame.contains("accepted 12 (1.50/s over 10s)"), "{frame}");
+        assert!(frame.contains("class interactive"), "{frame}");
+        assert!(frame.contains("p50 2.0ms"), "{frame}");
+        assert!(frame.contains("[10s] p50 0.4ms  p99 0.5ms"), "{frame}");
+        assert!(frame.contains("w0 2.5s"), "{frame}");
+        assert!(frame.contains("breaker state  0 (closed)"), "{frame}");
+    }
+
+    #[test]
+    fn top_once_scrapes_a_live_server() {
+        let tel = dcdiff_telemetry::Telemetry::builder().build();
+        let mut cfg = dcdiff_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..dcdiff_serve::ServeConfig::default()
+        };
+        cfg.metrics_epoch = std::time::Duration::from_millis(50);
+        cfg.runtime.workers = 1;
+        cfg.runtime.telemetry = tel.clone();
+        let server = dcdiff_serve::Server::bind_with(cfg, tel).unwrap();
+        let addr = server.local_addr().to_string();
+        run(&["top", &addr, "--once"]).unwrap();
+        assert!(run(&["top"]).is_err(), "missing addr must error");
+        dcdiff_serve::Client::new(addr.as_str()).drain().unwrap();
+        server.run_until_shutdown();
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum RecoverMethod {
         /// Number of refinement sweeps.
         sweeps: usize,
     },
+    /// The diffusion estimator itself (`dcdiff_core::DcDiff`): latent DDIM
+    /// sampling conditioned on FMPP features, then DC projection. The step
+    /// count trades latency for fidelity and keys micro-batching — only
+    /// identical step counts share a batch.
+    Diffusion {
+        /// DDIM steps per recovery (1..=the schedule's training steps).
+        ddim_steps: usize,
+    },
 }
 
 impl RecoverMethod {
@@ -39,6 +47,7 @@ impl RecoverMethod {
             RecoverMethod::SmartCom => "smartcom",
             RecoverMethod::Icip => "icip",
             RecoverMethod::Mld { .. } => "mld",
+            RecoverMethod::Diffusion { .. } => "diffusion",
         }
     }
 
@@ -180,12 +189,18 @@ pub struct JobSpec {
     /// multi-worker serving pay off even for cheap jobs; used by the runtime
     /// benchmark and `--ingest-ms` manifest lines.
     pub ingest: Option<Duration>,
+    /// Request-scoped trace context carried from the submitter (e.g. the
+    /// serve front door's `traceparent`) across the queue to the worker
+    /// thread, where it is re-installed so every span the job emits —
+    /// queue wait, batch exec, recovery phases, DDIM steps — carries the
+    /// request's trace id.
+    pub trace: Option<dcdiff_telemetry::TraceCtx>,
 }
 
 impl JobSpec {
-    /// Spec with no deadline, no retries, no ingest stall.
+    /// Spec with no deadline, no retries, no ingest stall, no trace context.
     pub fn new(job: Job) -> Self {
-        JobSpec { job, deadline: None, max_retries: 0, ingest: None }
+        JobSpec { job, deadline: None, max_retries: 0, ingest: None, trace: None }
     }
 
     /// Set the relative deadline.
@@ -206,6 +221,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_ingest(mut self, ingest: Duration) -> Self {
         self.ingest = Some(ingest);
+        self
+    }
+
+    /// Attach the submitting request's trace context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: dcdiff_telemetry::TraceCtx) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -380,6 +402,11 @@ mod tests {
         assert!(!a.same_config(&c));
         assert!(!a.same_config(&RecoverMethod::Tip2006));
         assert_eq!(a.name(), "mld");
+        // Diffusion batches only with identical step counts.
+        let d8 = RecoverMethod::Diffusion { ddim_steps: 8 };
+        assert!(d8.same_config(&RecoverMethod::Diffusion { ddim_steps: 8 }));
+        assert!(!d8.same_config(&RecoverMethod::Diffusion { ddim_steps: 16 }));
+        assert_eq!(d8.name(), "diffusion");
     }
 
     #[test]
@@ -391,6 +418,9 @@ mod tests {
         assert_eq!(spec.deadline, Some(Duration::from_millis(50)));
         assert_eq!(spec.max_retries, 3);
         assert_eq!(spec.job.stage(), Stage::Metrics);
+        assert_eq!(spec.trace, None);
+        let ctx = dcdiff_telemetry::TraceCtx::generate();
+        assert_eq!(spec.with_trace(ctx).trace, Some(ctx));
         assert_eq!(JobSpec::from(job).max_retries, 0);
     }
 }

@@ -134,6 +134,9 @@ struct Queued {
     deadline: Option<Instant>,
     max_retries: u32,
     ingest: Option<Duration>,
+    /// Trace context carried across the queue so worker-side spans join the
+    /// submitter's causal chain (see [`JobSpec::with_trace`]).
+    trace: Option<dcdiff_telemetry::TraceCtx>,
     /// Watched submissions deliver their result here instead of the
     /// shutdown report (see [`Runtime::submit_watched`]).
     notify: Option<ResultHandle>,
@@ -302,6 +305,7 @@ impl Runtime {
             deadline: spec.deadline.map(|d| now + d),
             max_retries: spec.max_retries,
             ingest: spec.ingest,
+            trace: spec.trace,
             notify,
         };
         match push(&self.queue, entry) {
@@ -474,10 +478,13 @@ fn worker_loop(
             }
         }
         // Queue wait spans cross threads (begun on the submitter, finished
-        // here), so they are emitted as single complete events.
+        // here), so they are emitted as single complete events. Each entry's
+        // trace context is installed for its own event so batched requests
+        // from different callers keep distinct causal chains.
         for entry in &batch {
             let waited = popped.saturating_duration_since(entry.submitted);
             rt.queue_wait.record_duration(waited);
+            let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
             tel.record_span(names::SPAN_QUEUE_WAIT, entry.submitted, popped);
         }
         rt.batch_size.record(batch.len() as u64);
@@ -490,6 +497,9 @@ fn worker_loop(
         let exec_span = tel.span(names::SPAN_BATCH_EXEC);
         for mut entry in batch {
             let notify = entry.notify.take();
+            // Re-install the submitter's trace for the execution spans
+            // (job.*, recover.*, per-DDIM-step) emitted on this thread.
+            let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
             let result = run_one(entry, stats, config, rt, &mut engines);
             if result.is_ok() {
                 stats.bump(&stats.completed);
@@ -529,7 +539,7 @@ fn run_one(
     engines: &mut EngineCache,
 ) -> JobResult {
     let tel = &config.telemetry;
-    let Queued { id, job, submitted, deadline, max_retries, ingest, notify: _ } = entry;
+    let Queued { id, job, submitted, deadline, max_retries, ingest, trace: _, notify: _ } = entry;
     if let Some(deadline) = deadline {
         if Instant::now() > deadline {
             stats.bump(&stats.deadline_missed);
@@ -765,6 +775,7 @@ mod tests {
                 deadline: None,
                 max_retries: 0,
                 ingest: None,
+                trace: None,
                 notify: None,
             }),
             Err(PushError::Closed)

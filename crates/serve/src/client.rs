@@ -151,6 +151,26 @@ impl Client {
         self.round_trip("POST", "/recover", &headers, jpeg)
     }
 
+    /// [`Client::recover`] with a caller-supplied W3C `traceparent` header,
+    /// so the server's spans for this request join an existing trace. The
+    /// response's `x-dcdiff-trace-id` echoes the propagated trace id.
+    ///
+    /// # Errors
+    ///
+    /// Connection and framing failures.
+    pub fn recover_traced(
+        &self,
+        jpeg: &[u8],
+        class: Option<&str>,
+        traceparent: &str,
+    ) -> std::io::Result<HttpResponse> {
+        let mut headers: Vec<(&str, &str)> = vec![("traceparent", traceparent)];
+        if let Some(class) = class {
+            headers.push(("x-deadline-class", class));
+        }
+        self.round_trip("POST", "/recover", &headers, jpeg)
+    }
+
     /// GET an endpoint (`/healthz`, `/metrics`).
     ///
     /// # Errors
@@ -158,6 +178,20 @@ impl Client {
     /// Connection and framing failures.
     pub fn get(&self, target: &str) -> std::io::Result<HttpResponse> {
         self.round_trip("GET", target, &[], &[])
+    }
+
+    /// [`Client::get`] with explicit request headers (`Accept: text/plain`
+    /// negotiates the Prometheus exposition on `/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// Connection and framing failures.
+    pub fn get_with(
+        &self,
+        target: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.round_trip("GET", target, headers, &[])
     }
 
     /// Ask the server to drain (`POST /admin/drain`).

@@ -85,6 +85,12 @@ pub struct ServeConfig {
     pub spool_dir: PathBuf,
     /// Recovery method applied to served requests.
     pub method: RecoverMethod,
+    /// How often the metrics ticker snapshots the registry for rolling
+    /// windows (see `dcdiff_telemetry::WindowedMetrics`).
+    pub metrics_epoch: Duration,
+    /// Rolling-window lengths exposed by `GET /metrics` (Prometheus
+    /// exposition) as `window`-labelled rate and quantile series.
+    pub metrics_windows: Vec<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +112,8 @@ impl Default for ServeConfig {
                 threshold: 10.0,
                 sweeps: 300,
             },
+            metrics_epoch: Duration::from_secs(1),
+            metrics_windows: vec![Duration::from_secs(10), Duration::from_secs(60)],
         }
     }
 }
@@ -135,8 +143,11 @@ pub fn method_from_name(
             threshold,
             sweeps: sweeps.max(1),
         }),
+        // The paper's estimator; 8 DDIM steps is the latency-oriented
+        // serving default (the paper's quality setting is 50).
+        "diffusion" => Ok(RecoverMethod::Diffusion { ddim_steps: 8 }),
         other => Err(format!(
-            "unknown method '{other}' (tip2006, smartcom, icip or mld)"
+            "unknown method '{other}' (tip2006, smartcom, icip, mld or diffusion)"
         )),
     }
 }
@@ -160,7 +171,7 @@ mod tests {
 
     #[test]
     fn method_names_round_trip() {
-        for name in ["tip2006", "smartcom", "icip", "mld"] {
+        for name in ["tip2006", "smartcom", "icip", "mld", "diffusion"] {
             let method = method_from_name(name, 10.0, 300).expect("known method");
             assert_eq!(method.name(), name);
         }

@@ -254,14 +254,19 @@ pub fn write_response(
     status: u16,
     reason: &str,
     content_type: &str,
+    extra_headers: &[(String, String)],
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

@@ -38,7 +38,7 @@ use dcdiff_image::{read_ppm, Image, Plane};
 use dcdiff_runtime::{
     Job, JobFailure, JobOutput, JobSpec, Runtime, ShutdownMode, StatsSnapshot, SubmitError,
 };
-use dcdiff_telemetry::{names, Telemetry};
+use dcdiff_telemetry::{names, prometheus, Telemetry, TraceCtx, WindowedMetrics};
 
 use crate::config::{DeadlineClass, ServeConfig};
 use crate::http::{
@@ -70,6 +70,9 @@ struct Shared {
     /// Per-peer-IP admitted-request counts (the fairness cap).
     per_client: Mutex<HashMap<IpAddr, usize>>,
     next_req: AtomicU64,
+    /// Rolling-window snapshots feeding the Prometheus exposition; ticked
+    /// by a dedicated thread every `cfg.metrics_epoch`.
+    windows: WindowedMetrics,
 }
 
 impl Shared {
@@ -124,6 +127,7 @@ impl Server {
         cfg.runtime.telemetry = tel.clone();
         let queue_cap = cfg.runtime.queue_cap.max(1);
         let runtime = Runtime::start(cfg.runtime.clone());
+        let windows = WindowedMetrics::new(cfg.metrics_epoch, &cfg.metrics_windows);
         let shared = Arc::new(Shared {
             cfg,
             tel,
@@ -134,6 +138,7 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             per_client: Mutex::new(HashMap::new()),
             next_req: AtomicU64::new(0),
+            windows,
         });
         shared.tel.gauge(names::GAUGE_SERVE_DRAINING).set(0);
         let acceptor = {
@@ -142,6 +147,20 @@ impl Server {
                 .name("serve-acceptor".to_string())
                 .spawn(move || accept_loop(&shared, &listener))?
         };
+        // Metrics ticker: one registry snapshot per epoch for the rolling
+        // windows; exits within one epoch of the drain flag being set.
+        {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-metrics".to_string())
+                .spawn(move || {
+                    shared.windows.tick(shared.tel.registry());
+                    while !shared.draining() {
+                        thread::sleep(shared.cfg.metrics_epoch);
+                        shared.windows.tick(shared.tel.registry());
+                    }
+                })?;
+        }
         Ok(Server {
             shared,
             local_addr,
@@ -213,6 +232,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                         503,
                         "Service Unavailable",
                         "text/plain",
+                        &[],
                         b"connection limit reached\n",
                         true,
                     );
@@ -249,6 +269,8 @@ struct Reply {
     status: u16,
     reason: &'static str,
     content_type: &'static str,
+    /// Extra response headers (`x-dcdiff-trace-id`, `server-timing`).
+    headers: Vec<(String, String)>,
     body: Vec<u8>,
     close: bool,
 }
@@ -259,6 +281,7 @@ impl Reply {
             status,
             reason,
             content_type: "text/plain",
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
             close: false,
         }
@@ -266,6 +289,11 @@ impl Reply {
 
     fn closing(mut self) -> Reply {
         self.close = true;
+        self
+    }
+
+    fn with_header(mut self, name: &str, value: String) -> Reply {
+        self.headers.push((name.to_string(), value));
         self
     }
 }
@@ -287,14 +315,27 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, peer: SocketAd
             Ok(None) => return, // clean close or drained idle keep-alive
             Ok(Some(request)) => {
                 let started = Instant::now();
+                // One trace context per request: taken from an incoming
+                // `traceparent` header when present (W3C grammar), generated
+                // otherwise. Installing it here means every span below —
+                // serve.request, queue wait on the worker, recovery phases,
+                // per-DDIM-step — carries the same trace id, and the
+                // response echoes it so callers can join client and server
+                // observations.
+                let trace = request
+                    .header("traceparent")
+                    .and_then(TraceCtx::parse_traceparent)
+                    .unwrap_or_else(TraceCtx::generate);
+                let guard = dcdiff_telemetry::install_trace(trace);
                 let span = shared.tel.span(names::SPAN_SERVE_REQUEST);
                 let reply = dispatch(shared, &request, peer.ip());
                 drop(span);
+                drop(guard);
                 shared
                     .tel
                     .histogram(names::HIST_SERVE_REQUEST_WALL_US)
                     .record_duration(started.elapsed());
-                reply
+                reply.with_header("x-dcdiff-trace-id", trace.trace_id_hex())
             }
             Err(HttpError::TooLarge(n)) => {
                 shared.tel.counter(names::CTR_SERVE_BAD_REQUEST).inc();
@@ -324,6 +365,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, peer: SocketAd
             reply.status,
             reply.reason,
             reply.content_type,
+            &reply.headers,
             &reply.body,
             close,
         );
@@ -355,13 +397,38 @@ fn dispatch(shared: &Arc<Shared>, request: &Message, peer: IpAddr) -> Reply {
                 Reply::text(200, "OK", "ok\n")
             }
         }
-        ("GET", "/metrics") => Reply {
-            status: 200,
-            reason: "OK",
-            content_type: "application/json",
-            body: shared.tel.metrics_json().into_bytes(),
-            close: false,
-        },
+        ("GET", "/metrics") => {
+            // Content negotiation: JSON stays the default; `Accept:
+            // text/plain` (what `dcdiff top` and Prometheus scrapers send)
+            // selects the text exposition with windowed rate/quantile
+            // series alongside the cumulative values.
+            let wants_text = request
+                .header("accept")
+                .is_some_and(|a| a.contains("text/plain"));
+            if wants_text {
+                let body = prometheus::render(
+                    &shared.tel.registry().snapshot(),
+                    &shared.windows.views(),
+                );
+                Reply {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; version=0.0.4",
+                    headers: Vec::new(),
+                    body: body.into_bytes(),
+                    close: false,
+                }
+            } else {
+                Reply {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "application/json",
+                    headers: Vec::new(),
+                    body: shared.tel.metrics_json().into_bytes(),
+                    close: false,
+                }
+            }
+        }
         ("POST", "/admin/drain") => {
             shared.draining.store(true, Ordering::Relaxed);
             shared.tel.gauge(names::GAUGE_SERVE_DRAINING).set(1);
@@ -479,6 +546,12 @@ fn admitted_request(shared: &Arc<Shared>, request: &Message, class: &DeadlineCla
         output: output.to_string_lossy().into_owned(),
         method: shared.cfg.method,
     });
+    // Carry the request's trace across the queue: the worker re-installs it
+    // so queue-wait, recovery and per-DDIM-step spans join this request's
+    // causal chain (see `handle_connection`).
+    if let Some(trace) = dcdiff_telemetry::current_trace() {
+        spec = spec.with_trace(trace);
+    }
     if let Some(deadline) = class.deadline {
         spec = spec.with_deadline(deadline);
     }
@@ -524,32 +597,54 @@ fn admitted_request(shared: &Arc<Shared>, request: &Message, class: &DeadlineCla
             tel.counter(names::CTR_SERVE_FAILED).inc();
             Reply::text(504, "Gateway Timeout", "recovery exceeded its wait budget\n")
         }
-        Some(result) => match result.outcome {
-            Ok(JobOutput::Recovered { output: path }) => respond_with_image(shared, request, &path),
-            Ok(_) => {
-                tel.counter(names::CTR_SERVE_FAILED).inc();
-                Reply::text(500, "Internal Server Error", "unexpected job output\n")
-            }
-            Err(JobFailure::DeadlineExceeded) => {
-                tel.counter(names::CTR_SERVE_FAILED).inc();
-                Reply::text(
-                    504,
-                    "Gateway Timeout",
-                    &format!("class '{}' deadline exceeded in queue\n", class.name),
-                )
-            }
-            Err(JobFailure::Rejected) => {
-                tel.counter(names::CTR_SERVE_SHED).inc();
-                Reply::text(503, "Service Unavailable", "job shed during shutdown\n").closing()
-            }
-            Err(JobFailure::Error(e)) => {
-                tel.counter(names::CTR_SERVE_FAILED).inc();
-                Reply::text(422, "Unprocessable Entity", &format!("recovery failed: {e:?}\n"))
-            }
-        },
+        Some(result) => {
+            // Per-stage breakdown in Server-Timing grammar: `exec` is pure
+            // recovery compute, `queue` the remainder of the job's wall
+            // (queue wait + any ingest stall), `total` the job wall clock.
+            let exec_ms = result.exec.as_secs_f64() * 1e3;
+            let wall_ms = result.wall.as_secs_f64() * 1e3;
+            let queue_ms = (wall_ms - exec_ms).max(0.0);
+            let timing = format!(
+                "queue;dur={queue_ms:.1}, exec;dur={exec_ms:.1}, total;dur={wall_ms:.1}"
+            );
+            timed_reply(shared, request, class, result, tel).with_header("server-timing", timing)
+        }
     };
     cleanup(&input, &output);
     reply
+}
+
+/// The response for a delivered [`dcdiff_runtime::JobResult`].
+fn timed_reply(
+    shared: &Arc<Shared>,
+    request: &Message,
+    class: &DeadlineClass,
+    result: dcdiff_runtime::JobResult,
+    tel: &Telemetry,
+) -> Reply {
+    match result.outcome {
+        Ok(JobOutput::Recovered { output: path }) => respond_with_image(shared, request, &path),
+        Ok(_) => {
+            tel.counter(names::CTR_SERVE_FAILED).inc();
+            Reply::text(500, "Internal Server Error", "unexpected job output\n")
+        }
+        Err(JobFailure::DeadlineExceeded) => {
+            tel.counter(names::CTR_SERVE_FAILED).inc();
+            Reply::text(
+                504,
+                "Gateway Timeout",
+                &format!("class '{}' deadline exceeded in queue\n", class.name),
+            )
+        }
+        Err(JobFailure::Rejected) => {
+            tel.counter(names::CTR_SERVE_SHED).inc();
+            Reply::text(503, "Service Unavailable", "job shed during shutdown\n").closing()
+        }
+        Err(JobFailure::Error(e)) => {
+            tel.counter(names::CTR_SERVE_FAILED).inc();
+            Reply::text(422, "Unprocessable Entity", &format!("recovery failed: {e:?}\n"))
+        }
+    }
 }
 
 fn cleanup(input: &PathBuf, output: &PathBuf) {
@@ -575,6 +670,7 @@ fn respond_with_image(shared: &Arc<Shared>, request: &Message, path: &str) -> Re
                     status: 200,
                     reason: "OK",
                     content_type: "image/x-portable-graymap",
+                    headers: Vec::new(),
                     body,
                     close: false,
                 }
@@ -592,6 +688,7 @@ fn respond_with_image(shared: &Arc<Shared>, request: &Message, path: &str) -> Re
                     status: 200,
                     reason: "OK",
                     content_type: "image/x-portable-pixmap",
+                    headers: Vec::new(),
                     body,
                     close: false,
                 }

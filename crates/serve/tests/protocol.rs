@@ -30,18 +30,20 @@ fn dropped_jpeg(width: usize, height: usize) -> Vec<u8> {
 }
 
 fn test_config(tag: &str) -> ServeConfig {
-    let mut cfg = ServeConfig::default();
-    cfg.addr = "127.0.0.1:0".to_string();
-    cfg.spool_dir = std::env::temp_dir().join(format!("dcdiff-serve-test-{tag}-{}", std::process::id()));
-    cfg.runtime = RuntimeConfig {
-        workers: 1,
-        queue_cap: 8,
-        ..RuntimeConfig::default()
-    };
-    // Fast deterministic method; MLD sweep counts are a latency knob the
-    // bench exercises, not these protocol tests.
-    cfg.method = RecoverMethod::Tip2006;
-    cfg
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        spool_dir: std::env::temp_dir()
+            .join(format!("dcdiff-serve-test-{tag}-{}", std::process::id())),
+        runtime: RuntimeConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..RuntimeConfig::default()
+        },
+        // Fast deterministic method; MLD sweep counts are a latency knob
+        // the bench exercises, not these protocol tests.
+        method: RecoverMethod::Tip2006,
+        ..ServeConfig::default()
+    }
 }
 
 fn start(tag: &str) -> (Server, Client) {
@@ -283,10 +285,10 @@ fn drain_completes_in_flight_and_refuses_new_work() {
     assert_eq!(accepted.status, 202);
 
     // New work is refused from this point on: either the request is
-    // answered 503 (handler saw the flag) or the acceptor is already gone.
-    match client.recover(&jpeg, None, false) {
-        Ok(resp) => assert_eq!(resp.status, 503, "draining server admitted new work"),
-        Err(_) => {} // connection refused — acceptor already stopped
+    // answered 503 (handler saw the flag) or the acceptor is already gone
+    // (connection refused).
+    if let Ok(resp) = client.recover(&jpeg, None, false) {
+        assert_eq!(resp.status, 503, "draining server admitted new work");
     }
 
     // The admitted request is still owed (and gets) its response.
@@ -297,6 +299,136 @@ fn drain_completes_in_flight_and_refuses_new_work() {
     let stats = report.stats.expect("stats");
     assert_eq!(stats.completed, 1);
     assert_eq!(report.abandoned_connections, 0);
+}
+
+#[test]
+fn supplied_trace_id_links_server_side_spans_end_to_end() {
+    // The full tentpole chain: a caller-supplied `traceparent` must (a) be
+    // echoed back as `x-dcdiff-trace-id` with a Server-Timing breakdown and
+    // (b) stamp every server-side span — queue wait, recovery, and the
+    // diffusion sampler's per-DDIM-step spans — with the same trace id.
+    let tel = dcdiff_telemetry::Telemetry::builder().trace_to_vec().build();
+    // Per-DDIM-step spans flow through the process-wide handle.
+    dcdiff_telemetry::install(tel.clone());
+    let mut cfg = test_config("traceprop");
+    cfg.method = RecoverMethod::Diffusion { ddim_steps: 2 };
+    let server = Server::bind_with(cfg, tel.clone()).expect("bind loopback server");
+    let client = Client::new(server.local_addr().to_string());
+
+    let trace_id = "0af7651916cd43dd8448eb211c80319c";
+    let traceparent = format!("00-{trace_id}-b7ad6b7169203331-01");
+    let jpeg = dropped_jpeg(32, 32);
+    let resp = client
+        .recover_traced(&jpeg, Some("bulk"), &traceparent)
+        .expect("traced roundtrip");
+    assert_eq!(resp.status, 200, "body: {:?}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.header("x-dcdiff-trace-id"), Some(trace_id));
+    let timing = resp.header("server-timing").expect("server-timing header");
+    assert!(timing.contains("queue;dur="), "timing: {timing}");
+    assert!(timing.contains("exec;dur="), "timing: {timing}");
+    assert!(timing.contains("total;dur="), "timing: {timing}");
+
+    server.drain();
+    dcdiff_telemetry::install(dcdiff_telemetry::Telemetry::new());
+    let text = tel.take_trace_vec().expect("in-memory trace");
+    let traced: Vec<_> = text
+        .lines()
+        .filter_map(|l| dcdiff_telemetry::TraceEvent::parse_line(l).ok())
+        .filter(|ev| ev.trace.as_deref() == Some(trace_id))
+        .collect();
+    let has = |name: &str| traced.iter().any(|ev| ev.name == name);
+    assert!(has("serve.request"), "trace: {text}");
+    assert!(has("queue.wait"), "trace: {text}");
+    assert!(has("recover.estimate"), "trace: {text}");
+    assert!(has("recover.ddim_step"), "trace: {text}");
+    // Spans outside this request (acceptor reads, drain) never carry it.
+    assert!(
+        !text
+            .lines()
+            .filter(|l| l.contains("serve.drain"))
+            .any(|l| l.contains(trace_id)),
+        "drain span stole the request trace: {text}"
+    );
+}
+
+#[test]
+fn prometheus_exposition_windows_diverge_from_cumulative_after_burst() {
+    let mut cfg = test_config("promwin");
+    cfg.metrics_epoch = Duration::from_millis(50);
+    cfg.metrics_windows = vec![Duration::from_millis(300)];
+    let (server, client) = start_with(cfg);
+    let jpeg = dropped_jpeg(16, 16);
+
+    // Slow phase: requests whose ingest stall dominates the wall clock.
+    // Three of them keep the fractional-rank p99 inside the slow bucket
+    // even as later scrapes add fast `/metrics` samples to the histogram.
+    for _ in 0..3 {
+        let slow = client
+            .recover_opts(&jpeg, Some("bulk"), false, Some(Duration::from_millis(400)))
+            .expect("slow roundtrip");
+        assert_eq!(slow.status, 200);
+    }
+
+    // Let the slow sample age out of the 300 ms window, then burst.
+    std::thread::sleep(Duration::from_millis(450));
+    for _ in 0..10 {
+        let fast = client.recover(&jpeg, Some("bulk"), false).expect("fast roundtrip");
+        assert_eq!(fast.status, 200);
+    }
+
+    // JSON stays the default exposition.
+    let json = client.get("/metrics").expect("json metrics");
+    assert_eq!(json.header("content-type"), Some("application/json"));
+
+    // The windowed p99 must eventually cover only the fast burst while the
+    // cumulative p99 still remembers the 600 ms outlier.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client
+            .get_with("/metrics", &[("accept", "text/plain")])
+            .expect("prometheus metrics");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/plain; version=0.0.4"));
+        let text = String::from_utf8_lossy(&resp.body).into_owned();
+        let samples = dcdiff_telemetry::prometheus::parse(&text).expect("exposition parses");
+        let p99 = |window: Option<&str>| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == "serve_request_wall_us"
+                        && s.label("quantile") == Some("0.99")
+                        && s.label("window") == window
+                })
+                .map(|s| s.value)
+        };
+        let cumulative = p99(None).expect("cumulative p99 present");
+        // The slow request alone guarantees a large cumulative p99.
+        assert!(cumulative > 100_000.0, "cumulative p99 {cumulative}");
+        if let Some(windowed) = p99(Some("300ms")) {
+            if windowed > 0.0 && windowed * 4.0 < cumulative {
+                break; // window sees only the fast burst
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "windowed p99 never diverged from cumulative: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    server.drain();
+}
+
+#[test]
+fn default_ladder_class_series_resolve_in_the_name_registry() {
+    // Every dynamic `serve.class.<c>.*` series the server can emit for the
+    // default ladder must resolve against the telemetry name registry.
+    use dcdiff_telemetry::names;
+    for class in DeadlineClass::default_ladder() {
+        let shed = names::class_shed_counter(&class.name);
+        let admitted = names::class_admitted_counter(&class.name);
+        assert!(names::is_registered(&shed), "{shed} not registered");
+        assert!(names::is_registered(&admitted), "{admitted} not registered");
+    }
 }
 
 #[test]

@@ -47,8 +47,10 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod names;
+pub mod prometheus;
 pub mod report;
 pub mod trace;
+pub mod windows;
 
 use std::io::Write;
 use std::path::Path;
@@ -56,9 +58,14 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 pub use crate::log::{Level, Logger};
-pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use crate::metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
+};
 pub use crate::report::TraceReport;
-pub use crate::trace::{EventKind, Span, TraceEvent};
+pub use crate::windows::{WindowView, WindowedMetrics};
+pub use crate::trace::{
+    current_trace, install_trace, EventKind, Span, TraceCtx, TraceEvent, TraceGuard,
+};
 
 use crate::trace::{SpanActive, TraceSink};
 
@@ -167,13 +174,16 @@ impl TelemetryBuilder {
 
     /// Build the handle.
     pub fn build(self) -> Telemetry {
+        let registry = Registry::new();
+        let logger = Logger::new(self.log_level, self.log_rate)
+            .with_suppressed_counter(registry.counter(names::CTR_LOG_SUPPRESSED));
         Telemetry {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
                 trace: self.trace.map(TraceSink::new),
                 trace_buffer: self.trace_buffer,
-                registry: Registry::new(),
-                logger: Logger::new(self.log_level, self.log_rate),
+                registry,
+                logger,
             }),
         }
     }
@@ -342,11 +352,13 @@ impl Telemetry {
         self.inner.logger.log(Level::Debug, msg.as_ref());
     }
 
-    /// Flush the trace sink (no-op when tracing is disabled).
+    /// Flush the trace sink (no-op when tracing is disabled) and any
+    /// pending log-suppression summary.
     pub fn flush(&self) {
         if let Some(sink) = &self.inner.trace {
             sink.flush();
         }
+        self.inner.logger.flush_suppressed();
     }
 
     /// Drain the in-memory trace buffer as UTF-8 (handles built with
@@ -367,6 +379,7 @@ impl Drop for Inner {
         if let Some(sink) = &self.trace {
             sink.flush();
         }
+        self.logger.flush_suppressed();
     }
 }
 

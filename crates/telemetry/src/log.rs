@@ -3,12 +3,16 @@
 //! Replaces the ad-hoc `eprintln!` calls scattered through the CLI and bench
 //! harness: messages below the configured [`Level`] are dropped, and a
 //! per-second emission cap keeps a failing 10k-job batch from flooding the
-//! terminal — suppressed lines are counted and summarised when the window
-//! rolls over.
+//! terminal — suppressed lines are counted (the `log.suppressed` counter)
+//! and summarised when the window rolls over or, if messages stop arriving
+//! before the roll, when [`Logger::flush_suppressed`] runs (wired into
+//! `Telemetry::flush` and drop), so suppression is never silent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::metrics::Counter;
 
 /// Log severity, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -64,6 +68,10 @@ pub struct Logger {
     max_per_sec: u32,
     window: Mutex<Option<RateWindow>>,
     suppressed_total: AtomicU64,
+    /// Registry counter bumped per suppressed line (`log.suppressed`), so
+    /// dashboards see drops that stderr never showed. `None` for bare
+    /// loggers constructed outside a `Telemetry` handle.
+    suppressed_counter: Option<Counter>,
 }
 
 impl std::fmt::Debug for RateWindow {
@@ -84,7 +92,16 @@ impl Logger {
             max_per_sec: max_per_sec.max(1),
             window: Mutex::new(None),
             suppressed_total: AtomicU64::new(0),
+            suppressed_counter: None,
         }
+    }
+
+    /// Attach the registry counter bumped once per suppressed line
+    /// (`Telemetry::builder` wires `log.suppressed` here).
+    #[must_use]
+    pub fn with_suppressed_counter(mut self, counter: Counter) -> Self {
+        self.suppressed_counter = Some(counter);
+        self
     }
 
     /// The configured level.
@@ -136,6 +153,28 @@ impl Logger {
         } else {
             window.suppressed += 1;
             self.suppressed_total.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = &self.suppressed_counter {
+                counter.inc();
+            }
+        }
+    }
+
+    /// Emit the pending suppression summary, if any. The in-window summary
+    /// only prints when a *new* message rolls the window; if the log storm
+    /// simply stops, the tail of suppressed lines would stay invisible —
+    /// this flushes it. Called by `Telemetry::flush` and on handle drop.
+    pub fn flush_suppressed(&self) {
+        let mut guard = self
+            .window
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(window) = guard.as_mut() {
+            if window.suppressed > 0 {
+                let n = window.suppressed;
+                window.suppressed = 0;
+                drop(guard);
+                eprintln!("[warn] log rate limit: suppressed {n} line(s) in the last window");
+            }
         }
     }
 }
@@ -176,5 +215,32 @@ mod tests {
             logger.log(Level::Info, &format!("burst {i}"));
         }
         assert_eq!(logger.suppressed_total(), 7);
+    }
+
+    #[test]
+    fn suppressed_lines_bump_the_attached_counter() {
+        let counter = Counter::new();
+        let logger = Logger::new(Level::Info, 2).with_suppressed_counter(counter.clone());
+        for i in 0..6 {
+            logger.log(Level::Info, &format!("burst {i}"));
+        }
+        assert_eq!(counter.get(), 4);
+        // Level-filtered lines are not "suppressed" — they never qualified.
+        logger.log(Level::Debug, "invisible");
+        assert_eq!(counter.get(), 4);
+    }
+
+    #[test]
+    fn flush_suppressed_clears_the_pending_window() {
+        let logger = Logger::new(Level::Info, 1);
+        logger.log(Level::Info, "kept");
+        logger.log(Level::Info, "dropped");
+        logger.flush_suppressed();
+        // The summary printed and reset the window; a second flush has
+        // nothing left to report (observable as the counter not moving).
+        logger.flush_suppressed();
+        assert_eq!(logger.suppressed_total(), 1);
+        // Flushing a never-used logger is a no-op.
+        Logger::new(Level::Info, 1).flush_suppressed();
     }
 }

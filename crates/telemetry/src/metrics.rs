@@ -112,8 +112,8 @@ fn bucket_index(value: u64) -> usize {
     }
 }
 
-/// Inclusive `[lo, hi]` value range of bucket `k`.
-fn bucket_bounds(k: usize) -> (u64, u64) {
+/// Inclusive `[lo, hi]` value range of bucket `k` (see [`BUCKETS`]).
+pub fn bucket_bounds(k: usize) -> (u64, u64) {
     if k == 0 {
         (0, 0)
     } else if k >= 64 {
@@ -231,6 +231,53 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The samples recorded between `earlier` and `self` (two snapshots of
+    /// the same histogram, `earlier` taken first) as a standalone snapshot —
+    /// the primitive behind rolling-window quantiles.
+    ///
+    /// Bucket counts, `count` and `sum` subtract exactly. `min`/`max` are
+    /// not recoverable from cumulative extrema, so they are approximated
+    /// from the bounds of the lowest/highest bucket that gained samples,
+    /// clamped into the cumulative `[min, max]` range; quantiles of the
+    /// delta therefore stay within one power-of-two bucket of the truth,
+    /// same as the cumulative guarantee.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i]));
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (k, &c) in buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(k);
+            if min == u64::MAX {
+                min = lo.max(self.min);
+            }
+            max = hi.min(self.max).max(lo);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+}
+
+/// Point-in-time plain-data copy of an entire [`Registry`], the unit the
+/// rolling-window machinery ([`crate::windows`]) stores per epoch and the
+/// Prometheus renderer ([`crate::prometheus`]) reads.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// Name-keyed registry of counters, gauges and histograms.
@@ -277,6 +324,26 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Point-in-time copy of every registered metric. Each section is read
+    /// under its own lock, so the snapshot is per-metric consistent (the
+    /// same relaxed-atomics guarantee recording itself gives).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
     }
 
     /// Export everything as one pretty-printed JSON object with `counters`,
@@ -375,6 +442,43 @@ mod tests {
         assert_eq!(reg.gauge("g").get(), -5);
         reg.histogram("h").record(7);
         assert_eq!(reg.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_window_samples() {
+        let h = Histogram::new();
+        for v in [10u64, 12, 11] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [5000u64, 6000, 7000, 8000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&earlier);
+        assert_eq!(delta.count, 4);
+        assert_eq!(delta.sum, 26_000);
+        // Window quantiles reflect only the burst, not the earlier samples.
+        assert!(delta.quantile(0.5).unwrap() >= 4096, "{:?}", delta.quantile(0.5));
+        assert!(delta.min >= 4096 && delta.max <= 8191);
+        // An empty delta behaves like an empty histogram.
+        let same = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(same.count, 0);
+        assert_eq!(same.quantile(0.99), None);
+    }
+
+    #[test]
+    fn registry_snapshot_copies_all_sections() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(-2);
+        reg.histogram("h").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&3));
+        assert_eq!(snap.gauges.get("g"), Some(&-2));
+        assert_eq!(snap.histograms.get("h").map(|h| h.count), Some(1));
+        // The snapshot is detached from later recording.
+        reg.counter("c").inc();
+        assert_eq!(snap.counters.get("c"), Some(&3));
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!
 //! Naming convention: `<subsystem>.<measurement>[_<unit>]`, where the
 //! subsystem is one of the registered namespaces (`runtime.*`, `stage.*`,
-//! `estimator.*`, `breaker.*`, `tensor.*`, `serve.*`, and the span families
-//! `batch.*`, `queue.*`, `job.*`, `encode.*`, `recover.*`, `metrics.*`).
+//! `estimator.*`, `breaker.*`, `tensor.*`, `serve.*`, `log.*`, and the span
+//! families `batch.*`, `queue.*`, `job.*`, `encode.*`, `recover.*`,
+//! `metrics.*`).
 //! Histograms carry their unit as a suffix (`_us`, `_mflops`).
 
 // ---------------------------------------------------------------- spans --
@@ -161,6 +162,8 @@ pub const CTR_SERVE_COMPLETED: &str = "serve.completed";
 pub const CTR_SERVE_FAILED: &str = "serve.failed";
 /// Connections that dropped before the response was fully written.
 pub const CTR_SERVE_DISCONNECTS: &str = "serve.disconnects";
+/// Log lines dropped by the logger's rate limiter.
+pub const CTR_LOG_SUPPRESSED: &str = "log.suppressed";
 
 // --------------------------------------------------------------- gauges --
 
@@ -265,6 +268,7 @@ pub const REGISTERED: &[&str] = &[
     CTR_SERVE_COMPLETED,
     CTR_SERVE_FAILED,
     CTR_SERVE_DISCONNECTS,
+    CTR_LOG_SUPPRESSED,
     GAUGE_QUEUE_DEPTH,
     GAUGE_BREAKER_STATE,
     GAUGE_SERVE_CONNECTIONS,

@@ -1,0 +1,286 @@
+//! Prometheus text-exposition rendering of the registry, plus the minimal
+//! parser `dcdiff top` uses to read it back.
+//!
+//! The renderer writes format version 0.0.4 (`text/plain; version=0.0.4`):
+//! one `# TYPE` line per family, then `name{labels} value` samples. Dotted
+//! registry names are mapped to the Prometheus grammar by replacing every
+//! character outside `[a-zA-Z0-9_:]` with `_` (`serve.request_wall_us` →
+//! `serve_request_wall_us`); the original dotted name is preserved in a
+//! `# HELP` line so series remain traceable to `dcdiff_telemetry::names`.
+//!
+//! Histograms are exported summary-style: `{quantile="0.5|0.9|0.99"}`
+//! samples plus `_sum`/`_count`/`_min`/`_max`. When rolling windows are
+//! available ([`crate::windows::WindowedMetrics`]), each windowed series
+//! carries a `window="10s"` label alongside the cumulative (unlabelled)
+//! series: counters gain `name_rate{window=…}` per-second samples and
+//! histogram quantiles gain windowed variants.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use crate::windows::WindowView;
+
+/// The content type of the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Map a dotted registry name onto the Prometheus metric-name grammar.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// `10s`, `1m30s`, `250ms` — the `window` label value for a view length.
+pub fn window_label(w: Duration) -> String {
+    let ms = w.as_millis();
+    if ms == 0 {
+        return "0s".to_string();
+    }
+    if !ms.is_multiple_of(1000) {
+        return format!("{ms}ms");
+    }
+    let secs = ms / 1000;
+    if secs.is_multiple_of(60) {
+        format!("{}m", secs / 60)
+    } else if secs > 60 {
+        format!("{}m{}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+fn write_quantiles(
+    out: &mut String,
+    name: &str,
+    window: Option<&str>,
+    snap: &HistogramSnapshot,
+) {
+    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        let value = snap.quantile(q).unwrap_or(0);
+        match window {
+            Some(w) => {
+                let _ = writeln!(out, "{name}{{window=\"{w}\",quantile=\"{label}\"}} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {value}");
+            }
+        }
+    }
+}
+
+/// Render `snapshot` (and optional rolling-window views) as Prometheus
+/// text exposition.
+pub fn render(snapshot: &RegistrySnapshot, views: &[WindowView]) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, &value) in &snapshot.counters {
+        let mname = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {mname} dcdiff counter {name}");
+        let _ = writeln!(out, "# TYPE {mname} counter");
+        let _ = writeln!(out, "{mname} {value}");
+        for view in views {
+            if let Some(rate) = view.counter_rates.get(name) {
+                let w = window_label(view.window);
+                let _ = writeln!(out, "{mname}_rate{{window=\"{w}\"}} {rate:.6}");
+            }
+        }
+    }
+    for (name, &value) in &snapshot.gauges {
+        let mname = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {mname} dcdiff gauge {name}");
+        let _ = writeln!(out, "# TYPE {mname} gauge");
+        let _ = writeln!(out, "{mname} {value}");
+    }
+    for (name, snap) in &snapshot.histograms {
+        let mname = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {mname} dcdiff histogram {name}");
+        let _ = writeln!(out, "# TYPE {mname} summary");
+        write_quantiles(&mut out, &mname, None, snap);
+        let _ = writeln!(out, "{mname}_sum {}", snap.sum);
+        let _ = writeln!(out, "{mname}_count {}", snap.count);
+        let _ = writeln!(
+            out,
+            "{mname}_min {}",
+            if snap.count == 0 { 0 } else { snap.min }
+        );
+        let _ = writeln!(out, "{mname}_max {}", snap.max);
+        for view in views {
+            if let Some(delta) = view.histograms.get(name) {
+                let w = window_label(view.window);
+                write_quantiles(&mut out, &mname, Some(&w), delta);
+                let _ = writeln!(out, "{mname}_count{{window=\"{w}\"}} {}", delta.count);
+            }
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sanitized metric name (`serve_request_wall_us`).
+    pub name: String,
+    /// Label key/value pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a Prometheus text exposition into samples. Comment (`#`) and blank
+/// lines are skipped; anything else must be `name[{labels}] value`.
+///
+/// # Errors
+///
+/// Returns `line N: <reason>` for the first malformed sample line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| format!("line {}: {reason}", i + 1);
+        let (head, value_str) = match line.find('}') {
+            Some(close) => {
+                let value = line[close + 1..].trim();
+                (&line[..close + 1], value)
+            }
+            None => {
+                let mut it = line.splitn(2, char::is_whitespace);
+                let head = it.next().unwrap_or_default();
+                (head, it.next().unwrap_or_default().trim())
+            }
+        };
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| err(&format!("bad sample value {value_str:?}")))?;
+        let (name, labels) = match head.find('{') {
+            None => (head.to_string(), Vec::new()),
+            Some(open) => {
+                let name = head[..open].to_string();
+                let body = head[open + 1..]
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err(&format!("bad label {pair:?}")))?;
+                    let v = v
+                        .trim()
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err(&format!("unquoted label value {v:?}")))?;
+                    labels.push((k.trim().to_string(), v.to_string()));
+                }
+                (name, labels)
+            }
+        };
+        if name.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::windows::WindowedMetrics;
+
+    #[test]
+    fn sanitize_follows_the_grammar() {
+        assert_eq!(sanitize_name("serve.request_wall_us"), "serve_request_wall_us");
+        assert_eq!(sanitize_name("runtime.worker.0.busy_us"), "runtime_worker_0_busy_us");
+        assert_eq!(sanitize_name("0weird"), "_0weird");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn window_labels_render_compactly() {
+        assert_eq!(window_label(Duration::from_secs(10)), "10s");
+        assert_eq!(window_label(Duration::from_secs(60)), "1m");
+        assert_eq!(window_label(Duration::from_secs(90)), "1m30s");
+        assert_eq!(window_label(Duration::from_millis(250)), "250ms");
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let reg = Registry::new();
+        reg.counter("serve.accepted").add(12);
+        reg.gauge("runtime.queue_depth").set(3);
+        reg.histogram("serve.request_wall_us").record(1000);
+        reg.histogram("serve.request_wall_us").record(3000);
+
+        let wm = WindowedMetrics::new(Duration::from_millis(1), &[Duration::from_secs(10)]);
+        wm.tick(&reg);
+        std::thread::sleep(Duration::from_millis(2));
+        reg.counter("serve.accepted").add(8);
+        wm.tick(&reg);
+
+        let text = render(&reg.snapshot(), &wm.views());
+        let samples = parse(&text).unwrap();
+        let find = |name: &str, label: Option<(&str, &str)>| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label.is_none_or(|(k, v)| s.label(k) == Some(v))
+                })
+                .unwrap_or_else(|| panic!("missing {name} {label:?}"))
+                .value
+        };
+        assert_eq!(find("serve_accepted", None), 20.0);
+        assert_eq!(find("runtime_queue_depth", None), 3.0);
+        assert!(find("serve_accepted_rate", Some(("window", "10s"))) > 0.0);
+        assert_eq!(find("serve_request_wall_us_count", None), 2.0);
+        // Fractional-rank p99 of {1000, 3000} sits in the first bucket,
+        // clamped to at least the observed min.
+        let p99 = find("serve_request_wall_us", Some(("quantile", "0.99")));
+        assert!(p99 >= 1000.0, "{p99}");
+        // Windowed histogram samples carry the window label.
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "serve_request_wall_us_count"
+                && s.label("window") == Some("10s")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("name not_a_number").is_err());
+        assert!(parse("name{k=\"v\" 1").is_err());
+        assert!(parse("name{k=v} 1").is_err());
+        assert!(parse("{k=\"v\"} 1").is_err());
+        assert!(parse("# comment only\n\n").unwrap().is_empty());
+    }
+}

@@ -45,6 +45,30 @@ pub struct TraceReport {
     pub events: u64,
 }
 
+/// Fold one completed span into the per-name stats and root intervals.
+fn record(
+    spans: &mut BTreeMap<String, SpanStats>,
+    root_intervals: &mut Vec<(u64, u64)>,
+    name: &str,
+    parent: u64,
+    start: u64,
+    dur: u64,
+) {
+    let stats = spans.entry(name.to_string()).or_insert_with(|| SpanStats {
+        count: 0,
+        total_us: 0,
+        histogram: Histogram::new(),
+        roots: 0,
+    });
+    stats.count += 1;
+    stats.total_us += dur;
+    stats.histogram.record(dur);
+    if parent == 0 {
+        stats.roots += 1;
+        root_intervals.push((start, start + dur));
+    }
+}
+
 impl std::str::FromStr for TraceReport {
     type Err = String;
 
@@ -55,65 +79,114 @@ impl std::str::FromStr for TraceReport {
     /// Returns `line N: <reason>` for a malformed line, an end event whose
     /// id was never begun, or a duplicated span id.
     fn from_str(text: &str) -> Result<TraceReport, String> {
-        let mut open: HashMap<u64, TraceEvent> = HashMap::new();
+        TraceReport::from_texts(&[text])
+    }
+}
+
+impl TraceReport {
+    /// Parse and aggregate one or more JSONL traces into a single report
+    /// (`dcdiff report a.jsonl b.jsonl …`).
+    ///
+    /// Each file keeps its own span-id space and open-span pairing (ids
+    /// restart per run, so they must not collide across files). Timestamps
+    /// of the first file pass through unchanged — a one-element call is
+    /// identical to [`std::str::FromStr`] — and every later file is laid
+    /// end-to-end after the previous one (`t − file_first + merged_last`),
+    /// so wall time and root coverage aggregate sensibly across runs that
+    /// each started their clock at zero.
+    ///
+    /// # Errors
+    ///
+    /// Same per-line errors as single-file parsing, prefixed with
+    /// `file N: ` when more than one text is given; an empty file set or a
+    /// set with no events at all is an error.
+    pub fn from_texts(texts: &[&str]) -> Result<TraceReport, String> {
         let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
-        let mut root_intervals = Vec::new();
+        let mut root_intervals: Vec<(u64, u64)> = Vec::new();
         let mut threads = std::collections::BTreeSet::new();
         let mut first_us = u64::MAX;
         let mut last_us = 0u64;
         let mut events = 0u64;
+        let mut unclosed = 0u64;
 
-        let mut record =
-            |spans: &mut BTreeMap<String, SpanStats>, name: &str, parent: u64, start: u64, dur: u64| {
-                let stats = spans.entry(name.to_string()).or_insert_with(|| SpanStats {
-                    count: 0,
-                    total_us: 0,
-                    histogram: Histogram::new(),
-                    roots: 0,
-                });
-                stats.count += 1;
-                stats.total_us += dur;
-                stats.histogram.record(dur);
-                if parent == 0 {
-                    stats.roots += 1;
-                    root_intervals.push((start, start + dur));
+        for (f, text) in texts.iter().enumerate() {
+            let fail = |i: usize, reason: String| {
+                if texts.len() > 1 {
+                    format!("file {}: line {}: {reason}", f + 1, i + 1)
+                } else {
+                    format!("line {}: {reason}", i + 1)
+                }
+            };
+            let mut parsed: Vec<TraceEvent> = Vec::new();
+            let mut lines: Vec<usize> = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                parsed.push(TraceEvent::parse_line(line).map_err(|e| fail(i, e))?);
+                lines.push(i);
+            }
+            // Lay this file after everything merged so far; the first file
+            // keeps its native timeline.
+            let file_first = parsed.iter().map(|e| e.t_us).min().unwrap_or(0);
+            let rebase = |t: u64| {
+                if f == 0 {
+                    t
+                } else {
+                    t.saturating_sub(file_first).saturating_add(last_us)
                 }
             };
 
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let ev = TraceEvent::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-            events += 1;
-            first_us = first_us.min(ev.t_us);
-            // An end event's `t_us` already is the span's end; begin and
-            // complete events extend by their (possibly zero) duration.
-            let end = match ev.kind {
-                EventKind::End => ev.t_us,
-                EventKind::Begin | EventKind::Complete => ev.t_us.saturating_add(ev.dur_us),
-            };
-            last_us = last_us.max(end);
-            match ev.kind {
-                EventKind::Begin => {
-                    threads.insert(ev.thread);
-                    if open.insert(ev.id, ev).is_some() {
-                        return Err(format!("line {}: duplicate span id", i + 1));
+            let mut open: HashMap<u64, TraceEvent> = HashMap::new();
+            let mut file_last = last_us;
+            for (ev, &i) in parsed.into_iter().zip(&lines) {
+                events += 1;
+                let t_us = rebase(ev.t_us);
+                first_us = first_us.min(t_us);
+                // An end event's `t_us` already is the span's end; begin and
+                // complete events extend by their (possibly zero) duration.
+                let end = match ev.kind {
+                    EventKind::End => t_us,
+                    EventKind::Begin | EventKind::Complete => t_us.saturating_add(ev.dur_us),
+                };
+                file_last = file_last.max(end);
+                match ev.kind {
+                    EventKind::Begin => {
+                        threads.insert(ev.thread);
+                        if open.insert(ev.id, ev).is_some() {
+                            return Err(fail(i, "duplicate span id".to_string()));
+                        }
+                    }
+                    EventKind::End => {
+                        let begin = open.remove(&ev.id).ok_or_else(|| {
+                            fail(i, format!("end event for unknown span id {}", ev.id))
+                        })?;
+                        let name = if ev.name.is_empty() { &begin.name } else { &ev.name };
+                        record(
+                            &mut spans,
+                            &mut root_intervals,
+                            name,
+                            begin.parent,
+                            rebase(begin.t_us),
+                            ev.dur_us,
+                        );
+                    }
+                    EventKind::Complete => {
+                        threads.insert(ev.thread);
+                        record(
+                            &mut spans,
+                            &mut root_intervals,
+                            &ev.name,
+                            ev.parent,
+                            t_us,
+                            ev.dur_us,
+                        );
                     }
                 }
-                EventKind::End => {
-                    let begin = open.remove(&ev.id).ok_or_else(|| {
-                        format!("line {}: end event for unknown span id {}", i + 1, ev.id)
-                    })?;
-                    let name = if ev.name.is_empty() { &begin.name } else { &ev.name };
-                    record(&mut spans, name, begin.parent, begin.t_us, ev.dur_us);
-                }
-                EventKind::Complete => {
-                    threads.insert(ev.thread);
-                    record(&mut spans, &ev.name, ev.parent, ev.t_us, ev.dur_us);
-                }
             }
+            unclosed += open.len() as u64;
+            last_us = file_last;
         }
         if events == 0 {
             return Err("trace contains no events".to_string());
@@ -124,13 +197,10 @@ impl std::str::FromStr for TraceReport {
             first_us,
             last_us,
             threads: threads.len(),
-            unclosed: open.len() as u64,
+            unclosed,
             events,
         })
     }
-}
-
-impl TraceReport {
     /// Trace wall time: first event to last event end, in microseconds.
     pub fn wall_us(&self) -> u64 {
         self.last_us.saturating_sub(self.first_us)
@@ -197,8 +267,8 @@ impl TraceReport {
         }
         let _ = writeln!(
             out,
-            "{:<24} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6}",
-            "span", "count", "total ms", "mean ms", "p50 ms", "p99 ms", "max ms", "wall%"
+            "{:<24} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
+            "span", "count", "total ms", "mean ms", "min ms", "p50 ms", "p99 ms", "max ms", "wall%"
         );
         // Largest total first: the breakdown reads as "where did time go".
         let mut names: Vec<&String> = self.spans.keys().collect();
@@ -214,11 +284,12 @@ impl TraceReport {
             }
             let _ = writeln!(
                 out,
-                "{:<24} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5.1}%{}",
+                "{:<24} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5.1}%{}",
                 name,
                 s.count,
                 s.total_us as f64 / 1e3,
                 snap.mean() / 1e3,
+                if snap.count == 0 { 0.0 } else { snap.min as f64 / 1e3 },
                 snap.quantile(0.50).unwrap_or(0) as f64 / 1e3,
                 snap.quantile(0.99).unwrap_or(0) as f64 / 1e3,
                 snap.max as f64 / 1e3,
@@ -318,5 +389,61 @@ mod tests {
         let report = TraceReport::from_str(trace).unwrap();
         assert_eq!(report.unclosed, 1);
         assert!(report.render().contains("never closed"));
+    }
+
+    #[test]
+    fn multi_file_merge_lays_runs_end_to_end() {
+        // Two runs whose clocks both start near zero, with colliding span
+        // ids — exactly what two `dcdiff batch --trace` files look like.
+        let run_a = [
+            line(r#"{"ev":"X","id":1,"parent":0,"name":"a","thread":1,"t_us":0,"dur_us":100}"#),
+            line(r#"{"ev":"X","id":2,"parent":0,"name":"b","thread":1,"t_us":100,"dur_us":50}"#),
+        ]
+        .join("\n");
+        let run_b = [
+            line(r#"{"ev":"B","id":1,"parent":0,"name":"a","thread":2,"t_us":10}"#),
+            line(r#"{"ev":"E","id":1,"name":"a","t_us":90,"dur_us":80}"#),
+        ]
+        .join("\n");
+        let merged = TraceReport::from_texts(&[&run_a, &run_b]).unwrap();
+        assert_eq!(merged.events, 4);
+        assert_eq!(merged.span_count(), 3);
+        assert_eq!(merged.unclosed, 0);
+        assert_eq!(merged.threads, 2);
+        // Per-span aggregation spans both runs.
+        assert_eq!(merged.spans["a"].count, 2);
+        assert_eq!(merged.spans["a"].total_us, 180);
+        // Run B is rebased after run A: its span [10,90] lands at [150,230].
+        assert_eq!(merged.wall_us(), 230);
+        assert_eq!(merged.covered_us(), 230);
+        // One-element from_texts is exactly from_str.
+        let single = TraceReport::from_str(&run_a).unwrap();
+        assert_eq!(single.wall_us(), 150);
+        assert_eq!(single.first_us, 0);
+    }
+
+    #[test]
+    fn multi_file_errors_name_the_file() {
+        let good = r#"{"ev":"X","id":1,"parent":0,"name":"a","thread":1,"t_us":0,"dur_us":1}"#;
+        let err = TraceReport::from_texts(&[good, "not json"]).unwrap_err();
+        assert!(err.starts_with("file 2: line 1:"), "{err}");
+        // Single-file errors keep the unprefixed shape callers match on.
+        let err = TraceReport::from_str("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn render_includes_min_column() {
+        let trace = [
+            line(r#"{"ev":"X","id":1,"parent":0,"name":"a","thread":1,"t_us":0,"dur_us":2000}"#),
+            line(r#"{"ev":"X","id":2,"parent":0,"name":"a","thread":1,"t_us":0,"dur_us":8000}"#),
+        ]
+        .join("\n");
+        let report = TraceReport::from_str(&trace).unwrap();
+        let rendered = report.render();
+        assert!(rendered.contains("min ms"), "{rendered}");
+        // min 2 ms and max 8 ms both appear on the span row.
+        let row = rendered.lines().find(|l| l.starts_with('a')).unwrap();
+        assert!(row.contains("2.00") && row.contains("8.00"), "{row}");
     }
 }

@@ -30,6 +30,121 @@ thread_local! {
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
 }
 
+thread_local! {
+    /// Request-scoped trace context installed on this thread (None = no
+    /// request identity; events carry no `trace` field).
+    static CURRENT_TRACE: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// Monotonic per-process sequence mixed into generated trace ids so two
+/// requests arriving in the same nanosecond still differ.
+static NEXT_TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// SplitMix64 finalizer — the workspace's standard std-only bit mixer.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Request-scoped trace identity in the W3C `traceparent` model: a 128-bit
+/// trace id naming the whole causal chain and a 64-bit span id naming the
+/// caller's active span. Propagated across the serve → queue → worker thread
+/// hop by value and re-installed with [`install_trace`], so every trace event
+/// emitted while the guard is alive carries the request's `trace` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// 128-bit trace id (never 0; 0 is invalid per the traceparent grammar).
+    pub trace_id: u128,
+    /// 64-bit id of the caller's span within the trace.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// Generate a fresh context from wall-clock nanoseconds, the thread
+    /// index and a process-wide sequence, mixed through SplitMix64.
+    pub fn generate() -> TraceCtx {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let seq = NEXT_TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ seq.rotate_left(32));
+        let lo = splitmix64(hi ^ thread_index());
+        let trace_id = (u128::from(hi) << 64) | u128::from(lo);
+        TraceCtx {
+            trace_id: if trace_id == 0 { 1 } else { trace_id },
+            span_id: splitmix64(lo ^ seq) | 1,
+        }
+    }
+
+    /// Parse a `traceparent`-style header:
+    /// `<2 hex version>-<32 hex trace id>-<16 hex span id>-<2 hex flags>`.
+    /// Returns `None` for anything malformed or an all-zero trace id.
+    pub fn parse_traceparent(header: &str) -> Option<TraceCtx> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next()?;
+        let trace_hex = parts.next()?;
+        let span_hex = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some()
+            || version.len() != 2
+            || trace_hex.len() != 32
+            || span_hex.len() != 16
+            || flags.len() != 2
+        {
+            return None;
+        }
+        u8::from_str_radix(version, 16).ok()?;
+        u8::from_str_radix(flags, 16).ok()?;
+        let trace_id = u128::from_str_radix(trace_hex, 16).ok()?;
+        let span_id = u64::from_str_radix(span_hex, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceCtx { trace_id, span_id })
+    }
+
+    /// Render as a `traceparent` header value (version 00, sampled flag).
+    pub fn traceparent(&self) -> String {
+        format!("00-{:032x}-{:016x}-01", self.trace_id, self.span_id)
+    }
+
+    /// The 32-hex-digit trace id, as written in event `trace` fields and
+    /// the `x-dcdiff-trace-id` response header.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+}
+
+/// The calling thread's installed trace context, if any.
+pub fn current_trace() -> Option<TraceCtx> {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Install `ctx` as the calling thread's trace context. Events written while
+/// the returned guard is alive carry a `trace` field with the 32-hex trace
+/// id; dropping the guard restores whatever was installed before (contexts
+/// nest, so a worker processing batched entries from different requests can
+/// switch per entry).
+#[must_use = "dropping the guard immediately uninstalls the trace context"]
+pub fn install_trace(ctx: TraceCtx) -> TraceGuard {
+    TraceGuard {
+        previous: CURRENT_TRACE.with(|c| c.replace(Some(ctx))),
+    }
+}
+
+/// RAII guard from [`install_trace`]; restores the previous context on drop.
+pub struct TraceGuard {
+    previous: Option<TraceCtx>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.previous));
+    }
+}
+
 static NEXT_THREAD_INDEX: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -95,12 +210,23 @@ pub(crate) fn set_current_span(id: u64) {
     CURRENT_SPAN.with(|c| c.set(id));
 }
 
+/// Append `,"trace":"<32hex>"` when the calling thread has a trace context
+/// installed. Centralised here so every event builder — and therefore every
+/// existing call site — picks up request identity with no signature change.
+fn push_trace_field(line: &mut String) {
+    if let Some(ctx) = current_trace() {
+        let _ = write!(line, ",\"trace\":\"{:032x}\"", ctx.trace_id);
+    }
+}
+
 /// Build a `B` event line.
 pub(crate) fn begin_line(name: &str, id: u64, parent: u64, thread: u64, t_us: u64) -> String {
     let mut line = String::with_capacity(96);
     let _ = write!(line, "{{\"ev\":\"B\",\"id\":{id},\"parent\":{parent},\"name\":");
     escape_into(&mut line, name);
-    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us}}}");
+    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us}");
+    push_trace_field(&mut line);
+    line.push('}');
     line
 }
 
@@ -109,7 +235,9 @@ pub(crate) fn end_line(name: &str, id: u64, t_us: u64, dur_us: u64) -> String {
     let mut line = String::with_capacity(96);
     let _ = write!(line, "{{\"ev\":\"E\",\"id\":{id},\"name\":");
     escape_into(&mut line, name);
-    let _ = write!(line, ",\"t_us\":{t_us},\"dur_us\":{dur_us}}}");
+    let _ = write!(line, ",\"t_us\":{t_us},\"dur_us\":{dur_us}");
+    push_trace_field(&mut line);
+    line.push('}');
     line
 }
 
@@ -125,7 +253,9 @@ pub(crate) fn complete_line(
     let mut line = String::with_capacity(96);
     let _ = write!(line, "{{\"ev\":\"X\",\"id\":{id},\"parent\":{parent},\"name\":");
     escape_into(&mut line, name);
-    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us},\"dur_us\":{dur_us}}}");
+    let _ = write!(line, ",\"thread\":{thread},\"t_us\":{t_us},\"dur_us\":{dur_us}");
+    push_trace_field(&mut line);
+    line.push('}');
     line
 }
 
@@ -177,6 +307,9 @@ pub struct TraceEvent {
     pub t_us: u64,
     /// Duration in microseconds (end/complete events).
     pub dur_us: u64,
+    /// 32-hex-digit request trace id, when the span ran under an installed
+    /// [`TraceCtx`] (absent on events from untraced work and legacy traces).
+    pub trace: Option<String>,
 }
 
 /// Trace event kinds.
@@ -231,6 +364,11 @@ impl TraceEvent {
             thread: get_int("thread").unwrap_or(0),
             t_us: get_int("t_us").ok_or("missing t_us")?,
             dur_us: get_int("dur_us").unwrap_or(0),
+            trace: fields
+                .iter()
+                .find(|(k, _)| k == "trace")
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string),
         })
     }
 }
@@ -263,5 +401,64 @@ mod tests {
         assert!(TraceEvent::parse_line("not json").is_err());
         assert!(TraceEvent::parse_line(r#"{"ev":"Z","id":1,"t_us":0}"#).is_err());
         assert!(TraceEvent::parse_line(r#"{"ev":"B","t_us":0,"name":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn traceparent_round_trips() {
+        let ctx = TraceCtx::generate();
+        assert_ne!(ctx.trace_id, 0);
+        let header = ctx.traceparent();
+        assert_eq!(TraceCtx::parse_traceparent(&header), Some(ctx));
+        assert_eq!(ctx.trace_id_hex().len(), 32);
+        assert!(header.starts_with("00-"));
+
+        let parsed = TraceCtx::parse_traceparent(
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        )
+        .unwrap();
+        assert_eq!(parsed.trace_id, 0x0af7_6519_16cd_43dd_8448_eb21_1c80_319c);
+        assert_eq!(parsed.span_id, 0xb7ad_6b71_6920_3331);
+    }
+
+    #[test]
+    fn traceparent_rejects_malformed_headers() {
+        for bad in [
+            "",
+            "00-short-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+            "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad version
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333x-01", // bad span hex
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+        ] {
+            assert_eq!(TraceCtx::parse_traceparent(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn generated_contexts_differ() {
+        let a = TraceCtx::generate();
+        let b = TraceCtx::generate();
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+
+    #[test]
+    fn install_trace_stamps_events_and_nests() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceCtx { trace_id: 0xabc, span_id: 7 };
+        let guard = install_trace(outer);
+        let line = begin_line("serve.request", 1, 0, 1, 10);
+        let ev = TraceEvent::parse_line(&line).unwrap();
+        assert_eq!(ev.trace.as_deref(), Some(outer.trace_id_hex().as_str()));
+        {
+            let inner = TraceCtx { trace_id: 0xdef, span_id: 9 };
+            let _inner_guard = install_trace(inner);
+            assert_eq!(current_trace(), Some(inner));
+        }
+        assert_eq!(current_trace(), Some(outer));
+        drop(guard);
+        assert_eq!(current_trace(), None);
+        let ev = TraceEvent::parse_line(&begin_line("serve.request", 2, 0, 1, 10)).unwrap();
+        assert_eq!(ev.trace, None);
     }
 }
