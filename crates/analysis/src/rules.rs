@@ -592,6 +592,20 @@ mod tests {
     }
 
     #[test]
+    fn cohort_batching_names_are_registered_and_near_misses_are_flagged() {
+        // The cross-request DDIM batching series ship in the registry, so the
+        // scheduler and sampler may reference them literally.
+        let ok = "fn f(tel: &Telemetry) {\n    tel.histogram(\"diffusion.batch.width\").observe(4);\n    tel.histogram(\"diffusion.batch.cohort_lanes\").observe(4);\n    tel.counter(\"diffusion.batch.cohorts\").inc();\n    tel.counter(\"diffusion.batch.shared_forwards\").inc();\n    tel.counter(\"diffusion.batch.lane_steps\").inc();\n    tel.counter(\"diffusion.batch.evictions\").inc();\n}\n";
+        assert!(run("crates/runtime/src/runtime.rs", ok).diagnostics.is_empty());
+        // A plausible misspelling must not slip through as a new series.
+        let near_miss = "fn f(tel: &Telemetry) {\n    tel.histogram(\"diffusion.batch.widths\").observe(4);\n}\n";
+        let f = run("crates/runtime/src/runtime.rs", near_miss);
+        assert_eq!(f.diagnostics.len(), 1, "{:?}", f.diagnostics);
+        assert_eq!(f.diagnostics[0].rule, "telemetry-names");
+        assert!(f.diagnostics[0].message.contains("diffusion.batch.widths"));
+    }
+
+    #[test]
     fn dynamic_telemetry_names_are_invisible_to_the_rule() {
         let src = "fn f(tel: &Telemetry, w: usize) {\n    tel.gauge(&format!(\"runtime.worker.{w}.busy_us\")).set(1);\n}\n";
         assert!(run("crates/runtime/src/runtime.rs", src).diagnostics.is_empty());

@@ -23,6 +23,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-cap",
     "--retries",
     "--batch",
+    "--batch-width",
     "--trace",
     "--metrics",
     "--log-level",

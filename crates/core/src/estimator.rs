@@ -1,11 +1,11 @@
 //! The end-to-end DCDiff estimator.
 
-use dcdiff_diffusion::{DdimSampler, Fmpp, NoiseSchedule};
+use dcdiff_diffusion::{BatchLane, BatchedDdimSampler, DdimSampler, Fmpp, NoiseSchedule};
 use dcdiff_image::Image;
 use dcdiff_jpeg::{ChromaSampling, CoeffImage, DcDropMode};
 use dcdiff_tensor::optim::Adam;
 use dcdiff_tensor::serial::{Checkpoint, CheckpointError};
-use dcdiff_tensor::{seeded_rng, Rng, Tensor};
+use dcdiff_tensor::{no_grad, seeded_rng, Rng, Tensor};
 use rand::Rng as _;
 
 use std::time::Instant;
@@ -98,6 +98,90 @@ impl RecoverOptions {
             seed: 0,
         }
     }
+}
+
+/// One lane of a [`DcDiff::try_recover_batch`] cohort: the dropped stream
+/// plus the per-job identity that keeps batched results composition-
+/// independent (seed) and observable (trace).
+#[derive(Debug)]
+pub struct BatchRecoverJob<'a> {
+    /// The DC-dropped coefficient stream to recover.
+    pub dropped: &'a CoeffImage,
+    /// Per-lane sampling seed. Derive it from the stream with
+    /// [`content_seed`] so the output depends only on the input, never on
+    /// cohort width or position.
+    pub seed: u64,
+    /// Optional per-lane cooperative deadline; expiry evicts this lane
+    /// without aborting the cohort.
+    pub deadline: Option<Instant>,
+    /// Trace context this lane's spans are attributed to.
+    pub trace: Option<dcdiff_telemetry::TraceCtx>,
+}
+
+impl<'a> BatchRecoverJob<'a> {
+    /// A lane seeded from the stream's own content, with no deadline.
+    pub fn new(dropped: &'a CoeffImage) -> Self {
+        Self {
+            dropped,
+            seed: content_seed(dropped),
+            deadline: None,
+            trace: None,
+        }
+    }
+}
+
+/// Deterministic sampling seed derived from the coefficient stream itself
+/// (FNV-1a over dimensions and every quantised coefficient).
+///
+/// Seeding from job identity rather than a shared counter is what makes
+/// recovery results reproducible across cohort compositions: the same
+/// stream recovers to the same image whether it runs alone, in a width-8
+/// cohort, or sequentially.
+pub fn content_seed(dropped: &CoeffImage) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(dropped.width() as u64);
+    mix(dropped.height() as u64);
+    mix(dropped.channels() as u64);
+    for c in 0..dropped.channels() {
+        let plane = dropped.plane(c);
+        for by in 0..plane.blocks_y() {
+            for bx in 0..plane.blocks_x() {
+                for &v in plane.block(bx, by) {
+                    mix(v as i64 as u64);
+                }
+            }
+        }
+    }
+    hash
+}
+
+/// Stack per-lane `[1, …]` tensors along the batch dimension.
+fn stack_rows(parts: &[Tensor]) -> Tensor {
+    let mut shape = parts[0].shape().to_vec();
+    let per: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(per * parts.len());
+    for part in parts {
+        data.extend_from_slice(&part.to_vec());
+    }
+    shape[0] = parts.len();
+    Tensor::from_vec(shape, data)
+}
+
+/// Select `rows` (ascending batch indices) out of a stacked tensor.
+fn select_rows(stacked: &Tensor, rows: &[usize]) -> Tensor {
+    let mut shape = stacked.shape().to_vec();
+    let per: usize = shape.iter().skip(1).product();
+    let data = stacked.to_vec();
+    let mut sel = Vec::with_capacity(per * rows.len());
+    for &r in rows {
+        sel.extend_from_slice(&data[r * per..(r + 1) * per]);
+    }
+    shape[0] = rows.len();
+    Tensor::from_vec(shape, sel)
 }
 
 /// Summary of a training run (loss trajectories for diagnostics).
@@ -429,6 +513,10 @@ impl DcDiff {
             _ => Ok(()),
         };
         check("start")?;
+        // Inference-only pass: suppress the autograd tape so conv/GEMM work
+        // buffers recycle through the kernel scratch pool instead of being
+        // saved for a backward that never runs.
+        no_grad(|| {
         // Phase spans go to the process-wide telemetry handle (see
         // `dcdiff_telemetry::install`); without an installed trace they are
         // inert branches.
@@ -495,6 +583,267 @@ impl DcDiff {
         let generated = tensor_to_image(&x_hat).crop_to(w, h);
         drop(decode_span);
 
+        if !options.use_projection {
+            return Ok(generated);
+        }
+        check("projection")?;
+        let projection_span = tel.span(names::SPAN_RECOVER_PROJECTION);
+        let projected = project_dc(dropped, &generated);
+        drop(projection_span);
+        if !options.use_mld {
+            return Ok(projected.to_image());
+        }
+        check("mld_refine")?;
+        let _mld_span = tel.span(names::SPAN_RECOVER_MLD_REFINE);
+        let refined = refine_dc_offsets(
+            dropped,
+            &projected,
+            options.mask_threshold,
+            self.config.prior_weight,
+            self.config.refine_sweeps,
+        );
+        Ok(refined.to_image())
+        })
+    }
+
+    /// Recover a whole cohort of DC-dropped streams with **shared U-Net
+    /// forwards**: lanes with the same padded canvas advance through the
+    /// DDIM chain in lock-step via [`BatchedDdimSampler`], one forward per
+    /// step for the group, and the FMPP / control / stage-1 decode passes
+    /// are batched the same way.
+    ///
+    /// Per-lane identity is preserved: each lane samples from its own RNG
+    /// seeded with [`BatchRecoverJob::seed`] (use [`content_seed`] to derive
+    /// it from the stream itself), so a lane's output is bit-identical to a
+    /// sequential [`DcDiff::try_recover_with`] call with the same seed,
+    /// regardless of which other lanes share the cohort. Deadlines stay
+    /// per-lane and cooperative: an expired lane is evicted from the cohort
+    /// (its slot resolves to [`EstimateError::DeadlineExceeded`]) while the
+    /// remaining lanes keep stepping. A panic anywhere in the model stack
+    /// resolves every lane to [`EstimateError::Panicked`].
+    ///
+    /// `options.seed` is ignored in this entry point; seeding is per-lane.
+    pub fn try_recover_batch(
+        &self,
+        jobs: &[BatchRecoverJob<'_>],
+        options: &RecoverOptions,
+    ) -> Vec<Result<Image, EstimateError>> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.recover_batch_deadline(jobs, options)
+        }))
+        .unwrap_or_else(|payload| {
+            let err = EstimateError::panicked(payload);
+            jobs.iter().map(|_| Err(err.clone())).collect()
+        })
+    }
+
+    fn recover_batch_deadline(
+        &self,
+        jobs: &[BatchRecoverJob<'_>],
+        options: &RecoverOptions,
+    ) -> Vec<Result<Image, EstimateError>> {
+        let mut out: Vec<Option<Result<Image, EstimateError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        // Lanes can only share a forward when their padded canvases agree;
+        // group by canvas and run each group as one cohort.
+        let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let pw = job.dropped.width().div_ceil(16) * 16;
+            let ph = job.dropped.height().div_ceil(16) * 16;
+            match groups.iter_mut().find(|(canvas, _)| *canvas == (pw, ph)) {
+                Some((_, members)) => members.push(i),
+                None => groups.push(((pw, ph), vec![i])),
+            }
+        }
+        for ((pw, ph), members) in groups {
+            self.recover_group(jobs, &members, (pw, ph), options, &mut out);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every lane resolves"))
+            .collect()
+    }
+
+    /// Run one same-canvas cohort; fills `out[i]` for every `i` in
+    /// `members`.
+    fn recover_group(
+        &self,
+        jobs: &[BatchRecoverJob<'_>],
+        members: &[usize],
+        (pw, ph): (usize, usize),
+        options: &RecoverOptions,
+        out: &mut [Option<Result<Image, EstimateError>>],
+    ) {
+        // Inference-only pass; see `recover_deadline` for why the tape is
+        // suppressed. At cohort widths the saved im2col buffers would be
+        // K× larger still, so recycling them matters even more here.
+        no_grad(|| {
+        let tel = dcdiff_telemetry::global();
+        let check = |i: usize, phase: &'static str| match jobs[i].deadline {
+            Some(d) if Instant::now() >= d => Err(EstimateError::DeadlineExceeded { phase }),
+            _ => Ok(()),
+        };
+        // Attribute a shared-phase span to one lane's trace.
+        let lane_span = |i: usize, name: &'static str, start: Instant, end: Instant| {
+            let _attributed = jobs[i].trace.map(dcdiff_telemetry::install_trace);
+            tel.record_span(name, start, end);
+        };
+
+        // Ingest: decode each lane's x̃ and pad it to the group canvas.
+        let mut live: Vec<usize> = Vec::new();
+        let mut x_tildes: Vec<Tensor> = Vec::new();
+        let mut dims: Vec<(usize, usize)> = Vec::new();
+        for &i in members {
+            if let Err(e) = check(i, "start") {
+                out[i] = Some(Err(e));
+                continue;
+            }
+            let x_tilde_img = jobs[i].dropped.to_image();
+            let (w, h) = x_tilde_img.dims();
+            let padded = if (pw, ph) == (w, h) {
+                x_tilde_img.clone()
+            } else {
+                Image::from_planes(
+                    x_tilde_img
+                        .planes()
+                        .iter()
+                        .map(|p| p.crop_clamped(0, 0, pw, ph))
+                        .collect(),
+                    x_tilde_img.color_space(),
+                )
+                .expect("padded planes share dimensions")
+            };
+            x_tildes.push(image_to_tensor(&padded));
+            dims.push((w, h));
+            live.push(i);
+        }
+        if live.is_empty() {
+            return;
+        }
+        let k = live.len();
+
+        // FreeU scales, one batched FMPP forward for the group.
+        let fmpp_start = Instant::now();
+        let x_stack = stack_rows(&x_tildes);
+        let (s_all, b_all) = if options.use_fmpp {
+            self.fmpp.predict(&x_stack)
+        } else {
+            (Tensor::full(vec![k], 1.0), Tensor::full(vec![k], 1.0))
+        };
+        let s_all = s_all.detach();
+        let b_all = b_all.detach();
+        let fmpp_end = Instant::now();
+        for &i in &live {
+            lane_span(i, names::SPAN_RECOVER_FMPP, fmpp_start, fmpp_end);
+        }
+
+        // Control features, batched over the group.
+        let sample_start = Instant::now();
+        let cond = Stage2::condition_from(&x_stack).detach();
+        let control_all: Vec<Tensor> = self
+            .stage2
+            .control_features(&cond)
+            .iter()
+            .map(Tensor::detach)
+            .collect();
+
+        // Step-synchronized DDIM over the cohort. The conditioning rows are
+        // re-selected only when the active set changes (lane eviction).
+        let sampler = BatchedDdimSampler::new(self.stage2.schedule().clone(), options.ddim_steps);
+        let mut lanes: Vec<BatchLane> = live
+            .iter()
+            .map(|&i| {
+                let lane = BatchLane::new(seeded_rng(jobs[i].seed));
+                match jobs[i].trace {
+                    Some(trace) => lane.with_trace(trace),
+                    None => lane,
+                }
+            })
+            .collect();
+        let latent_shape = [1, self.config.latent_channels, ph / 8, pw / 8];
+        let mut selected: Option<(Vec<usize>, Vec<Tensor>, Tensor, Tensor)> = None;
+        let sampled = sampler.try_sample_cohort::<EstimateError>(
+            &latent_shape,
+            &mut lanes,
+            |z_t, t, active| {
+                let stale = selected
+                    .as_ref()
+                    .is_none_or(|(rows, ..)| rows.as_slice() != active);
+                if stale {
+                    let ctrl: Vec<Tensor> =
+                        control_all.iter().map(|c| select_rows(c, active)).collect();
+                    let s = select_rows(&s_all, active);
+                    let b = select_rows(&b_all, active);
+                    selected = Some((active.to_vec(), ctrl, s, b));
+                }
+                let (_, ctrl, s, b) = selected.as_ref().expect("selected just populated");
+                Ok(self
+                    .stage2
+                    .predict_noise(z_t, &vec![t; active.len()], ctrl, Some((s, b))))
+            },
+            |lane, _t| check(live[lane], "ddim"),
+        );
+        let sample_end = Instant::now();
+        for &i in &live {
+            lane_span(i, names::SPAN_RECOVER_SAMPLE, sample_start, sample_end);
+        }
+
+        // Batched stage-1 decode of the surviving lanes.
+        let decode_start = Instant::now();
+        let mut survivors: Vec<usize> = Vec::new(); // rows into `live`
+        let mut z_parts: Vec<Tensor> = Vec::new();
+        for (row, result) in sampled.iter().enumerate() {
+            match result {
+                Err(e) => out[live[row]] = Some(Err(e.clone())),
+                Ok(z) => match check(live[row], "decode") {
+                    Err(e) => out[live[row]] = Some(Err(e)),
+                    Ok(()) => {
+                        survivors.push(row);
+                        z_parts.push(z.scale(self.latent_scale));
+                    }
+                },
+            }
+        }
+        if survivors.is_empty() {
+            return;
+        }
+        let xt_parts: Vec<Tensor> = survivors.iter().map(|&r| x_tildes[r].clone()).collect();
+        let x_hat = self
+            .stage1
+            .decode(&stack_rows(&z_parts), &stack_rows(&xt_parts))
+            .detach();
+        let decode_end = Instant::now();
+        let x_hat_data = x_hat.to_vec();
+        let mut row_shape = x_hat.shape().to_vec();
+        row_shape[0] = 1;
+        let per: usize = row_shape.iter().product();
+
+        // Per-lane tail: crop, DC projection, masked-Laplacian refinement.
+        for (j, &row) in survivors.iter().enumerate() {
+            let i = live[row];
+            lane_span(i, names::SPAN_RECOVER_DECODE, decode_start, decode_end);
+            let lane_hat = Tensor::from_vec(
+                row_shape.clone(),
+                x_hat_data[j * per..(j + 1) * per].to_vec(),
+            );
+            let (w, h) = dims[row];
+            let generated = tensor_to_image(&lane_hat).crop_to(w, h);
+            out[i] = Some(self.finish_lane(jobs[i].dropped, generated, options, |phase| {
+                check(i, phase)
+            }));
+        }
+        })
+    }
+
+    /// The per-lane post-sampling pipeline, identical to the tail of
+    /// [`DcDiff::recover_deadline`].
+    fn finish_lane(
+        &self,
+        dropped: &CoeffImage,
+        generated: Image,
+        options: &RecoverOptions,
+        check: impl Fn(&'static str) -> Result<(), EstimateError>,
+    ) -> Result<Image, EstimateError> {
+        let tel = dcdiff_telemetry::global();
         if !options.use_projection {
             return Ok(generated);
         }
@@ -636,6 +985,108 @@ mod tests {
         );
         assert!(full.mean_abs_diff(&no_mld) > 1e-4);
         assert!(full.mean_abs_diff(&no_proj) > 1e-4);
+    }
+
+    fn dropped_scene(seed: u64, size: usize) -> CoeffImage {
+        let img = SceneGenerator::new(SceneKind::Natural, size, size).generate(seed);
+        CoeffImage::from_image(&img, 50, ChromaSampling::Cs444).drop_dc(DcDropMode::KeepCorners)
+    }
+
+    #[test]
+    fn content_seed_is_stable_and_content_sensitive() {
+        let a = dropped_scene(1, 32);
+        let b = dropped_scene(1, 32);
+        let c = dropped_scene(2, 32);
+        assert_eq!(content_seed(&a), content_seed(&b), "same content, same seed");
+        assert_ne!(content_seed(&a), content_seed(&c), "different content");
+    }
+
+    // Satellite: per-sample RNG streams seeded from job identity make a
+    // sample's output identical at cohort widths 1, 2 and 8 — and equal to
+    // the sequential path with the same seed.
+    #[test]
+    fn batched_recovery_is_bit_identical_across_cohort_widths() {
+        let system = DcDiff::new(tiny_config(), 0);
+        let mut opts = RecoverOptions::from_config(system.config());
+        opts.ddim_steps = 3;
+        let probe = dropped_scene(11, 32);
+        let others: Vec<CoeffImage> = (0..7).map(|s| dropped_scene(100 + s, 32)).collect();
+
+        let run_at_width = |width: usize| -> Image {
+            let mut jobs = vec![BatchRecoverJob::new(&probe)];
+            for other in others.iter().take(width - 1) {
+                jobs.push(BatchRecoverJob::new(other));
+            }
+            let mut results = system.try_recover_batch(&jobs, &opts);
+            results.swap_remove(0).expect("no deadline, no panic")
+        };
+
+        let w1 = run_at_width(1);
+        let w2 = run_at_width(2);
+        let w8 = run_at_width(8);
+        assert_eq!(w1.mean_abs_diff(&w2), 0.0, "width 1 vs 2 must be bit-identical");
+        assert_eq!(w1.mean_abs_diff(&w8), 0.0, "width 1 vs 8 must be bit-identical");
+
+        let seq_opts = RecoverOptions {
+            seed: content_seed(&probe),
+            ..opts
+        };
+        let sequential = system
+            .try_recover_with(&probe, &seq_opts, None)
+            .expect("no deadline, no panic");
+        assert_eq!(
+            w1.mean_abs_diff(&sequential),
+            0.0,
+            "cohort lane must match the sequential sampler bit-exactly"
+        );
+    }
+
+    #[test]
+    fn batched_recovery_mixed_canvas_sizes_resolve_every_lane() {
+        let system = DcDiff::new(tiny_config(), 1);
+        let mut opts = RecoverOptions::from_config(system.config());
+        opts.ddim_steps = 2;
+        let small = dropped_scene(3, 32);
+        let large = dropped_scene(4, 48);
+        let jobs = vec![
+            BatchRecoverJob::new(&small),
+            BatchRecoverJob::new(&large),
+            BatchRecoverJob::new(&small),
+        ];
+        let results = system.try_recover_batch(&jobs, &opts);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().expect("lane 0").dims(), (32, 32));
+        assert_eq!(results[1].as_ref().expect("lane 1").dims(), (48, 48));
+        assert_eq!(results[2].as_ref().expect("lane 2").dims(), (32, 32));
+        // Identical inputs in the same cohort produce identical outputs.
+        let r0 = results[0].as_ref().expect("lane 0");
+        let r2 = results[2].as_ref().expect("lane 2");
+        assert_eq!(r0.mean_abs_diff(r2), 0.0);
+    }
+
+    #[test]
+    fn batched_recovery_expired_lane_is_evicted_without_aborting_cohort() {
+        let system = DcDiff::new(tiny_config(), 2);
+        let mut opts = RecoverOptions::from_config(system.config());
+        opts.ddim_steps = 2;
+        let a = dropped_scene(5, 32);
+        let b = dropped_scene(6, 32);
+        let jobs = vec![
+            BatchRecoverJob {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..BatchRecoverJob::new(&a)
+            },
+            BatchRecoverJob::new(&b),
+        ];
+        let results = system.try_recover_batch(&jobs, &opts);
+        assert_eq!(
+            results[0],
+            Err(EstimateError::DeadlineExceeded { phase: "start" })
+        );
+        let survivor = results[1].as_ref().expect("lane 1 survives");
+        // The survivor is unaffected by its cohort-mate's eviction.
+        let solo = system.try_recover_batch(&[BatchRecoverJob::new(&b)], &opts);
+        assert_eq!(survivor.mean_abs_diff(solo[0].as_ref().expect("solo")), 0.0);
     }
 
     #[test]

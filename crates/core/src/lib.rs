@@ -64,7 +64,9 @@ mod stage1;
 mod stage2;
 
 pub use discriminator::PatchDiscriminator;
-pub use estimator::{DcDiff, DcDiffConfig, RecoverOptions, TrainBudget, TrainReport};
+pub use estimator::{
+    content_seed, BatchRecoverJob, DcDiff, DcDiffConfig, RecoverOptions, TrainBudget, TrainReport,
+};
 pub use fallback::{
     BreakerState, CircuitBreaker, EstimateError, FallbackEstimator, LadderOutcome, RecoveryTier,
 };

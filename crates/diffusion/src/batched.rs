@@ -1,0 +1,443 @@
+//! Step-synchronized batched DDIM sampling: K in-flight samples share one
+//! U-Net forward per step.
+//!
+//! The sequential [`DdimSampler`](crate::DdimSampler) issues one noise
+//! prediction per sample per step; when several recover jobs with the same
+//! `(method, ddim_steps)` config are in flight, their step schedules are
+//! identical, so their latents can be stacked along the batch dimension and
+//! the whole cohort advanced with a single forward per step. The conv2d
+//! kernels already batch all N samples' im2col rows into one GEMM, so a
+//! width-K forward amortises packing, dispatch and fringe overhead that K
+//! width-1 forwards each pay in full.
+//!
+//! Invariants the sampler maintains:
+//!
+//! * **Bit-identity per lane.** Each lane draws its initial noise from its
+//!   own [`Rng`] and its per-step update (`ẑ_0` projection, DDIM move) is
+//!   computed on the lane's own `[1, …]` tensors, in the same operation
+//!   order as the sequential sampler. Provided the batched noise predictor
+//!   returns, row for row, exactly what the width-1 predictor returns (the
+//!   `dcdiff-nn` kernels guarantee this; see the batch-consistency tests
+//!   there), a lane's output is bit-identical regardless of cohort
+//!   composition.
+//! * **Cooperative per-lane eviction.** Before each step the `gate`
+//!   callback may evict a lane (deadline expiry); the lane's slot resolves
+//!   to `Err` and the cohort continues narrower, re-stacking only the
+//!   surviving lanes. An `Err` from the shared predictor itself is
+//!   cohort-fatal: every still-active lane resolves to a clone of it.
+//! * **Observability.** Each shared forward records the active width on the
+//!   `diffusion.batch.width` histogram and bumps the
+//!   `diffusion.batch.{shared_forwards,lane_steps}` counters; evictions bump
+//!   `diffusion.batch.evictions`. Per lane and per step, a complete
+//!   `recover.ddim_step` span is written with the lane's trace context
+//!   installed, so request traces keep linking `serve.request` → per-step
+//!   spans even when steps are shared.
+
+use std::time::Instant;
+
+use dcdiff_telemetry::{names, TraceCtx};
+use dcdiff_tensor::{Rng, Tensor};
+
+use crate::NoiseSchedule;
+
+/// One sample's private state inside a cohort: its RNG stream and the
+/// trace context its per-step spans should be attributed to.
+#[derive(Debug)]
+pub struct BatchLane {
+    /// Per-lane RNG; seeding it from the job's identity (not its cohort
+    /// position) is what makes results composition-independent.
+    pub rng: Rng,
+    /// Trace context installed while writing this lane's step spans.
+    pub trace: Option<TraceCtx>,
+}
+
+impl BatchLane {
+    /// A lane with no trace attribution.
+    pub fn new(rng: Rng) -> Self {
+        Self { rng, trace: None }
+    }
+
+    /// Attribute this lane's per-step spans to `trace`.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// Deterministic DDIM sampler advancing a cohort of K samples in lock-step,
+/// one shared noise-predictor forward per step.
+///
+/// # Example
+///
+/// ```
+/// use dcdiff_diffusion::{BatchLane, BatchedDdimSampler, DdimSampler, NoiseSchedule};
+/// use dcdiff_tensor::{seeded_rng, Tensor};
+///
+/// let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+/// let seq = DdimSampler::new(schedule.clone(), 5);
+/// let batched = BatchedDdimSampler::new(schedule, 5);
+///
+/// // A toy predictor that is trivially row-independent.
+/// let mut lanes = vec![
+///     BatchLane::new(seeded_rng(7)),
+///     BatchLane::new(seeded_rng(8)),
+/// ];
+/// let out = batched.try_sample_cohort::<()>(
+///     &[1, 1, 2, 2],
+///     &mut lanes,
+///     |z, _t, _active| Ok(z.scale(0.1)),
+///     |_lane, _t| Ok(()),
+/// );
+///
+/// // Lane 0 matches a sequential run with the same seed.
+/// let mut rng = seeded_rng(7);
+/// let solo = seq.sample(&[1, 1, 2, 2], &mut rng, |z, _| z.scale(0.1));
+/// let batch0 = out[0].as_ref().unwrap();
+/// assert_eq!(solo.to_vec(), batch0.to_vec());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedDdimSampler {
+    schedule: NoiseSchedule,
+    steps: usize,
+}
+
+impl BatchedDdimSampler {
+    /// Create a sampler taking `steps` DDIM steps over `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or exceeds the schedule length.
+    pub fn new(schedule: NoiseSchedule, steps: usize) -> Self {
+        assert!(
+            steps > 0 && steps <= schedule.steps(),
+            "ddim steps must be in 1..=T"
+        );
+        Self { schedule, steps }
+    }
+
+    /// The underlying noise schedule.
+    pub fn schedule(&self) -> &NoiseSchedule {
+        &self.schedule
+    }
+
+    /// Number of DDIM steps taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The descending subsequence of timesteps the cohort visits — the same
+    /// schedule as [`DdimSampler::timesteps`](crate::DdimSampler::timesteps)
+    /// for the same step count, which is what makes lock-step batching
+    /// possible at all.
+    pub fn timesteps(&self) -> Vec<usize> {
+        let t_max = self.schedule.steps();
+        let mut ts: Vec<usize> = (0..self.steps).map(|i| i * t_max / self.steps).collect();
+        ts.dedup();
+        ts.reverse();
+        ts
+    }
+
+    /// Run the reverse process for a whole cohort, one shared forward per
+    /// step.
+    ///
+    /// `sample_shape` is the **per-lane** latent shape with a leading batch
+    /// dimension of 1 (e.g. `[1, c, h, w]`), exactly what the sequential
+    /// sampler would be given. `eps_fn(z, t, active)` receives the stacked
+    /// latents `[k, c, h, w]` of the `k` currently active lanes plus their
+    /// lane indices (ascending), and must return predicted noise of the
+    /// same stacked shape; row `r` corresponds to lane `active[r]`.
+    /// `gate(lane, t)` is consulted per lane before every step: an `Err`
+    /// evicts that lane (its slot resolves to the error) while the rest of
+    /// the cohort continues.
+    ///
+    /// Returns one `Result` per input lane, in lane order. An `Err` from
+    /// `eps_fn` is cohort-fatal: all lanes still active at that step resolve
+    /// to a clone of the error (`E: Clone` exists for exactly this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty or `sample_shape` does not lead with a
+    /// batch dimension of 1.
+    pub fn try_sample_cohort<E: Clone>(
+        &self,
+        sample_shape: &[usize],
+        lanes: &mut [BatchLane],
+        mut eps_fn: impl FnMut(&Tensor, usize, &[usize]) -> Result<Tensor, E>,
+        mut gate: impl FnMut(usize, usize) -> Result<(), E>,
+    ) -> Vec<Result<Tensor, E>> {
+        let k = lanes.len();
+        assert!(k > 0, "cohort must have at least one lane");
+        assert_eq!(
+            sample_shape.first().copied(),
+            Some(1),
+            "sample_shape is per-lane and must lead with a batch dim of 1"
+        );
+        let per: usize = sample_shape.iter().product();
+        let ts = self.timesteps();
+        let tel = dcdiff_telemetry::global();
+        tel.counter(names::CTR_DIFFUSION_BATCH_COHORTS).add(1);
+        tel.histogram(names::HIST_DIFFUSION_BATCH_COHORT_LANES)
+            .record(k as u64);
+
+        // Each lane's initial noise comes from its own stream, so the draw
+        // is independent of cohort width and position.
+        let mut latents: Vec<Tensor> = lanes
+            .iter_mut()
+            .map(|lane| Tensor::randn(sample_shape.to_vec(), 1.0, &mut lane.rng))
+            .collect();
+        let mut out: Vec<Option<Result<Tensor, E>>> = (0..k).map(|_| None).collect();
+
+        for (i, &t) in ts.iter().enumerate() {
+            for (lane, slot) in out.iter_mut().enumerate() {
+                if slot.is_none() {
+                    if let Err(e) = gate(lane, t) {
+                        *slot = Some(Err(e));
+                        tel.counter(names::CTR_DIFFUSION_BATCH_EVICTIONS).add(1);
+                    }
+                }
+            }
+            let active: Vec<usize> = (0..k).filter(|&l| out[l].is_none()).collect();
+            if active.is_empty() {
+                break;
+            }
+
+            let step_start = Instant::now();
+            let mut stacked_data = Vec::with_capacity(per * active.len());
+            for &l in &active {
+                stacked_data.extend_from_slice(&latents[l].to_vec());
+            }
+            let mut stacked_shape = sample_shape.to_vec();
+            stacked_shape[0] = active.len();
+            let stacked = Tensor::from_vec(stacked_shape, stacked_data);
+
+            tel.histogram(names::HIST_DIFFUSION_BATCH_WIDTH)
+                .record(active.len() as u64);
+            tel.counter(names::CTR_DIFFUSION_BATCH_SHARED_FORWARDS).add(1);
+            tel.counter(names::CTR_DIFFUSION_BATCH_LANE_STEPS)
+                .add(active.len() as u64);
+
+            let eps_all = match eps_fn(&stacked, t, &active) {
+                Ok(e) => e.detach(),
+                Err(e) => {
+                    // Predictor failure is cohort-fatal: no lane can take
+                    // this step, so all active lanes see the same error.
+                    for &l in &active {
+                        out[l] = Some(Err(e.clone()));
+                    }
+                    break;
+                }
+            };
+            let eps_data = eps_all.to_vec();
+
+            for (row, &l) in active.iter().enumerate() {
+                // Per-lane math on [1, …] tensors in the exact operation
+                // order of DdimSampler::try_sample, for bit-identity.
+                let eps = Tensor::from_vec(
+                    sample_shape.to_vec(),
+                    eps_data[row * per..(row + 1) * per].to_vec(),
+                );
+                let z0 = self.schedule.predict_z0(&latents[l], t, &eps);
+                let next = if i + 1 < ts.len() {
+                    let ab_prev = self.schedule.alpha_bar(ts[i + 1]);
+                    z0.scale(ab_prev.sqrt())
+                        .add(&eps.scale((1.0 - ab_prev).sqrt()))
+                        .detach()
+                } else {
+                    z0.detach()
+                };
+                if i + 1 < ts.len() {
+                    latents[l] = next;
+                } else {
+                    out[l] = Some(Ok(next));
+                }
+            }
+
+            let step_end = Instant::now();
+            for &l in &active {
+                let _attributed = lanes[l].trace.map(dcdiff_telemetry::install_trace);
+                tel.record_span(names::SPAN_RECOVER_DDIM_STEP, step_start, step_end);
+            }
+        }
+
+        out.into_iter()
+            .map(|slot| slot.expect("every lane resolves by the final step"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DdimSampler;
+    use dcdiff_tensor::seeded_rng;
+    use proptest::prelude::*;
+
+    fn sequential(seed: u64, steps: usize, scale: f32) -> Vec<f32> {
+        let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+        let sampler = DdimSampler::new(schedule, steps);
+        let mut rng = seeded_rng(seed);
+        sampler
+            .sample(&[1, 2, 2, 2], &mut rng, |z, _| z.scale(scale))
+            .to_vec()
+    }
+
+    #[test]
+    fn timesteps_match_sequential_sampler() {
+        let schedule = NoiseSchedule::linear(200, 1e-4, 2e-2);
+        for steps in [1, 3, 5, 50, 200] {
+            let seq = DdimSampler::new(schedule.clone(), steps);
+            let bat = BatchedDdimSampler::new(schedule.clone(), steps);
+            assert_eq!(seq.timesteps(), bat.timesteps());
+        }
+    }
+
+    #[test]
+    fn cohort_lanes_match_sequential_bit_exactly() {
+        let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+        let sampler = BatchedDdimSampler::new(schedule, 5);
+        let mut lanes: Vec<BatchLane> =
+            (0..4).map(|s| BatchLane::new(seeded_rng(s as u64))).collect();
+        let out = sampler.try_sample_cohort::<()>(
+            &[1, 2, 2, 2],
+            &mut lanes,
+            |z, _t, _active| Ok(z.scale(0.1)),
+            |_lane, _t| Ok(()),
+        );
+        for (lane, result) in out.iter().enumerate() {
+            let got = result.as_ref().expect("no eviction").to_vec();
+            assert_eq!(got, sequential(lane as u64, 5, 0.1), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn lane_output_is_independent_of_cohort_width() {
+        let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+        let sampler = BatchedDdimSampler::new(schedule, 5);
+        let run_at_width = |width: usize| -> Vec<f32> {
+            // Lane 0 always seeded with 42; fill lanes 1.. with other seeds.
+            let mut lanes: Vec<BatchLane> = (0..width)
+                .map(|l| BatchLane::new(seeded_rng(if l == 0 { 42 } else { 1000 + l as u64 })))
+                .collect();
+            let out = sampler.try_sample_cohort::<()>(
+                &[1, 2, 2, 2],
+                &mut lanes,
+                |z, _t, _active| Ok(z.scale(0.2)),
+                |_lane, _t| Ok(()),
+            );
+            out[0].as_ref().expect("no eviction").to_vec()
+        };
+        let w1 = run_at_width(1);
+        assert_eq!(w1, run_at_width(2));
+        assert_eq!(w1, run_at_width(8));
+        assert_eq!(w1, sequential(42, 5, 0.2));
+    }
+
+    #[test]
+    fn evicted_lane_resolves_to_error_and_cohort_continues() {
+        let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+        let sampler = BatchedDdimSampler::new(schedule, 5);
+        let mut lanes: Vec<BatchLane> =
+            (0..3).map(|s| BatchLane::new(seeded_rng(s as u64))).collect();
+        let mut widths = Vec::new();
+        let out = sampler.try_sample_cohort::<&str>(
+            &[1, 2, 2, 2],
+            &mut lanes,
+            |z, _t, active| {
+                widths.push(active.len());
+                Ok(z.scale(0.1))
+            },
+            |lane, t| {
+                // Evict lane 1 partway through the schedule.
+                if lane == 1 && t < 30 {
+                    Err("deadline blown")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(out[0].is_ok());
+        assert_eq!(out[1].as_ref().unwrap_err(), &"deadline blown");
+        assert!(out[2].is_ok());
+        // The cohort narrowed but never stopped.
+        assert!(widths.contains(&3) && widths.contains(&2), "{widths:?}");
+        // Surviving lanes are unaffected by the eviction.
+        assert_eq!(out[0].as_ref().unwrap().to_vec(), sequential(0, 5, 0.1));
+        assert_eq!(out[2].as_ref().unwrap().to_vec(), sequential(2, 5, 0.1));
+    }
+
+    #[test]
+    fn predictor_error_is_cohort_fatal_for_active_lanes() {
+        let schedule = NoiseSchedule::linear(50, 1e-4, 2e-2);
+        let sampler = BatchedDdimSampler::new(schedule, 5);
+        let mut lanes: Vec<BatchLane> =
+            (0..2).map(|s| BatchLane::new(seeded_rng(s as u64))).collect();
+        let mut calls = 0usize;
+        let out = sampler.try_sample_cohort::<&str>(
+            &[1, 1, 2, 2],
+            &mut lanes,
+            |z, _t, _active| {
+                calls += 1;
+                if calls == 3 {
+                    Err("model exploded")
+                } else {
+                    Ok(z.scale(0.1))
+                }
+            },
+            |_lane, _t| Ok(()),
+        );
+        assert_eq!(calls, 3, "sampling must stop at the failing forward");
+        for r in &out {
+            assert_eq!(r.as_ref().unwrap_err(), &"model exploded");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Satellite: K=1..8 parity with the sequential sampler per lane,
+        // including mid-cohort lane eviction on a fallible epsilon model.
+        #[test]
+        fn cohort_matches_sequential_per_lane(
+            k in 1usize..=8,
+            steps in 1usize..=8,
+            seed0 in 0u64..10_000,
+            evict_lane in 0usize..8,
+            evict_after in 0usize..8,
+            scale_milli in 10u32..400,
+        ) {
+            let scale = scale_milli as f32 / 1000.0;
+            let schedule = NoiseSchedule::linear(40, 1e-4, 2e-2);
+            let sampler = BatchedDdimSampler::new(schedule.clone(), steps);
+            let ts = sampler.timesteps();
+            let evict_lane = evict_lane % k;
+            // The lane is evicted before step index `evict_after` (may be
+            // past the end, i.e. never evicted).
+            let evict_at_t = ts.get(evict_after).copied();
+
+            let mut lanes: Vec<BatchLane> = (0..k)
+                .map(|l| BatchLane::new(seeded_rng(seed0 + l as u64)))
+                .collect();
+            let out = sampler.try_sample_cohort::<&str>(
+                &[1, 1, 3, 2],
+                &mut lanes,
+                |z, _t, _active| Ok(z.scale(scale)),
+                |lane, t| match evict_at_t {
+                    Some(et) if lane == evict_lane && t <= et => Err("evicted"),
+                    _ => Ok(()),
+                },
+            );
+
+            let seq = DdimSampler::new(schedule, steps);
+            for (lane, lane_out) in out.iter().enumerate() {
+                let mut rng = seeded_rng(seed0 + lane as u64);
+                if lane == evict_lane && evict_at_t.is_some() {
+                    prop_assert_eq!(lane_out.as_ref().unwrap_err(), &"evicted");
+                    continue;
+                }
+                let solo = seq.sample(&[1, 1, 3, 2], &mut rng, |z, _| z.scale(scale));
+                let got = lane_out.as_ref().expect("lane survived").to_vec();
+                prop_assert_eq!(got, solo.to_vec(), "lane {} of {}", lane, k);
+            }
+        }
+    }
+}

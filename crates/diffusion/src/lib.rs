@@ -30,10 +30,12 @@
 //! let _sampler = DdimSampler::new(schedule, 10);
 //! ```
 
+mod batched;
 mod ddim;
 mod fmpp;
 mod schedule;
 
+pub use batched::{BatchLane, BatchedDdimSampler};
 pub use ddim::{DdimSampler, DdpmSampler};
 pub use fmpp::Fmpp;
 pub use schedule::NoiseSchedule;

@@ -5,10 +5,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dcdiff_baselines::{DcRecovery, Icip2022, SmartCom2019, Tip2006};
-use dcdiff_core::{refine_dc_offsets, CircuitBreaker, DcDiff, DcDiffConfig, RecoverOptions};
+use dcdiff_core::{
+    content_seed, refine_dc_offsets, BatchRecoverJob, CircuitBreaker, DcDiff, DcDiffConfig,
+    EstimateError, RecoverOptions,
+};
 use dcdiff_image::{read_pgm, read_ppm, write_pgm, write_ppm, Image};
 use dcdiff_jpeg::{
     encode_coefficients, encode_coefficients_optimized, encode_coefficients_with_restarts,
@@ -115,10 +118,13 @@ impl RecoveryPolicy {
 /// sampling conditioned on FMPP features, masked-Laplacian refinement, and
 /// DC projection, wrapped in the same [`DcRecovery`] object shape as the
 /// statistical baselines so batching, caching, and the degradation ladder
-/// treat it uniformly. Built from a fixed seed so batch-served recoveries
-/// are reproducible run to run; per-DDIM-step spans flow through the
-/// process-wide telemetry handle and therefore carry the submitting
-/// request's trace context.
+/// treat it uniformly. Weights come from a fixed construction seed and each
+/// recovery samples under a seed derived from the stream's own content
+/// ([`content_seed`]), so results are reproducible run to run *and*
+/// bit-identical whether a request is served alone or fused into a
+/// cross-request cohort. Per-DDIM-step spans flow through the process-wide
+/// telemetry handle and therefore carry the submitting request's trace
+/// context.
 struct DiffusionEngine {
     model: DcDiff,
     options: RecoverOptions,
@@ -142,11 +148,18 @@ impl DcRecovery for DiffusionEngine {
     }
 
     fn recover(&self, dropped: &CoeffImage) -> Image {
-        self.model.recover_with(dropped, &self.options)
+        // Content-derived seed: the same input pixels regardless of whether
+        // this request runs here or as one lane of a fused cohort.
+        let options = RecoverOptions { seed: content_seed(dropped), ..self.options };
+        self.model.recover_with(dropped, &options)
     }
 
     fn recover_coefficients(&self, dropped: &CoeffImage) -> CoeffImage {
         dcdiff_core::project_dc(dropped, &self.recover(dropped))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -274,21 +287,11 @@ pub fn execute(
             Ok(JobOutput::Transcoded { bytes_in: bytes.len(), bytes_out: out.len() })
         }
         Job::Recover { input, output, method } => {
-            let read = tel.span(names::SPAN_RECOVER_READ);
-            let bytes = read_bytes(input)?;
-            drop(read);
-            let decode = tel.span(names::SPAN_RECOVER_ENTROPY_DECODE);
-            let dropped = JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
-                let mut err = JobError::from_jpeg(&e);
-                err.message = format!("{input}: {}", err.message);
-                err
-            })?;
-            drop(decode);
+            let dropped = decode_recover_input(input, tel)?;
             let estimate = tel.span(names::SPAN_RECOVER_ESTIMATE);
             let image = recover_guarded(&dropped, method, engines, tel)?;
             drop(estimate);
-            let _write = tel.span(names::SPAN_RECOVER_WRITE);
-            write_image(output, &image)?;
+            write_recover_output(output, &image, tel)?;
             Ok(JobOutput::Recovered { output: output.clone() })
         }
         Job::Metrics { reference, test } => {
@@ -312,6 +315,38 @@ pub fn execute(
             })
         }
     }
+}
+
+/// Read and entropy-decode one Recover input, emitting the same
+/// `recover.read` / `recover.entropy_decode` spans as the sequential
+/// [`execute`] path. Shared with the cohort scheduler so per-lane pre-flight
+/// cannot drift from the one-job-at-a-time behaviour.
+///
+/// # Errors
+///
+/// Classified [`JobError`]: truncated streams and interrupted I/O are
+/// transient, everything else permanent.
+pub fn decode_recover_input(input: &str, tel: &Telemetry) -> Result<CoeffImage, JobError> {
+    let read = tel.span(names::SPAN_RECOVER_READ);
+    let bytes = read_bytes(input)?;
+    drop(read);
+    let _decode = tel.span(names::SPAN_RECOVER_ENTROPY_DECODE);
+    JpegDecoder::decode_coefficients(&bytes).map_err(|e| {
+        let mut err = JobError::from_jpeg(&e);
+        err.message = format!("{input}: {}", err.message);
+        err
+    })
+}
+
+/// Write one recovered image under the sequential path's `recover.write`
+/// span (shared with the cohort scheduler, like [`decode_recover_input`]).
+///
+/// # Errors
+///
+/// Classified [`JobError`] from the underlying image write.
+pub fn write_recover_output(output: &str, image: &Image, tel: &Telemetry) -> Result<(), JobError> {
+    let _write = tel.span(names::SPAN_RECOVER_WRITE);
+    write_image(output, image)
 }
 
 /// Recover `dropped` with `method`, reusing a cached engine when one exists.
@@ -423,6 +458,179 @@ pub fn recover_guarded(
     }
 }
 
+/// One lane of a fused Recover cohort: the already-decoded input plus its
+/// serving metadata.
+pub struct CohortLane<'a> {
+    /// DC-dropped coefficients (read and entropy-decoded by the caller).
+    pub dropped: &'a CoeffImage,
+    /// Absolute deadline; expiry mid-flight evicts this lane only.
+    pub deadline: Option<Instant>,
+    /// Submitting request's trace context, re-installed for this lane's
+    /// per-phase spans.
+    pub trace: Option<dcdiff_telemetry::TraceCtx>,
+}
+
+/// Per-lane non-image outcome of [`recover_cohort_guarded`].
+#[derive(Debug)]
+pub enum CohortFailure {
+    /// The lane's deadline expired mid-flight; it was evicted from the
+    /// cohort at the named phase without aborting its batch-mates.
+    Deadline(&'static str),
+    /// With fallback disabled, a primary failure surfaces as a job error.
+    Error(JobError),
+}
+
+/// Run the fused batched primary: one `DcDiff::try_recover_batch` call
+/// covering every lane, with per-lane content seeds so each result is
+/// bit-identical to a width-1 recovery of the same stream.
+fn run_cohort_primary(
+    lanes: &[CohortLane<'_>],
+    method: &RecoverMethod,
+    engines: &mut EngineCache,
+    tel: &Telemetry,
+) -> Vec<Result<Image, EstimateError>> {
+    let jobs: Vec<BatchRecoverJob<'_>> = lanes
+        .iter()
+        .map(|lane| BatchRecoverJob {
+            dropped: lane.dropped,
+            seed: content_seed(lane.dropped),
+            deadline: lane.deadline,
+            trace: lane.trace,
+        })
+        .collect();
+    let start = Instant::now();
+    let results = {
+        let engine = engines
+            .engine(method)
+            // analysis: allow(no-panic) — recover_cohort_guarded probes the downcast before dispatching here
+            .expect("cohort method is object-backed");
+        let diffusion = engine
+            .as_any()
+            .and_then(|any| any.downcast_ref::<DiffusionEngine>())
+            // analysis: allow(no-panic) — same probe guarantees a diffusion-backed engine
+            .expect("cohort engine is diffusion-backed");
+        diffusion.model.try_recover_batch(&jobs, &diffusion.options)
+    };
+    let end = Instant::now();
+    // The estimate phase is physically shared by the cohort; emit one
+    // complete `recover.estimate` span per lane under its own trace so every
+    // request's causal chain still shows the phase.
+    for lane in lanes {
+        let _trace = lane.trace.map(dcdiff_telemetry::install_trace);
+        tel.record_span(names::SPAN_RECOVER_ESTIMATE, start, end);
+    }
+    results
+}
+
+/// The cohort counterpart of [`recover_guarded`]: K same-config Diffusion
+/// lanes share one batched estimate (one U-Net forward per DDIM step for
+/// the whole cohort), then each lane is taken through the sequential
+/// degradation ladder individually — per-lane breaker accounting, TIP-2006
+/// baseline, flat DC — so a single broken lane degrades alone.
+///
+/// Deadline-evicted lanes report [`CohortFailure::Deadline`] rather than
+/// degrading: a blown deadline is the lane's budget running out, not an
+/// engine fault, so it neither trips the breaker nor buys a slower tier the
+/// caller has no time left for.
+///
+/// Returns `None` when `method`'s engine has no fused path (it is not
+/// diffusion-backed); the caller then falls back to per-job
+/// [`recover_guarded`].
+pub fn recover_cohort_guarded(
+    lanes: &[CohortLane<'_>],
+    method: &RecoverMethod,
+    engines: &mut EngineCache,
+    tel: &Telemetry,
+) -> Option<Vec<Result<Image, CohortFailure>>> {
+    // Capability probe: only a diffusion-backed engine can fuse lanes.
+    engines
+        .engine(method)?
+        .as_any()?
+        .downcast_ref::<DiffusionEngine>()?;
+    let policy = engines.policy.clone();
+
+    if !policy.fallback {
+        let primary = run_cohort_primary(lanes, method, engines, tel);
+        return Some(
+            primary
+                .into_iter()
+                .map(|result| match result {
+                    Ok(image) => Ok(image),
+                    Err(EstimateError::DeadlineExceeded { phase }) => {
+                        Err(CohortFailure::Deadline(phase))
+                    }
+                    Err(err) => Err(CohortFailure::Error(JobError::permanent(format!(
+                        "recovery ({}) failed with --no-fallback: {err}",
+                        method.name()
+                    )))),
+                })
+                .collect(),
+        );
+    }
+
+    let mut out: Vec<Option<Result<Image, CohortFailure>>> =
+        lanes.iter().map(|_| None).collect();
+    if policy.breaker.allow() {
+        let primary = run_cohort_primary(lanes, method, engines, tel);
+        for (slot, result) in out.iter_mut().zip(primary) {
+            match result {
+                Ok(image) => {
+                    policy.breaker.record_success();
+                    tel.counter(names::CTR_ESTIMATOR_PRIMARY_OK).inc();
+                    *slot = Some(Ok(image));
+                }
+                Err(EstimateError::DeadlineExceeded { phase }) => {
+                    *slot = Some(Err(CohortFailure::Deadline(phase)));
+                }
+                Err(err) => {
+                    policy.breaker.record_failure();
+                    tel.counter(names::CTR_ESTIMATOR_PRIMARY_FAIL).inc();
+                    tel.warn(format!(
+                        "cohort lane recovery ({}) failed ({err}); degrading to baseline",
+                        method.name()
+                    ));
+                }
+            }
+        }
+    } else {
+        for _ in lanes {
+            tel.counter(names::CTR_ESTIMATOR_BREAKER_SHORT_CIRCUIT).inc();
+        }
+    }
+    tel.gauge(names::GAUGE_BREAKER_STATE).set(policy.breaker.state().as_gauge());
+    // Lanes the primary did not resolve walk the sequential ladder's lower
+    // tiers one by one, under their own trace context.
+    for (lane, slot) in lanes.iter().zip(out.iter_mut()) {
+        if slot.is_some() {
+            continue;
+        }
+        let _trace = lane.trace.map(dcdiff_telemetry::install_trace);
+        let baseline = catch_unwind(AssertUnwindSafe(|| {
+            engines
+                .engine(&RecoverMethod::Tip2006)
+                // analysis: allow(no-panic) — engine() is None only for MLD; this unwind is caught by the enclosing catch_unwind and falls through to the flat tier
+                .expect("tip2006 is object-backed")
+                .recover(lane.dropped)
+        }));
+        *slot = Some(Ok(match baseline {
+            Ok(image) => {
+                tel.counter(names::CTR_ESTIMATOR_FALLBACK_BASELINE).inc();
+                image
+            }
+            Err(_) => {
+                tel.counter(names::CTR_ESTIMATOR_FALLBACK_FLAT).inc();
+                lane.dropped.to_image()
+            }
+        }));
+    }
+    Some(
+        out.into_iter()
+            // analysis: allow(no-panic) — every lane is resolved by the primary match or the ladder loop above
+            .map(|slot| slot.expect("every cohort lane resolves"))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,7 +698,11 @@ mod tests {
     }
 
     fn dropped_coeffs() -> CoeffImage {
-        let image = Image::filled(32, 32, dcdiff_image::ColorSpace::Rgb, 100.0);
+        dropped_coeffs_filled(100.0)
+    }
+
+    fn dropped_coeffs_filled(level: f32) -> CoeffImage {
+        let image = Image::filled(32, 32, dcdiff_image::ColorSpace::Rgb, level);
         JpegEncoder::new(50).to_coefficients(&image).drop_dc(DcDropMode::KeepCorners)
     }
 
@@ -587,6 +799,89 @@ mod tests {
         assert_eq!(tel.counter("estimator.primary_ok").get(), 1);
         assert_eq!(tel.counter("estimator.fallback_baseline").get(), 0);
         assert_eq!(tel.gauge("breaker.state").get(), 0, "gauge reports closed");
+    }
+
+    #[test]
+    fn cohort_lanes_match_the_sequential_engine_bit_exactly() {
+        let tel = Telemetry::new();
+        let mut cache = EngineCache::new();
+        let method = RecoverMethod::Diffusion { ddim_steps: 2 };
+        // The sampler publishes cohort telemetry through the process-global
+        // handle; sample before/after so parallel tests only help the delta.
+        let widths_before = dcdiff_telemetry::global()
+            .histogram("diffusion.batch.width")
+            .snapshot()
+            .count;
+        let inputs = [dropped_coeffs_filled(80.0), dropped_coeffs_filled(160.0)];
+        // Sequential reference: each stream recovered alone.
+        let solo: Vec<Image> = inputs
+            .iter()
+            .map(|dropped| recover_with(dropped, &method, &mut cache))
+            .collect();
+        let lanes: Vec<CohortLane<'_>> = inputs
+            .iter()
+            .map(|dropped| CohortLane { dropped, deadline: None, trace: None })
+            .collect();
+        let fused = recover_cohort_guarded(&lanes, &method, &mut cache, &tel)
+            .expect("diffusion engines have a fused path");
+        for (lane, reference) in fused.into_iter().zip(&solo) {
+            let image = lane.expect("healthy lane recovers");
+            assert_eq!(&image, reference, "cohort lane diverged from width-1 output");
+        }
+        assert_eq!(tel.counter("estimator.primary_ok").get(), 2);
+        assert_eq!(tel.counter("estimator.fallback_baseline").get(), 0);
+        let widths = dcdiff_telemetry::global().histogram("diffusion.batch.width").snapshot();
+        assert!(widths.count > widths_before, "fused steps must observe cohort width");
+        assert!(widths.max >= 2, "both lanes shared each forward");
+    }
+
+    #[test]
+    fn cohort_path_is_none_for_non_diffusion_methods() {
+        let tel = Telemetry::new();
+        let mut cache = EngineCache::new();
+        let dropped = dropped_coeffs();
+        let lanes = [CohortLane { dropped: &dropped, deadline: None, trace: None }];
+        assert!(recover_cohort_guarded(&lanes, &RecoverMethod::Tip2006, &mut cache, &tel)
+            .is_none());
+        assert!(recover_cohort_guarded(
+            &lanes,
+            &RecoverMethod::Mld { threshold: 10.0, sweeps: 5 },
+            &mut cache,
+            &tel
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn expired_cohort_lane_is_evicted_without_aborting_batch_mates() {
+        let tel = Telemetry::new();
+        let mut cache = EngineCache::new();
+        let method = RecoverMethod::Diffusion { ddim_steps: 2 };
+        let survivor_input = dropped_coeffs_filled(120.0);
+        let doomed_input = dropped_coeffs_filled(60.0);
+        let reference = recover_with(&survivor_input, &method, &mut cache);
+        let lanes = [
+            CohortLane { dropped: &survivor_input, deadline: None, trace: None },
+            CohortLane {
+                dropped: &doomed_input,
+                // Already expired: evicted at the first cooperative check.
+                deadline: Some(Instant::now() - Duration::from_secs(1)),
+                trace: None,
+            },
+        ];
+        let mut fused = recover_cohort_guarded(&lanes, &method, &mut cache, &tel)
+            .expect("diffusion engines have a fused path");
+        let doomed = fused.pop().unwrap();
+        let survivor = fused.pop().unwrap();
+        assert!(
+            matches!(doomed, Err(CohortFailure::Deadline(_))),
+            "expired lane must report eviction, got {doomed:?}"
+        );
+        assert_eq!(survivor.expect("survivor recovers"), reference);
+        // Eviction is the lane's budget, not an engine fault: no breaker
+        // failure, no fallback tier.
+        assert_eq!(tel.counter("estimator.primary_fail").get(), 0);
+        assert_eq!(tel.counter("estimator.fallback_baseline").get(), 0);
     }
 
     #[test]

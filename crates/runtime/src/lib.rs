@@ -54,7 +54,10 @@ pub mod queue;
 pub mod runtime;
 pub mod stats;
 
-pub use exec::{execute, recover_guarded, recover_with, EngineCache, RecoveryPolicy};
+pub use exec::{
+    decode_recover_input, execute, recover_cohort_guarded, recover_guarded, recover_with,
+    write_recover_output, CohortFailure, CohortLane, EngineCache, RecoveryPolicy,
+};
 pub use job::{
     CodingOpts, ErrorClass, Job, JobError, JobFailure, JobId, JobOutput, JobResult, JobSpec,
     RecoverMethod, Stage,

@@ -5,6 +5,7 @@
 //! encode    scene0.ppm scene0.jpg --quality 80 --subsample 420 --drop-dc
 //! transcode scene0.jpg small.jpg  --drop-dc --optimize
 //! recover   small.jpg  out.ppm    --method mld --threshold 10 --sweeps 300
+//! recover   small.jpg  out2.ppm   --method diffusion --sweeps 8
 //! metrics   scene0.ppm out.ppm
 //! ```
 //!
@@ -207,6 +208,12 @@ fn parse_method(line: &Line<'_>) -> Result<RecoverMethod, String> {
             threshold: line.float("--threshold", 10.0)?,
             sweeps: line.int("--sweeps", 300)?.max(1) as usize,
         }),
+        // `--sweeps` doubles as the DDIM step count, mirroring the CLI
+        // recover sub-command; the serving default of 8 matches `dcdiff
+        // serve`, and the executor clamps to the trained schedule length.
+        "diffusion" => Ok(RecoverMethod::Diffusion {
+            ddim_steps: line.int("--sweeps", 8)?.max(1) as usize,
+        }),
         other => Err(format!("unknown method '{other}'")),
     }
 }
@@ -246,6 +253,24 @@ mod tests {
         assert_eq!(
             spec.job.recover_method(),
             Some(&RecoverMethod::Mld { threshold: 10.0, sweeps: 300 })
+        );
+    }
+
+    #[test]
+    fn recover_diffusion_takes_sweeps_as_step_count() {
+        let spec = parse_line("recover in.jpg out.ppm --method diffusion")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            spec.job.recover_method(),
+            Some(&RecoverMethod::Diffusion { ddim_steps: 8 })
+        );
+        let spec = parse_line("recover in.jpg out.ppm --method diffusion --sweeps 16")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            spec.job.recover_method(),
+            Some(&RecoverMethod::Diffusion { ddim_steps: 16 })
         );
     }
 

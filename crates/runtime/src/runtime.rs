@@ -11,7 +11,9 @@ use dcdiff_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use dcdiff_telemetry::names;
 
 use crate::exec::{execute, EngineCache, RecoveryPolicy};
-use crate::job::{ErrorClass, Job, JobFailure, JobId, JobResult, JobSpec, Stage};
+use crate::job::{
+    ErrorClass, Job, JobFailure, JobId, JobOutput, JobResult, JobSpec, RecoverMethod, Stage,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 
@@ -31,6 +33,17 @@ pub struct RuntimeConfig {
     pub backoff_base: Duration,
     /// Largest micro-batch a worker may gather (1 disables batching).
     pub batch_max: usize,
+    /// Widest cross-request DDIM cohort a worker may fuse into shared U-Net
+    /// forwards (`dcdiff batch`/`serve` `--batch-width`). Concurrent
+    /// Diffusion Recover jobs sharing a step count are stacked along the
+    /// batch dimension, so one forward per DDIM step serves the whole
+    /// cohort; per-lane content seeding keeps each result bit-identical to
+    /// a width-1 run. Cohorts are carved from the already-assembled
+    /// micro-batch, so a partial cohort flushes immediately rather than
+    /// waiting for more traffic; `1` disables fusion (sequential per-job
+    /// execution, the pre-cohort behaviour). Effective width is also capped
+    /// by `batch_max`.
+    pub diffusion_batch_width: usize,
     /// Observability handle: span tracing (when enabled), latency
     /// histograms, the `runtime.queue_depth` gauge and the rate-limited
     /// logger. The default is a metrics-only handle, so leaving this alone
@@ -53,6 +66,7 @@ impl Default for RuntimeConfig {
             default_retries: 0,
             backoff_base: Duration::from_millis(10),
             batch_max: 8,
+            diffusion_batch_width: 8,
             telemetry: Telemetry::new(),
             recovery: RecoveryPolicy::default(),
         }
@@ -495,20 +509,30 @@ fn worker_loop(
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         let exec_span = tel.span(names::SPAN_BATCH_EXEC);
-        for mut entry in batch {
-            let notify = entry.notify.take();
-            // Re-install the submitter's trace for the execution spans
-            // (job.*, recover.*, per-DDIM-step) emitted on this thread.
-            let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
-            let result = run_one(entry, stats, config, rt, &mut engines);
-            if result.is_ok() {
-                stats.bump(&stats.completed);
-            } else {
-                stats.bump(&stats.failed);
+        // Diffusion micro-batches are fused into DDIM cohorts: one U-Net
+        // forward per step serves every lane. Everything else (and width-1
+        // configs) runs the sequential per-job path.
+        let cohort_width = config.diffusion_batch_width.max(1);
+        let fuse = cohort_width > 1
+            && batch.len() > 1
+            && matches!(
+                batch[0].job.recover_method(),
+                Some(RecoverMethod::Diffusion { .. })
+            );
+        if fuse {
+            while !batch.is_empty() {
+                let take = batch.len().min(cohort_width);
+                let cohort: Vec<Queued> = batch.drain(..take).collect();
+                run_cohort(cohort, stats, results, config, rt, &mut engines);
             }
-            match notify {
-                Some(handle) => handle.fulfill(result),
-                None => lock_results(results).push(result),
+        } else {
+            for mut entry in batch {
+                let notify = entry.notify.take();
+                // Re-install the submitter's trace for the execution spans
+                // (job.*, recover.*, per-DDIM-step) emitted on this thread.
+                let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
+                let result = run_one(entry, stats, config, rt, &mut engines);
+                finish(result, notify, stats, results);
             }
         }
         drop(exec_span);
@@ -517,6 +541,228 @@ fn worker_loop(
         // freezing at the last pre-pop observation.
         rt.queue_depth.set(queue.len() as i64);
         busy_us.add(popped.elapsed().as_micros() as i64);
+    }
+}
+
+/// Deliver one terminal [`JobResult`]: bump completion counters, then either
+/// fulfill the watched handle or append to the shutdown report.
+fn finish(
+    result: JobResult,
+    notify: Option<ResultHandle>,
+    stats: &RuntimeStats,
+    results: &Mutex<Vec<JobResult>>,
+) {
+    if result.is_ok() {
+        stats.bump(&stats.completed);
+    } else {
+        stats.bump(&stats.failed);
+    }
+    match notify {
+        Some(handle) => handle.fulfill(result),
+        None => lock_results(results).push(result),
+    }
+}
+
+/// Per-lane bookkeeping of an in-flight DDIM cohort.
+struct CohortLaneState {
+    /// The queue entry; taken when the lane is delegated to [`run_one`].
+    entry: Option<Queued>,
+    notify: Option<ResultHandle>,
+    /// Set once the lane reaches a terminal disposition.
+    result: Option<JobResult>,
+    /// Decoded input awaiting the fused estimate.
+    dropped: Option<dcdiff_jpeg::CoeffImage>,
+    /// Start of this lane's execution (post-deadline-gate), for the job
+    /// span and the `exec` accounting.
+    exec_start: Instant,
+}
+
+/// Execute a micro-batch slice of same-config Diffusion Recover jobs as one
+/// fused cohort: per-lane pre-flight (deadline gate, ingest stall, read and
+/// entropy-decode), one shared batched estimate stacking every live lane's
+/// latents per DDIM step, then per-lane write and accounting.
+///
+/// Results are bit-identical to running each entry through [`run_one`] back
+/// to back — per-sample content seeding makes the output independent of
+/// cohort composition — with one extension: a lane whose deadline expires
+/// mid-flight is evicted (fails with [`JobFailure::DeadlineExceeded`])
+/// without aborting its batch-mates. Lanes that fail *before* the fused
+/// estimate are handed back to [`run_one`] (with their already-served
+/// ingest stall cleared) so retry/backoff semantics stay identical to the
+/// sequential path.
+fn run_cohort(
+    cohort: Vec<Queued>,
+    stats: &RuntimeStats,
+    results: &Mutex<Vec<JobResult>>,
+    config: &RuntimeConfig,
+    rt: &RtMetrics,
+    engines: &mut EngineCache,
+) {
+    let tel = &config.telemetry;
+    let method = cohort[0].job.recover_method().copied();
+    let mut lanes: Vec<CohortLaneState> = cohort
+        .into_iter()
+        .map(|mut entry| CohortLaneState {
+            notify: entry.notify.take(),
+            entry: Some(entry),
+            result: None,
+            dropped: None,
+            exec_start: Instant::now(),
+        })
+        .collect();
+
+    // Pre-flight, per lane in arrival order (matching the sequential path).
+    for lane in &mut lanes {
+        let Some(entry) = lane.entry.as_mut() else { continue };
+        let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
+        if let Some(deadline) = entry.deadline {
+            if Instant::now() > deadline {
+                stats.bump(&stats.deadline_missed);
+                tel.warn(format!("job {} missed its deadline before starting", entry.id));
+                lane.result = Some(JobResult {
+                    id: entry.id,
+                    job: entry.job.clone(),
+                    outcome: Err(JobFailure::DeadlineExceeded),
+                    wall: entry.submitted.elapsed(),
+                    exec: Duration::ZERO,
+                    attempts: 0,
+                });
+                continue;
+            }
+        }
+        lane.exec_start = Instant::now();
+        if let Some(stall) = entry.ingest.take() {
+            // Consumed here so a lane later delegated to run_one does not
+            // serve its uplink stall twice.
+            let _ingest = tel.span(names::SPAN_JOB_INGEST);
+            std::thread::sleep(stall);
+        }
+        let input = match &entry.job {
+            Job::Recover { input, .. } => input.clone(),
+            // Defensive: only Recover jobs are routed here; anything else
+            // still gets a terminal result via the sequential path.
+            _ => {
+                let entry = lane
+                    .entry
+                    .take()
+                    // analysis: allow(no-panic) — the lane's entry was just matched as present
+                    .expect("undelegated lane owns its entry");
+                lane.result = Some(run_one(entry, stats, config, rt, engines));
+                continue;
+            }
+        };
+        match crate::exec::decode_recover_input(&input, tel) {
+            Ok(coeffs) => lane.dropped = Some(coeffs),
+            Err(_) => {
+                // Pre-estimate failure: the sequential path owns retry,
+                // backoff and error classification. Re-reading the input is
+                // the cost of not duplicating that logic here.
+                let entry = lane
+                    .entry
+                    .take()
+                    // analysis: allow(no-panic) — the lane's entry is present; it is only taken on this delegation path
+                    .expect("undelegated lane owns its entry");
+                lane.result = Some(run_one(entry, stats, config, rt, engines));
+            }
+        }
+    }
+
+    // Fused estimate over every lane that survived pre-flight.
+    let live: Vec<usize> = lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, lane)| lane.dropped.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if !live.is_empty() {
+        let fused = method.and_then(|method| {
+            let cohort_lanes: Vec<crate::exec::CohortLane<'_>> = live
+                .iter()
+                .map(|&i| crate::exec::CohortLane {
+                    dropped: lanes[i]
+                        .dropped
+                        .as_ref()
+                        // analysis: allow(no-panic) — `live` indexes exactly the lanes whose dropped is Some
+                        .expect("live lane has decoded input"),
+                    deadline: lanes[i].entry.as_ref().and_then(|e| e.deadline),
+                    trace: lanes[i].entry.as_ref().and_then(|e| e.trace),
+                })
+                .collect();
+            crate::exec::recover_cohort_guarded(&cohort_lanes, &method, engines, tel)
+        });
+        match fused {
+            Some(outcomes) => {
+                for (&i, outcome) in live.iter().zip(outcomes) {
+                    let lane = &mut lanes[i];
+                    let entry = lane
+                        .entry
+                        .take()
+                        // analysis: allow(no-panic) — live lanes were never delegated, so they still own their entry
+                        .expect("live lane owns its entry");
+                    let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
+                    let disposition = match outcome {
+                        Ok(image) => match &entry.job {
+                            Job::Recover { output, .. } => {
+                                crate::exec::write_recover_output(output, &image, tel)
+                                    .map(|()| JobOutput::Recovered { output: output.clone() })
+                                    .map_err(JobFailure::Error)
+                            }
+                            // Defensive: unreachable, Recover-only routing.
+                            _ => Err(JobFailure::Rejected),
+                        },
+                        Err(crate::exec::CohortFailure::Deadline(phase)) => {
+                            stats.bump(&stats.deadline_missed);
+                            tel.warn(format!(
+                                "job {} evicted from cohort: deadline exceeded during {phase}",
+                                entry.id
+                            ));
+                            Err(JobFailure::DeadlineExceeded)
+                        }
+                        Err(crate::exec::CohortFailure::Error(err)) => {
+                            tel.error(format!(
+                                "job {} failed after 1 attempt(s): {}",
+                                entry.id, err.message
+                            ));
+                            Err(JobFailure::Error(err))
+                        }
+                    };
+                    let exec = lane.exec_start.elapsed();
+                    stats.record_stage(entry.job.stage(), exec);
+                    rt.stage[entry.job.stage().index()].record_duration(exec);
+                    rt.job_wall.record_duration(entry.submitted.elapsed());
+                    tel.record_span(
+                        stage_span_name(entry.job.stage()),
+                        lane.exec_start,
+                        Instant::now(),
+                    );
+                    lane.result = Some(JobResult {
+                        id: entry.id,
+                        job: entry.job,
+                        outcome: disposition,
+                        wall: entry.submitted.elapsed(),
+                        exec,
+                        attempts: 1,
+                    });
+                }
+            }
+            None => {
+                // No fused path for this engine (e.g. a test double replaced
+                // it): fall back to the sequential per-job path.
+                for &i in &live {
+                    let lane = &mut lanes[i];
+                    if let Some(entry) = lane.entry.take() {
+                        let _trace = entry.trace.map(dcdiff_telemetry::install_trace);
+                        lane.result = Some(run_one(entry, stats, config, rt, engines));
+                    }
+                }
+            }
+        }
+    }
+
+    for lane in lanes {
+        if let Some(result) = lane.result {
+            finish(result, lane.notify, stats, results);
+        }
     }
 }
 

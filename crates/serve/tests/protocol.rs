@@ -50,6 +50,11 @@ fn start(tag: &str) -> (Server, Client) {
     start_with(test_config(tag))
 }
 
+/// Tests that install the process-wide telemetry handle must not overlap:
+/// per-DDIM-step and cohort telemetry flow through the global handle, and a
+/// concurrent install would siphon another test's spans into the wrong sink.
+static GLOBAL_TELEMETRY: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn start_with(cfg: ServeConfig) -> (Server, Client) {
     let server = Server::bind(cfg).expect("bind loopback server");
     let client = Client::new(server.local_addr().to_string());
@@ -307,6 +312,7 @@ fn supplied_trace_id_links_server_side_spans_end_to_end() {
     // echoed back as `x-dcdiff-trace-id` with a Server-Timing breakdown and
     // (b) stamp every server-side span — queue wait, recovery, and the
     // diffusion sampler's per-DDIM-step spans — with the same trace id.
+    let _global = GLOBAL_TELEMETRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let tel = dcdiff_telemetry::Telemetry::builder().trace_to_vec().build();
     // Per-DDIM-step spans flow through the process-wide handle.
     dcdiff_telemetry::install(tel.clone());
@@ -349,6 +355,85 @@ fn supplied_trace_id_links_server_side_spans_end_to_end() {
             .any(|l| l.contains(trace_id)),
         "drain span stole the request trace: {text}"
     );
+}
+
+#[test]
+fn concurrent_diffusion_requests_fuse_into_one_cohort_with_linked_traces() {
+    // Satellite of the cross-request DDIM batching tentpole: N concurrent
+    // `--method diffusion` requests behind a stalled leader must (a) fuse
+    // into one cohort — `diffusion.batch.width` observes more than one lane
+    // per shared forward — and (b) keep distinct causal chains: every
+    // request's trace id still links `serve.request` through `queue.wait`,
+    // `recover.estimate` and its own per-DDIM-step spans.
+    let _global = GLOBAL_TELEMETRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let tel = dcdiff_telemetry::Telemetry::builder().trace_to_vec().build();
+    dcdiff_telemetry::install(tel.clone());
+    let mut cfg = test_config("cohort");
+    cfg.method = RecoverMethod::Diffusion { ddim_steps: 2 };
+    cfg.runtime.diffusion_batch_width = 8;
+    let server = Server::bind_with(cfg, tel.clone()).expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+
+    // The leader parks the lone worker in its ingest stall; the followers
+    // queue behind it and are assembled into one micro-batch when the
+    // worker next pops, then fused into a single DDIM cohort.
+    let leader_addr = addr.clone();
+    let leader = std::thread::spawn(move || {
+        Client::new(leader_addr)
+            .recover_opts(
+                &dropped_jpeg(32, 32),
+                Some("bulk"),
+                false,
+                Some(Duration::from_millis(600)),
+            )
+            .expect("leader roundtrip")
+    });
+    // Let the worker pop the leader before the burst arrives.
+    std::thread::sleep(Duration::from_millis(150));
+    let trace_ids: Vec<String> =
+        (0..3u64).map(|i| format!("{:032x}", 0xc0_4042_7000 + i)).collect();
+    let followers: Vec<_> = trace_ids
+        .iter()
+        .map(|tid| {
+            let addr = addr.clone();
+            let traceparent = format!("00-{tid}-00f067aa0ba902b7-01");
+            std::thread::spawn(move || {
+                Client::new(addr)
+                    .recover_traced(&dropped_jpeg(32, 32), Some("bulk"), &traceparent)
+                    .expect("follower roundtrip")
+            })
+        })
+        .collect();
+
+    let leader_resp = leader.join().expect("leader thread");
+    assert_eq!(leader_resp.status, 200);
+    for (tid, follower) in trace_ids.iter().zip(followers) {
+        let resp = follower.join().expect("follower thread");
+        assert_eq!(resp.status, 200, "body: {:?}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(resp.header("x-dcdiff-trace-id"), Some(tid.as_str()));
+    }
+    server.drain();
+    dcdiff_telemetry::install(dcdiff_telemetry::Telemetry::new());
+
+    // (a) the followers shared forwards: multi-lane widths were observed.
+    let widths = tel.histogram("diffusion.batch.width").snapshot();
+    assert!(widths.max >= 2, "no shared forward carried more than one lane: {widths:?}");
+    assert!(tel.counter("diffusion.batch.cohorts").get() >= 1, "no cohort was formed");
+
+    // (b) per-lane causal chains survive fusion.
+    let text = tel.take_trace_vec().expect("in-memory trace");
+    for tid in &trace_ids {
+        let lane: Vec<_> = text
+            .lines()
+            .filter_map(|l| dcdiff_telemetry::TraceEvent::parse_line(l).ok())
+            .filter(|ev| ev.trace.as_deref() == Some(tid.as_str()))
+            .collect();
+        let has = |name: &str| lane.iter().any(|ev| ev.name == name);
+        assert!(has("serve.request"), "lane {tid} lost serve.request");
+        assert!(has("queue.wait"), "lane {tid} lost queue.wait");
+        assert!(has("recover.estimate"), "lane {tid} lost recover.estimate");
+        assert!(has("recover.ddim_step"), "lane {tid} lost its per-step spans");
+    }
 }
 
 #[test]

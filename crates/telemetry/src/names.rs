@@ -127,6 +127,11 @@ pub const HIST_CONV_MFLOPS: &str = "tensor.conv_mflops";
 pub const HIST_SERVE_REQUEST_WALL_US: &str = "serve.request_wall_us";
 /// Request body size, bytes.
 pub const HIST_SERVE_BODY_BYTES: &str = "serve.body_bytes";
+/// Active lanes sharing one batched U-Net forward (one observation per
+/// shared forward; >1 means cross-request step batching engaged).
+pub const HIST_DIFFUSION_BATCH_WIDTH: &str = "diffusion.batch.width";
+/// Lanes per assembled diffusion cohort (one observation per cohort).
+pub const HIST_DIFFUSION_BATCH_COHORT_LANES: &str = "diffusion.batch.cohort_lanes";
 
 // ------------------------------------------------------------- counters --
 
@@ -164,6 +169,15 @@ pub const CTR_SERVE_FAILED: &str = "serve.failed";
 pub const CTR_SERVE_DISCONNECTS: &str = "serve.disconnects";
 /// Log lines dropped by the logger's rate limiter.
 pub const CTR_LOG_SUPPRESSED: &str = "log.suppressed";
+/// Diffusion cohorts executed by the step-batched sampler.
+pub const CTR_DIFFUSION_BATCH_COHORTS: &str = "diffusion.batch.cohorts";
+/// Shared (batched) U-Net forwards issued across all cohorts.
+pub const CTR_DIFFUSION_BATCH_SHARED_FORWARDS: &str = "diffusion.batch.shared_forwards";
+/// Per-lane DDIM steps executed inside shared forwards; dividing by
+/// `diffusion.batch.shared_forwards` gives the realised amortisation.
+pub const CTR_DIFFUSION_BATCH_LANE_STEPS: &str = "diffusion.batch.lane_steps";
+/// Lanes evicted mid-cohort (deadline expiry) without aborting the cohort.
+pub const CTR_DIFFUSION_BATCH_EVICTIONS: &str = "diffusion.batch.evictions";
 
 // --------------------------------------------------------------- gauges --
 
@@ -253,6 +267,8 @@ pub const REGISTERED: &[&str] = &[
     HIST_CONV_MFLOPS,
     HIST_SERVE_REQUEST_WALL_US,
     HIST_SERVE_BODY_BYTES,
+    HIST_DIFFUSION_BATCH_WIDTH,
+    HIST_DIFFUSION_BATCH_COHORT_LANES,
     CTR_RETRIES,
     CTR_ESTIMATOR_PRIMARY_OK,
     CTR_ESTIMATOR_PRIMARY_FAIL,
@@ -269,6 +285,10 @@ pub const REGISTERED: &[&str] = &[
     CTR_SERVE_FAILED,
     CTR_SERVE_DISCONNECTS,
     CTR_LOG_SUPPRESSED,
+    CTR_DIFFUSION_BATCH_COHORTS,
+    CTR_DIFFUSION_BATCH_SHARED_FORWARDS,
+    CTR_DIFFUSION_BATCH_LANE_STEPS,
+    CTR_DIFFUSION_BATCH_EVICTIONS,
     GAUGE_QUEUE_DEPTH,
     GAUGE_BREAKER_STATE,
     GAUGE_SERVE_CONNECTIONS,
@@ -318,6 +338,16 @@ mod tests {
         assert!(!is_registered("runtime.job_wall_ms")); // wrong unit suffix
         assert!(!is_registered("recover.ddimstep")); // typo'd span
         assert!(!is_registered(""));
+    }
+
+    #[test]
+    fn diffusion_batch_series_are_registered() {
+        assert!(is_registered(HIST_DIFFUSION_BATCH_WIDTH));
+        assert!(is_registered(CTR_DIFFUSION_BATCH_COHORTS));
+        assert!(is_registered(CTR_DIFFUSION_BATCH_SHARED_FORWARDS));
+        assert!(is_registered(CTR_DIFFUSION_BATCH_LANE_STEPS));
+        assert!(is_registered(CTR_DIFFUSION_BATCH_EVICTIONS));
+        assert!(!is_registered("diffusion.batch.widths")); // near-miss typo
     }
 
     #[test]

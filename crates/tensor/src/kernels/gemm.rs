@@ -8,10 +8,11 @@
 //! per-element zero-skip branch, one C load/store per tile per depth panel
 //! instead of one per scalar multiply.
 //!
-//! The microkernel is picked once at runtime: an AVX2+FMA 6x16 kernel on
-//! x86 CPUs that report the feature bits (two 8-lane FMAs per row per
-//! depth step), otherwise a portable 4x8 kernel that LLVM auto-vectorises
-//! for the baseline target. Transposed operands are handled by the packing
+//! The microkernel is picked once at runtime: an AVX-512 14x16 kernel when
+//! the CPU reports `avx512f` (one zmm B load plus fourteen
+//! embedded-broadcast FMAs per depth step), else an AVX2+FMA 6x16 kernel
+//! (two 8-lane FMAs per row per depth step), otherwise a portable 4x8
+//! kernel that LLVM auto-vectorises for the baseline target. Transposed operands are handled by the packing
 //! routines reading through `(row, col)` strides, so backward passes
 //! (`dA = dC·Bᵀ`, `dB = Aᵀ·dC`) never materialise a transposed copy.
 //!
@@ -60,7 +61,7 @@ impl View {
 }
 
 /// Upper bound on `MR * NR` across microkernels (accumulator staging).
-const ACC_MAX: usize = 8 * 16;
+const ACC_MAX: usize = 14 * 16;
 
 /// One register microkernel: computes `acc[mr][nr] = Astrip · Bstrip` over
 /// a packed depth panel of `kc` (A strip interleaved `kc x mr`, B strip
@@ -134,7 +135,43 @@ unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc
     }
 }
 
+/// AVX-512 14x16 kernel: fourteen zmm accumulators fed by one B load per
+/// depth step; each broadcast folds into its FMA as an embedded-broadcast
+/// memory operand, so the inner loop issues ~15 instructions for fourteen
+/// 512-bit FMAs. The tall 14-row tile keeps `nr` at 16 columns, matching
+/// the AVX2 kernel's padding waste on narrow conv GEMMs while doubling
+/// per-instruction width on the tall im2col products batching produces.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+// SAFETY: unsafe fn — `Micro::kernel` contract plus a CPU with avx512f;
+// detect_micro only selects this kernel after checking the feature bit.
+unsafe fn micro_avx512_14x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    const MR: usize = 14;
+    // SAFETY: every load/store indexes below kc*16 (B), kc*MR (A) or MR*16
+    // (acc), all guaranteed by the kernel contract; ISA is checked above.
+    unsafe {
+        let mut tile = [_mm512_setzero_ps(); MR];
+        for p in 0..kc {
+            let b0 = _mm512_loadu_ps(bstrip.add(p * 16));
+            for (r, slot) in tile.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*astrip.add(p * MR + r));
+                *slot = _mm512_fmadd_ps(av, b0, *slot);
+            }
+        }
+        for (r, slot) in tile.iter().enumerate() {
+            _mm512_storeu_ps(acc.add(r * 16), *slot);
+        }
+    }
+}
+
 fn detect_micro() -> Micro {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Micro { name: "avx512f_14x16", mr: 14, nr: 16, kernel: micro_avx512_14x16 };
+        }
+    }
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
     {
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
@@ -258,8 +295,11 @@ fn gemm_stripe(
     ns: usize,
 ) {
     let (mr, nr) = (micro.mr, micro.nr);
-    let mut apanel = scratch::take(MC.div_ceil(mr) * KC * mr);
-    let mut bpanel = scratch::take(NC.div_ceil(nr) * KC * nr);
+    // The packing routines fully write every strip the microkernel reads,
+    // so the panels can start dirty — zeroing them each call would cost
+    // more than the small GEMMs the U-Net issues.
+    let mut apanel = scratch::take_dirty(MC.div_ceil(mr) * KC * mr);
+    let mut bpanel = scratch::take_dirty(NC.div_ceil(nr) * KC * nr);
     let mut acc = [0.0f32; ACC_MAX];
     for jc in (0..ns).step_by(NC) {
         let nc = (ns - jc).min(NC);

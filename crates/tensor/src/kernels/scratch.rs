@@ -4,28 +4,46 @@
 //! buffers on every call; at U-Net sizes those are multi-megabyte
 //! allocations hit hundreds of times per DDIM step. [`take`] hands back a
 //! zeroed buffer recycled from this thread's pool and [`put`] returns it;
-//! buffers that must outlive the call (e.g. im2col columns retained for the
-//! backward pass) are simply never returned and the pool regenerates.
+//! [`take_dirty`] skips the zeroing for callers that overwrite every
+//! element before reading (im2col, GEMM packing). Buffers that must outlive
+//! the call (e.g. im2col columns retained for the backward pass) are simply
+//! never returned and the pool regenerates.
+//!
+//! Recycling is **best-fit**: a request takes the smallest pooled buffer
+//! whose capacity suffices. First-fit let a kilobyte-sized request walk off
+//! with a 14 MB im2col buffer, so the next large request missed the pool
+//! and paid a fresh `mmap` plus a page-fault storm — at cohort batch widths
+//! that dominated the whole forward pass.
 
 use std::cell::RefCell;
 
-/// Per-thread pool; a handful of entries covers the deepest nesting the
-/// kernels reach (GEMM packing inside a conv that holds cols + rearrange).
-const POOL_SLOTS: usize = 8;
+/// Per-thread pool bound. Sized for the deepest mix the batched recover
+/// path reaches: im2col columns + GEMM output + A/B packing panels live at
+/// once, across ~a dozen distinct conv shapes per network.
+const POOL_SLOTS: usize = 16;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Smallest pooled buffer with `capacity >= len`, if any.
+fn take_best_fit(len: usize) -> Option<Vec<f32>> {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let pos = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, buf)| buf.capacity() >= len)
+            .min_by_key(|(_, buf)| buf.capacity())
+            .map(|(p, _)| p);
+        pos.map(|p| pool.swap_remove(p))
+    })
+}
+
 /// A zero-filled buffer of exactly `len` elements, reusing this thread's
 /// returned buffers when one is large enough.
 pub fn take(len: usize) -> Vec<f32> {
-    let recycled = POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        let pos = pool.iter().position(|buf| buf.capacity() >= len);
-        pos.map(|p| pool.swap_remove(p))
-    });
-    match recycled {
+    match take_best_fit(len) {
         Some(mut buf) => {
             buf.clear();
             buf.resize(len, 0.0);
@@ -35,7 +53,25 @@ pub fn take(len: usize) -> Vec<f32> {
     }
 }
 
-/// Return a buffer to this thread's pool for later [`take`]s. Keeps the
+/// A buffer of exactly `len` elements with **unspecified contents** (all
+/// finite f32 values from earlier uses, or zeros when freshly allocated).
+/// Callers must write every element they later read; in exchange, recycled
+/// buffers skip the full-length zeroing `take` pays.
+pub fn take_dirty(len: usize) -> Vec<f32> {
+    match take_best_fit(len) {
+        Some(mut buf) => {
+            if buf.len() >= len {
+                buf.truncate(len);
+            } else {
+                buf.resize(len, 0.0);
+            }
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Return a buffer to this thread's pool for later takes. Keeps the
 /// `POOL_SLOTS` largest buffers and drops the rest.
 pub fn put(buf: Vec<f32>) {
     if buf.capacity() == 0 {
@@ -72,6 +108,34 @@ mod tests {
         put(buf);
         let again = take(512);
         assert_eq!(again.as_ptr(), ptr, "smaller request should reuse the buffer");
+    }
+
+    #[test]
+    fn best_fit_leaves_large_buffers_for_large_requests() {
+        let big = take(1 << 20);
+        let small = take(64);
+        let big_ptr = big.as_ptr();
+        let small_ptr = small.as_ptr();
+        put(big);
+        put(small);
+        // The tiny request must take the tiny buffer, not the megabyte one…
+        let again_small = take_dirty(32);
+        assert_eq!(again_small.as_ptr(), small_ptr, "small request should best-fit");
+        // …so the large request still finds the large buffer.
+        let again_big = take_dirty(1 << 20);
+        assert_eq!(again_big.as_ptr(), big_ptr, "large request should reuse the large buffer");
+    }
+
+    #[test]
+    fn take_dirty_has_exact_len_without_zeroing_guarantee() {
+        let mut buf = take(100);
+        buf.iter_mut().for_each(|v| *v = 3.0);
+        put(buf);
+        let shrunk = take_dirty(40);
+        assert_eq!(shrunk.len(), 40);
+        put(shrunk);
+        let grown = take_dirty(200);
+        assert_eq!(grown.len(), 200);
     }
 
     #[test]

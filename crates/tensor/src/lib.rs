@@ -35,7 +35,7 @@ pub mod kernels;
 pub mod optim;
 pub mod serial;
 
-pub use tensor::Tensor;
+pub use tensor::{no_grad, Tensor};
 
 /// Convenience alias for the RNG used across the workspace.
 pub type Rng = rand::rngs::StdRng;

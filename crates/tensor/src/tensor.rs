@@ -1,4 +1,4 @@
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -7,6 +7,39 @@ use rand::Rng as _;
 use rand_distr_normal::sample_standard_normal;
 
 static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Run `f` with autograd tape construction disabled on this thread.
+///
+/// Inside the closure, ops whose parents would normally join the tape
+/// produce constant nodes instead: no backward closure is recorded, and no
+/// per-op saved state (most importantly im2col column matrices, which at
+/// cohort batch sizes are tens of megabytes per convolution) is retained
+/// for a backward pass. Every work buffer recycles through the kernel
+/// scratch pool, so repeated inference forwards reuse a small, warm set of
+/// allocations instead of mapping and unmapping fresh multi-megabyte
+/// regions on every call.
+///
+/// The guard nests and restores the previous mode even if `f` panics.
+/// Tensors created inside the closure are permanently constant; tensors
+/// created outside keep their tape and differentiate normally afterwards.
+pub fn no_grad<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            GRAD_ENABLED.with(|g| g.set(self.0));
+        }
+    }
+    let _restore = Restore(GRAD_ENABLED.with(|g| g.replace(false)));
+    f()
+}
+
+pub(crate) fn grad_enabled() -> bool {
+    GRAD_ENABLED.with(Cell::get)
+}
 
 /// Backward closure: receives the node's output gradient and the node's
 /// parent handles. Passing the parents in (rather than each closure
@@ -84,9 +117,10 @@ impl Tensor {
     }
 
     /// Whether this node propagates gradients (a parameter or derived from
-    /// one).
+    /// one). Always false inside a [`no_grad`] scope, which is what keeps
+    /// ops from saving backward state during inference.
     pub(crate) fn tracks_grad(&self) -> bool {
-        self.0.requires_grad || self.0.backward.is_some()
+        (self.0.requires_grad || self.0.backward.is_some()) && grad_enabled()
     }
 
     /// A tensor of zeros with the given shape.
