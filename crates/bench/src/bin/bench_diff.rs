@@ -11,8 +11,8 @@
 //! that carry a `"name"` field are keyed by that name so reordering a
 //! sweep does not shuffle the comparison. Only metrics whose path implies
 //! a direction are compared — timings/quantiles (`*_ms`, `*_us`, `*p50*`,
-//! `*p99*`) must not grow, throughputs (`*gflops`, `*rps`, `*jobs_per_sec`,
-//! `*speedup*`, `*goodput*`) must not shrink — and each side gets a
+//! `*p99*`) must not grow, throughputs (`*gflops`, `*mbps`, `*rps`,
+//! `*jobs_per_sec`, `*speedup*`, `*goodput*`) must not shrink — and each side gets a
 //! symmetric tolerance band (default ±50%: CI machines are noisy and the
 //! sentinel is meant to catch collapses, not jitter). Config echoes
 //! (`threads`, shapes, byte counts) have no direction and are skipped.
@@ -293,7 +293,16 @@ fn direction(path: &str) -> Option<Direction> {
     let leaf = path.rsplit('.').next().unwrap_or(path);
     // Throughput wins ties: `max_rps_p99_compliant` mentions a quantile but
     // measures a rate.
-    let higher = ["gflops", "mflops", "rps", "jobs_per_sec", "speedup", "goodput", "_over_naive"];
+    let higher = [
+        "gflops",
+        "mflops",
+        "mbps",
+        "rps",
+        "jobs_per_sec",
+        "speedup",
+        "goodput",
+        "_over_naive",
+    ];
     if higher.iter().any(|s| leaf.contains(s)) {
         return Some(Direction::HigherIsBetter);
     }
@@ -601,6 +610,10 @@ mod tests {
         );
         assert_eq!(
             direction("speedup_4_vs_1_workers"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            direction("decode.full_decode.simd_mbps"),
             Some(Direction::HigherIsBetter)
         );
         assert_eq!(direction("kernel_config.threads"), None);

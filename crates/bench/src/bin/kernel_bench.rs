@@ -13,10 +13,19 @@
 //! scaling only on multi-core hosts.
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use dcdiff_data::DatasetProfile;
+use dcdiff_image::ycbcr_to_rgb_rows;
+use dcdiff_jpeg::bitstream::{BitReader, BitWriter};
+use dcdiff_jpeg::dct::idct;
+use dcdiff_jpeg::huffman::HuffmanTable;
+use dcdiff_jpeg::simd::{self, Tier};
+use dcdiff_jpeg::{JpegDecoder, JpegEncoder, BLOCK_AREA};
 use dcdiff_tensor::kernels::{
-    gemm_naive, set_threads, sgemm_with_threads, KernelConfig, Trans,
+    gemm_naive, hgemm_info, hgemm_with_threads, set_threads, sgemm_with_threads, KernelConfig,
+    Trans,
 };
 use dcdiff_tensor::Tensor;
 
@@ -162,6 +171,158 @@ fn bench_conv(
     }
 }
 
+/// One decode-path stage timed at the forced-scalar reference tier and at
+/// the runtime-dispatched tier, reported as input MB/s.
+struct DecodeResult {
+    name: &'static str,
+    bytes: usize,
+    scalar_mbps: f64,
+    simd_mbps: f64,
+    simd_speedup: f64,
+}
+
+fn mbps(bytes: usize, t: Duration) -> f64 {
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+/// Time `f` with the scalar reference pipeline pinned via
+/// [`simd::force_scalar`] and again with runtime dispatch, normalising to
+/// MB/s over `bytes` of input consumed per run. Leaves dispatch unpinned.
+fn bench_decode_stage(
+    name: &'static str,
+    bytes: usize,
+    budget: Duration,
+    mut f: impl FnMut(),
+) -> DecodeResult {
+    simd::force_scalar(true);
+    let scalar = best_time(budget, 3, &mut f);
+    simd::force_scalar(false);
+    let dispatched = best_time(budget, 3, &mut f);
+    DecodeResult {
+        name,
+        bytes,
+        scalar_mbps: mbps(bytes, scalar),
+        simd_mbps: mbps(bytes, dispatched),
+        simd_speedup: scalar.as_secs_f64() / dispatched.as_secs_f64(),
+    }
+}
+
+/// The decode hot path, stage by stage plus end to end: entropy decode
+/// (bitwise vs table-accelerated), the 8x8 iDCT, planar colour
+/// conversion, and a full `JpegDecoder::decode` of a Kodak-profile image.
+fn bench_decode(budget: Duration) -> Vec<DecodeResult> {
+    let mut results = Vec::new();
+
+    // Entropy: a long AC-luma symbol stream with Kraft-weighted symbol
+    // frequencies (each code drawn proportional to 2^-len, the implied
+    // probability a canonical Huffman code assigns it), deterministically
+    // shuffled so the decoder sees a realistic short-code-dominated mix
+    // rather than a uniform sweep of the 16-bit tail symbols.
+    let table = HuffmanTable::ac_luma();
+    let mut syms: Vec<u8> = Vec::new();
+    for &v in table.vals() {
+        let reps = ((1usize << 16) >> table.code_len(v)).max(1);
+        syms.extend(std::iter::repeat_n(v, reps));
+    }
+    let mut state = 0x243F_6A88u32;
+    for i in (1..syms.len()).rev() {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        syms.swap(i, (state as usize) % (i + 1));
+    }
+    let mut writer = BitWriter::new();
+    for &v in &syms {
+        table.encode(&mut writer, v);
+    }
+    let stream = writer.finish();
+    let stream_bytes = stream.len();
+    results.push(bench_decode_stage("huffman_ac_stream", stream_bytes, budget, || {
+        let mut reader = BitReader::new(&stream);
+        let mut n = 0usize;
+        while let Some(sym) = table.decode(&mut reader) {
+            n += 1;
+            black_box(sym);
+        }
+        black_box(n);
+    }));
+
+    // iDCT: a working set of dequantised coefficient blocks.
+    let blocks: Vec<[f32; BLOCK_AREA]> = (0..2048)
+        .map(|i| {
+            let mut block = [0.0f32; BLOCK_AREA];
+            block.copy_from_slice(&pattern(BLOCK_AREA, i as f32 * 0.61));
+            block
+        })
+        .collect();
+    let block_bytes = blocks.len() * BLOCK_AREA * 4;
+    results.push(bench_decode_stage("idct_8x8", block_bytes, budget, || {
+        for block in &blocks {
+            black_box(idct(block));
+        }
+    }));
+
+    // Colour conversion: planar YCbCr rows the size of a 256x256 plane.
+    let n = 1 << 16;
+    let y = pattern(n, 0.1);
+    let cb = pattern(n, 0.2);
+    let cr = pattern(n, 0.3);
+    let (mut r, mut g, mut b) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+    let row_bytes = 3 * n * 4;
+    results.push(bench_decode_stage("ycbcr_to_rgb_rows", row_bytes, budget, || {
+        ycbcr_to_rgb_rows(&y, &cb, &cr, &mut r, &mut g, &mut b);
+        black_box(&r);
+    }));
+
+    // End to end: entropy -> dequant -> iDCT -> colour on a coded image.
+    // A large texture-heavy scene keeps real entropy work in the stream
+    // and amortises the per-call plane allocations the tiny dataset
+    // stand-in profiles would otherwise be dominated by.
+    let image =
+        DatasetProfile::bsds200().with_count(1).with_dims(512, 512).generate(0x5EED).remove(0);
+    let coded = JpegEncoder::new(75).encode(&image).expect("encode bench image");
+    let coded_bytes = coded.len();
+    results.push(bench_decode_stage("full_decode", coded_bytes, budget, || {
+        black_box(JpegDecoder::decode(&coded).expect("decode bench image"));
+    }));
+    results
+}
+
+/// Quantised-inference GEMM: f16-storage/f32-accumulate `hgemm` against
+/// the f32 `sgemm` on the same operands, both at one thread.
+struct QuantResult {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    f32_gflops: f64,
+    f16_gflops: f64,
+    f16_speedup: f64,
+}
+
+fn bench_quantised(shape: &GemmShape, budget: Duration) -> QuantResult {
+    let GemmShape { name, m, k, n } = *shape;
+    let a = pattern(m * k, 1.0);
+    let b = pattern(k * n, 2.0);
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2 * m * k * n;
+    let f32_t = best_time(budget, 3, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        sgemm_with_threads(1, Trans::N, Trans::N, m, k, n, &a, &b, &mut c);
+    });
+    let f16_t = best_time(budget, 3, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        hgemm_with_threads(1, Trans::N, Trans::N, m, k, n, &a, &b, &mut c);
+    });
+    QuantResult {
+        name,
+        m,
+        k,
+        n,
+        f32_gflops: gflops(flops, f32_t),
+        f16_gflops: gflops(flops, f16_t),
+        f16_speedup: f32_t.as_secs_f64() / f16_t.as_secs_f64(),
+    }
+}
+
 fn main() {
     let config = KernelConfig::current();
     let cores = config.cpu_cores;
@@ -217,6 +378,35 @@ fn main() {
     }
     set_threads(max_threads);
 
+    // Quantised inference: the three shapes that dominate recover-path
+    // forwards (stage-1 im2col, U-Net im2col, square reference point).
+    let quant_shapes = ["stage1_conv3x3_c32_64x64", "unet_l0_conv3x3_c16_12x12", "square_256"];
+    let quantised: Vec<QuantResult> = GEMM_SHAPES
+        .iter()
+        .filter(|s| quant_shapes.contains(&s.name))
+        .map(|s| bench_quantised(s, budget))
+        .collect();
+    let (f16_isa, _, _) = hgemm_info();
+    for q in &quantised {
+        println!(
+            "  f16  {:<28} f32 {:6.2}  f16 {:6.2} GFLOP/s  (f16/f32 {:.2}x, {f16_isa})",
+            q.name, q.f32_gflops, q.f16_gflops, q.f16_speedup
+        );
+    }
+
+    let decode = bench_decode(budget);
+    let decode_tier = simd::active();
+    for d in &decode {
+        println!(
+            "  dec  {:<28} scalar {:8.2}  {} {:8.2} MB/s  (speedup {:.2}x)",
+            d.name,
+            d.scalar_mbps,
+            decode_tier.name(),
+            d.simd_mbps,
+            d.simd_speedup
+        );
+    }
+
     // The acceptance gates: blocking must win on the largest recover-path
     // GEMM everywhere; thread scaling is only assertable with real cores.
     let largest = results
@@ -244,7 +434,10 @@ fn main() {
         "  \"note\": \"GFLOP/s from best-of repeated runs; naive = seed scalar ikj GEMM with \
          zero-skip branch, blocked = packed register-tiled kernel at 1 thread, threaded = same \
          kernel sharded across the DCDIFF_THREADS pool. Shapes are the rows-layout im2col and \
-         attention products the recover path issues.\","
+         attention products the recover path issues. quantised_gemm rows time the f16-storage/\
+         f32-accumulate hgemm against f32 sgemm at one thread; decode rows time the forced-scalar \
+         reference pipeline against the runtime-dispatched tier as MB/s over input bytes \
+         (see PERFORMANCE.md).\","
     );
     json.push_str("  \"gemm\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -285,6 +478,40 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"f16_isa\": \"{f16_isa}\",");
+    json.push_str("  \"quantised_gemm\": [\n");
+    for (i, q) in quantised.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"f32_gflops\": {:.3}, \"f16_gflops\": {:.3}, \"f16_speedup\": {:.3}}}{}",
+            q.name,
+            q.m,
+            q.k,
+            q.n,
+            q.f32_gflops,
+            q.f16_gflops,
+            q.f16_speedup,
+            if i + 1 < quantised.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"decode_tier\": \"{}\",", decode_tier.name());
+    json.push_str("  \"decode\": [\n");
+    for (i, d) in decode.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"scalar_mbps\": {:.3}, \
+             \"simd_mbps\": {:.3}, \"simd_speedup\": {:.3}}}{}",
+            d.name,
+            d.bytes,
+            d.scalar_mbps,
+            d.simd_mbps,
+            d.simd_speedup,
+            if i + 1 < decode.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(json, "  \"largest_shape\": \"{}\",", largest.name);
     let _ = writeln!(json, "  \"blocked_over_naive_largest\": {:.3},", largest.blocked_speedup);
     let _ = writeln!(json, "  \"two_thread_over_blocked_largest\": {two_thread_speedup:.3}");
@@ -305,5 +532,21 @@ fn main() {
         );
     } else {
         println!("  single-core host: skipping the 2-thread scaling assertion");
+    }
+
+    // The SIMD decode acceptance gate only holds where the AVX2 kernels
+    // actually run; scalar-tier hosts see the Huffman LUT win alone.
+    let full = decode
+        .iter()
+        .find(|d| d.name == "full_decode")
+        .expect("full_decode row");
+    if decode_tier == Tier::Avx2Fma {
+        assert!(
+            full.simd_speedup >= 2.0,
+            "SIMD decode must be >= 2x the scalar pipeline on an AVX2 host (got {:.2}x)",
+            full.simd_speedup
+        );
+    } else {
+        println!("  scalar-tier host: skipping the 2x decode speedup assertion");
     }
 }

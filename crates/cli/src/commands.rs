@@ -740,6 +740,23 @@ fn render_top(addr: &str, samples: &[dcdiff_telemetry::prometheus::Sample]) -> S
     if let Some(state) = breaker {
         let _ = writeln!(out, "breaker state  {state}");
     }
+    // Decode hot path (`jpeg.decode.*`): entropy latency, coded-byte
+    // throughput and cumulative volume. Omitted entirely when the server
+    // has not decoded anything (or predates the series).
+    if plain("jpeg_decode_bytes").is_some()
+        || quantile("jpeg_decode_entropy_us", "0.5", None).is_some()
+    {
+        let _ = writeln!(
+            out,
+            "jpeg decode    entropy p50 {}  p99 {}   {} MB/s p50   bytes {}{}  blocks {}",
+            fmt_ms(quantile("jpeg_decode_entropy_us", "0.5", None)),
+            fmt_ms(quantile("jpeg_decode_entropy_us", "0.99", None)),
+            fmt_count(quantile("jpeg_decode_mbps", "0.5", None)),
+            fmt_count(plain("jpeg_decode_bytes")),
+            fmt_rate(rate("jpeg_decode_bytes")),
+            fmt_count(plain("jpeg_decode_blocks")),
+        );
+    }
     let _ = writeln!(
         out,
         "estimator      primary ok {}  fail {}  fallback {}  log suppressed {}",
@@ -1003,6 +1020,11 @@ mod tests {
                     serve_request_wall_us{window=\"10s\",quantile=\"0.5\"} 400\n\
                     serve_request_wall_us{window=\"10s\",quantile=\"0.99\"} 500\n\
                     runtime_worker_0_busy_us 2500000\n\
+                    jpeg_decode_entropy_us{quantile=\"0.5\"} 800\n\
+                    jpeg_decode_entropy_us{quantile=\"0.99\"} 1500\n\
+                    jpeg_decode_mbps{quantile=\"0.5\"} 240\n\
+                    jpeg_decode_bytes 123456\n\
+                    jpeg_decode_blocks 6144\n\
                     breaker_state 0\n";
         let samples = dcdiff_telemetry::prometheus::parse(text).unwrap();
         let frame = render_top("127.0.0.1:1", &samples);
@@ -1012,7 +1034,20 @@ mod tests {
         assert!(frame.contains("p50 2.0ms"), "{frame}");
         assert!(frame.contains("[10s] p50 0.4ms  p99 0.5ms"), "{frame}");
         assert!(frame.contains("w0 2.5s"), "{frame}");
+        assert!(
+            frame.contains("jpeg decode    entropy p50 0.8ms  p99 1.5ms   240 MB/s p50"),
+            "{frame}"
+        );
+        assert!(frame.contains("bytes 123456"), "{frame}");
+        assert!(frame.contains("blocks 6144"), "{frame}");
         assert!(frame.contains("breaker state  0 (closed)"), "{frame}");
+    }
+
+    #[test]
+    fn render_top_omits_decode_row_without_decode_samples() {
+        let samples = dcdiff_telemetry::prometheus::parse("runtime_queue_depth 0\n").unwrap();
+        let frame = render_top("127.0.0.1:1", &samples);
+        assert!(!frame.contains("jpeg decode"), "{frame}");
     }
 
     #[test]

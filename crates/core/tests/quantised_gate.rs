@@ -1,0 +1,112 @@
+//! Accuracy gate for quantised (f16-storage) U-Net inference.
+//!
+//! The f16 GEMM path (`dcdiff_tensor::kernels::hgemm`) promises that
+//! rounding weights and activations to binary16 *storage* — with all
+//! accumulation in f32 — does not meaningfully change recovery quality.
+//! This test pins that promise on the committed scene profiles: the same
+//! trained estimator recovers the same dropped-DC scenes with the f32 and
+//! the quantised path, and the PSNR delta must stay inside a tight bound.
+//!
+//! This is a tier-1 test: if a future kernel change (packing, microkernel,
+//! conversion rounding) degrades the quantised path, this fails before any
+//! bench artifact moves. The toggle is process-global, so both runs happen
+//! sequentially inside one `#[test]` in this dedicated integration binary.
+
+use dcdiff_core::{DcDiff, DcDiffConfig, TrainBudget};
+use dcdiff_data::{DatasetProfile, SceneGenerator, SceneKind};
+use dcdiff_image::Image;
+use dcdiff_jpeg::{ChromaSampling, CoeffImage, DcDropMode};
+use dcdiff_metrics::psnr;
+use dcdiff_tensor::kernels::set_quantised_inference;
+
+/// Max PSNR the quantised path may lose (or spuriously gain) on any
+/// committed scene, in dB. Binary16 storage keeps per-element relative
+/// error under 2^-11 and the accumulators stay f32, so the observed
+/// deltas are typically well under 0.1 dB; 0.5 dB leaves headroom for
+/// scene variance without letting a real regression through.
+const PSNR_DELTA_BOUND: f32 = 0.5;
+
+fn trained_system() -> DcDiff {
+    let config = DcDiffConfig {
+        stage1_base: 8,
+        latent_channels: 4,
+        unet_base: 8,
+        diffusion_steps: 50,
+        ddim_steps: 5,
+        ..DcDiffConfig::default()
+    };
+    let budget = TrainBudget {
+        stage1_steps: 40,
+        ldm_steps: 30,
+        mld_steps: 10,
+        fmpp_steps: 5,
+        batch: 2,
+    };
+    let mut system = DcDiff::new(config, 2);
+    let images = DatasetProfile::set5().with_dims(48, 48).generate(30);
+    system.train(&images, budget, 9);
+    system
+}
+
+fn scene(kind: SceneKind, seed: u64) -> (Image, CoeffImage) {
+    let img = SceneGenerator::new(kind, 48, 48).generate(seed);
+    let coeffs = CoeffImage::from_image(&img, 50, ChromaSampling::Cs444);
+    let dropped = coeffs.drop_dc(DcDropMode::KeepCorners);
+    (coeffs.to_image(), dropped)
+}
+
+#[test]
+fn quantised_inference_stays_within_psnr_bound_of_f32() {
+    let system = trained_system();
+    let profiles =
+        [(SceneKind::Smooth, 777u64), (SceneKind::Natural, 11), (SceneKind::Urban, 4)];
+    for (kind, seed) in profiles {
+        let (reference, dropped) = scene(kind, seed);
+
+        set_quantised_inference(false);
+        let out_f32 = system.recover(&dropped);
+        set_quantised_inference(true);
+        let out_f16 = system.recover(&dropped);
+        set_quantised_inference(false);
+
+        let p_f32 = psnr(&reference, &out_f32);
+        let p_f16 = psnr(&reference, &out_f16);
+        let delta = (p_f32 - p_f16).abs();
+        assert!(
+            delta <= PSNR_DELTA_BOUND,
+            "{kind:?}/{seed}: f32 {p_f32:.3} dB vs quantised {p_f16:.3} dB \
+             (|delta| {delta:.3} > {PSNR_DELTA_BOUND})"
+        );
+        // The two paths must also agree with each other directly — a
+        // mutual check that cannot be masked by both paths degrading.
+        let cross = psnr(&out_f32, &out_f16);
+        assert!(
+            cross > 35.0,
+            "{kind:?}/{seed}: f32-vs-quantised agreement only {cross:.2} dB"
+        );
+    }
+}
+
+#[test]
+fn quantised_toggle_changes_the_forward_path() {
+    // Sanity check that the toggle actually routes through f16 storage:
+    // a GEMM on values that binary16 cannot represent exactly must differ
+    // between the two settings (guards against the dispatch silently
+    // always choosing sgemm, which would make the gate above vacuous).
+    use dcdiff_tensor::{no_grad, Tensor};
+    let vals: Vec<f32> = (0..64 * 64).map(|i| 1.0 + (i as f32) * 1e-4).collect();
+    let a = Tensor::from_vec(vec![64, 64], vals.clone());
+    let b = Tensor::from_vec(vec![64, 64], vals);
+    set_quantised_inference(false);
+    let full = no_grad(|| a.matmul(&b));
+    set_quantised_inference(true);
+    let quant = no_grad(|| a.matmul(&b));
+    set_quantised_inference(false);
+    let diff: f32 = full
+        .to_vec()
+        .iter()
+        .zip(quant.to_vec().iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    assert!(diff > 0.0, "quantised toggle had no effect on a no-grad matmul");
+}

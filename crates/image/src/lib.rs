@@ -27,7 +27,10 @@ mod io;
 mod plane;
 
 pub use blocks::{Block8, BlockGrid};
-pub use color::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel};
+pub use color::{
+    rgb_to_ycbcr_pixel, rgb_to_ycbcr_rows, rgb_to_ycbcr_rows_scalar, simd_force_scalar,
+    simd_tier_name, ycbcr_to_rgb_pixel, ycbcr_to_rgb_rows, ycbcr_to_rgb_rows_scalar,
+};
 pub use error::ImageError;
 pub use image::{ColorSpace, Image};
 pub use io::{read_pgm, read_ppm, write_pgm, write_ppm};

@@ -252,7 +252,14 @@ impl Plane {
             width <= self.width && height <= self.height,
             "crop_to target exceeds plane size"
         );
-        Plane::from_fn(width, height, |x, y| self.get(x, y))
+        if width == self.width && height == self.height {
+            return self.clone();
+        }
+        let mut out = Plane::new(width, height);
+        for y in 0..height {
+            out.row_mut(y).copy_from_slice(&self.row(y)[..width]);
+        }
+        out
     }
 
     /// Mean absolute difference against another plane.

@@ -1,6 +1,9 @@
 //! Property-based tests for the image containers and colour transforms.
 
-use dcdiff_image::{rgb_to_ycbcr_pixel, ycbcr_to_rgb_pixel, BlockGrid, Image, Plane};
+use dcdiff_image::{
+    rgb_to_ycbcr_pixel, rgb_to_ycbcr_rows, rgb_to_ycbcr_rows_scalar, ycbcr_to_rgb_pixel,
+    ycbcr_to_rgb_rows, ycbcr_to_rgb_rows_scalar, BlockGrid, Image, Plane,
+};
 use proptest::prelude::*;
 
 fn arbitrary_plane() -> impl Strategy<Value = Plane> {
@@ -26,6 +29,42 @@ proptest! {
         prop_assert!((r - r2).abs() < 1.0, "r {} -> {}", r, r2);
         prop_assert!((g - g2).abs() < 1.0, "g {} -> {}", g, g2);
         prop_assert!((b - b2).abs() < 1.0, "b {} -> {}", b, b2);
+    }
+
+    #[test]
+    fn dispatched_rows_match_scalar_rows(
+        y in proptest::collection::vec(-64.0f32..320.0, 1..100),
+        seed in any::<u32>(),
+    ) {
+        // Inputs deliberately spill outside [0,255] so the clamp rails
+        // are exercised; lengths are rarely multiples of 8 so the vector
+        // body plus scalar tail both run.
+        let n = y.len();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 16) as f32 % 384.0 - 64.0
+        };
+        let cb: Vec<f32> = (0..n).map(|_| next()).collect();
+        let cr: Vec<f32> = (0..n).map(|_| next()).collect();
+        let (mut r1, mut g1, mut b1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut r2, mut g2, mut b2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        ycbcr_to_rgb_rows(&y, &cb, &cr, &mut r1, &mut g1, &mut b1);
+        ycbcr_to_rgb_rows_scalar(&y, &cb, &cr, &mut r2, &mut g2, &mut b2);
+        for i in 0..n {
+            prop_assert!((r1[i] - r2[i]).abs() < 5e-3, "r[{}]", i);
+            prop_assert!((g1[i] - g2[i]).abs() < 5e-3, "g[{}]", i);
+            prop_assert!((b1[i] - b2[i]).abs() < 5e-3, "b[{}]", i);
+        }
+        let (mut y1, mut cb1, mut cr1) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut y2s, mut cb2s, mut cr2s) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        rgb_to_ycbcr_rows(&r1, &g1, &b1, &mut y1, &mut cb1, &mut cr1);
+        rgb_to_ycbcr_rows_scalar(&r1, &g1, &b1, &mut y2s, &mut cb2s, &mut cr2s);
+        for i in 0..n {
+            prop_assert!((y1[i] - y2s[i]).abs() < 5e-3);
+            prop_assert!((cb1[i] - cb2s[i]).abs() < 5e-3);
+            prop_assert!((cr1[i] - cr2s[i]).abs() < 5e-3);
+        }
     }
 
     #[test]

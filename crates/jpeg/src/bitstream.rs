@@ -182,12 +182,57 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read `count` bits MSB-first; `None` if the stream ends first.
+    ///
+    /// When the accumulator already buffers `count` bits the extraction is
+    /// a single shift/mask; the bit-by-bit path only runs near end of
+    /// data or a parked marker, so truncation semantics are unchanged.
     pub fn bits(&mut self, count: u32) -> Option<u32> {
+        if count == 0 {
+            return Some(0);
+        }
+        if count <= 24 {
+            if self.nbits < count {
+                self.refill();
+            }
+            if self.nbits >= count {
+                self.nbits -= count;
+                return Some((self.acc >> self.nbits) & ((1u32 << count) - 1));
+            }
+        }
         let mut out = 0u32;
         for _ in 0..count {
             out = (out << 1) | self.bit()?;
         }
         Some(out)
+    }
+
+    /// Peek the next `count` bits (1..=24) MSB-first without consuming
+    /// them; `None` when fewer than `count` bits remain before the end of
+    /// data or a marker.
+    ///
+    /// This is the probe primitive for the table-accelerated Huffman
+    /// decoder: a `None` sends the caller to the bit-by-bit path, whose
+    /// end-of-stream behaviour is the contract the fault corpus pins.
+    pub fn peek(&mut self, count: u32) -> Option<u32> {
+        if count == 0 || count > 24 {
+            return None;
+        }
+        if self.nbits < count {
+            self.refill();
+        }
+        if self.nbits < count {
+            return None;
+        }
+        Some((self.acc >> (self.nbits - count)) & ((1u32 << count) - 1))
+    }
+
+    /// Discard `count` bits previously returned by [`Self::peek`].
+    ///
+    /// Callers must not consume more bits than the preceding `peek`
+    /// made visible; excess counts are clamped to the buffered amount
+    /// rather than underflowing.
+    pub fn consume(&mut self, count: u32) {
+        self.nbits -= count.min(self.nbits);
     }
 }
 
@@ -271,6 +316,76 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.bits(8), Some(0xAB));
         assert_eq!(r.bits(8), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = BitWriter::new();
+        w.put(0b1_0110_1001, 9);
+        w.put(0b0101_0101, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek(9), Some(0b1_0110_1001));
+        assert_eq!(r.peek(9), Some(0b1_0110_1001), "peek must be idempotent");
+        r.consume(9);
+        assert_eq!(r.bits(8), Some(0b0101_0101));
+    }
+
+    #[test]
+    fn peek_refuses_past_end_and_markers() {
+        // only 8 data bits before the marker: a 9-bit probe must fail
+        // while bit-by-bit reads still drain the 8 real bits.
+        let bytes = [0xAB, 0xFF, 0xD9];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek(9), None);
+        assert_eq!(r.bits(8), Some(0xAB));
+        assert_eq!(r.bit(), None);
+    }
+
+    #[test]
+    fn peek_rejects_degenerate_counts() {
+        let mut r = BitReader::new(&[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(r.peek(0), None);
+        assert_eq!(r.peek(25), None);
+        assert_eq!(r.peek(24), Some(0xAABBCC));
+    }
+
+    #[test]
+    fn consume_clamps_to_buffered_bits() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.peek(8), Some(0xAB));
+        r.consume(32); // over-consume must not underflow
+        assert_eq!(r.bit(), None);
+    }
+
+    #[test]
+    fn bulk_bits_match_single_bit_reads() {
+        let payload = [0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0];
+        for count in 1..=16u32 {
+            let mut bulk = BitReader::new(&payload);
+            let mut single = BitReader::new(&payload);
+            loop {
+                let expect = {
+                    let mut out = 0u32;
+                    let mut ok = true;
+                    for _ in 0..count {
+                        match single.bit() {
+                            Some(b) => out = (out << 1) | b,
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    ok.then_some(out)
+                };
+                let got = bulk.bits(count);
+                assert_eq!(got, expect, "width {count}");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -230,15 +230,21 @@ impl JpegDecoder {
     /// [`JpegErrorKind::Internal`](crate::JpegErrorKind::Internal) error rather than unwinding into the
     /// caller — decode of untrusted bytes never takes down a worker.
     pub fn decode_coefficients(bytes: &[u8]) -> Result<CoeffImage, JpegError> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Parser::new(bytes).parse()))
-            .unwrap_or_else(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "parser panicked".to_string());
-                Err(JpegError::internal(format!("decoder panic: {msg}")))
-            })
+        let t0 = std::time::Instant::now();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Parser::new(bytes).parse()))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "parser panicked".to_string());
+                    Err(JpegError::internal(format!("decoder panic: {msg}")))
+                });
+        if result.is_ok() {
+            crate::metrics::record_entropy(t0, bytes.len() as u64);
+        }
+        result
     }
 }
 

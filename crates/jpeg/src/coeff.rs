@@ -177,13 +177,20 @@ impl CoeffPlane {
             for bx in 0..self.blocks_x {
                 let coeffs = qtable.dequantize(self.block(bx, by));
                 let samples = idct(&coeffs);
+                // Write whole 8-sample rows: one bounds check per row
+                // instead of one `Plane::set` per pixel keeps the block
+                // scatter out of the decode profile.
                 for y in 0..BLOCK {
-                    for x in 0..BLOCK {
-                        let v = (samples[y * BLOCK + x] + 128.0).clamp(0.0, 255.0);
-                        out.set(bx * BLOCK + x, by * BLOCK + y, v);
+                    let dst = &mut out.row_mut(by * BLOCK + y)[bx * BLOCK..(bx + 1) * BLOCK];
+                    let src = &samples[y * BLOCK..(y + 1) * BLOCK];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = (s + 128.0).clamp(0.0, 255.0);
                     }
                 }
             }
+        }
+        if out.dims() == (self.width, self.height) {
+            return out;
         }
         out.crop_to(self.width, self.height)
     }
@@ -391,8 +398,13 @@ impl CoeffImage {
     /// conversion + chroma upsampling). Output colour space matches the
     /// component count: RGB for 3 components, grayscale for 1.
     pub fn to_image(&self) -> Image {
+        let t0 = std::time::Instant::now();
+        let blocks: u64 =
+            self.planes.iter().map(|p| (p.blocks_x() * p.blocks_y()) as u64).sum();
         if self.planes.len() == 1 {
-            return Image::from_gray(self.planes[0].to_plane(&self.qtables[0]));
+            let out = Image::from_gray(self.planes[0].to_plane(&self.qtables[0]));
+            crate::metrics::record_pixels(t0, blocks);
+            return out;
         }
         let y = self.planes[0].to_plane(&self.qtables[0]);
         let mut cb = self.planes[1].to_plane(&self.qtables[1]);
@@ -411,7 +423,9 @@ impl CoeffImage {
         let ycbcr = Image::from_planes(vec![y, cb, cr], ColorSpace::YCbCr)
             // analysis: allow(no-panic) — structural invariant: the chroma planes were just upsampled to the luma grid above
             .expect("component planes share dimensions");
-        ycbcr.to_rgb()
+        let out = ycbcr.into_rgb();
+        crate::metrics::record_pixels(t0, blocks);
+        out
     }
 
     /// Decode a DC-only thumbnail: one pixel per 8×8 block taken from the

@@ -1,6 +1,27 @@
 //! Canonical Huffman coding with the ITU-T T.81 Annex K typical tables.
+//!
+//! Decoding is table-accelerated: [`HuffmanTable::try_new`] additionally
+//! builds a [`LOOKUP_BITS`]-wide prefix table mapping every bit window
+//! that starts with a short code to its `(length, symbol)` pair, so the
+//! common case in [`HuffmanTable::decode`] is one
+//! [`BitReader::peek`] + one array probe + one
+//! [`BitReader::consume`] — and the following amplitude bits come out of
+//! the same refill via the bulk [`BitReader::bits`] path, so a typical
+//! (symbol, amplitude) token pair costs two buffered extractions instead
+//! of up to 25 single-bit reads. Codes longer than the window (rare in
+//! the Annex-K tables: ≤1.5% of coded symbols at typical qualities) and
+//! windows cut short by end-of-data or a marker fall back to
+//! [`HuffmanTable::decode_bitwise`], which preserves the exact
+//! truncation semantics the fault corpus pins.
 
 use crate::bitstream::{BitReader, BitWriter};
+
+/// Window width of the single-probe decode lookup table.
+///
+/// 9 bits covers every DC code and all but the longest AC codes of the
+/// Annex-K tables while keeping each table's LUT at 1 KiB (512 × u16).
+pub const LOOKUP_BITS: u32 = 9;
+const LOOKUP_LEN: usize = 1 << LOOKUP_BITS;
 
 /// DC luminance table (Annex K.3.1): code lengths per bit count.
 pub const DC_LUMA_BITS: [u8; 16] = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
@@ -61,6 +82,11 @@ pub struct HuffmanTable {
     min_code: [i32; 17],
     max_code: [i32; 17],
     val_ptr: [usize; 17],
+    /// Single-probe decode LUT: indexed by the next [`LOOKUP_BITS`] bits
+    /// of the stream, holds `(code_len << 8) | symbol` when that window
+    /// starts with a code of length ≤ [`LOOKUP_BITS`], else 0 (fall back
+    /// to the bit-by-bit decoder).
+    lut: Box<[u16; LOOKUP_LEN]>,
 }
 
 impl HuffmanTable {
@@ -98,6 +124,7 @@ impl HuffmanTable {
 
         let mut code: u32 = 0;
         let mut k = 0usize;
+        let mut lut = Box::new([0u16; LOOKUP_LEN]);
         for (i, &count) in bits.iter().enumerate() {
             let (l, count) = (i + 1, count as usize);
             min_code[l] = code as i32; // analysis: allow(no-unchecked-index) — l = i+1 is 1..=16 into [_; 17] tables
@@ -108,6 +135,20 @@ impl HuffmanTable {
             for &sym in chunk {
                 enc_code[sym as usize] = code as u16; // analysis: allow(no-unchecked-index) — sym is a u8 index into 256-entry tables
                 enc_size[sym as usize] = l as u8;
+                if l <= LOOKUP_BITS as usize {
+                    // Every window whose high `l` bits equal `code` decodes
+                    // to `sym`: fill the 2^(LOOKUP_BITS - l) aliases. A
+                    // degenerate DHT can push `code` past 2^l; those codes
+                    // are unreachable by the bit-by-bit decoder (its
+                    // min/max range check never matches them), and the
+                    // start offset lands past the LUT so `skip` writes
+                    // nothing — the two decode paths stay in agreement.
+                    let span = 1usize << (LOOKUP_BITS as usize - l);
+                    let start = (code as usize) << (LOOKUP_BITS as usize - l);
+                    for entry in lut.iter_mut().skip(start).take(span) {
+                        *entry = ((l as u16) << 8) | sym as u16;
+                    }
+                }
                 code += 1;
             }
             k += count;
@@ -122,6 +163,7 @@ impl HuffmanTable {
             min_code,
             max_code,
             val_ptr,
+            lut,
         })
     }
 
@@ -174,7 +216,35 @@ impl HuffmanTable {
 
     /// Decode the next symbol from `reader`; `None` at end of data or on
     /// an invalid code.
+    ///
+    /// Fast path: one [`BitReader::peek`] of [`LOOKUP_BITS`] bits and a
+    /// single LUT probe resolves every code of length ≤ [`LOOKUP_BITS`].
+    /// Longer codes, invalid prefixes, and windows truncated by
+    /// end-of-data or a marker take [`Self::decode_bitwise`], which is
+    /// bit-for-bit the pre-LUT decoder. While [`crate::simd::force_scalar`]
+    /// pins the reference pipeline, every symbol takes the bitwise tier.
     pub fn decode(&self, reader: &mut BitReader<'_>) -> Option<u8> {
+        if crate::simd::scalar_forced() {
+            // `force_scalar` pins the whole reference pipeline, entropy
+            // included, so benches measure the pre-LUT baseline.
+            return self.decode_bitwise(reader);
+        }
+        if let Some(window) = reader.peek(LOOKUP_BITS) {
+            // `peek` masks to LOOKUP_BITS, so `window < LOOKUP_LEN` and the
+            // probe cannot miss; `get` keeps the access checked anyway.
+            if let Some(&entry) = self.lut.get(window as usize) {
+                if entry != 0 {
+                    reader.consume((entry >> 8) as u32);
+                    return Some((entry & 0xFF) as u8);
+                }
+            }
+        }
+        self.decode_bitwise(reader)
+    }
+
+    /// Bit-by-bit canonical decode (T.81 F.2.2.3), the slow tier behind
+    /// [`Self::decode`] and the oracle the LUT path is tested against.
+    pub fn decode_bitwise(&self, reader: &mut BitReader<'_>) -> Option<u8> {
         let mut code: i32 = 0;
         for l in 1..=16usize {
             code = (code << 1) | reader.bit()? as i32;
@@ -259,6 +329,93 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn table_decode_matches_bitwise_on_random_symbol_streams() {
+        // Encode pseudo-random symbol sequences (biased toward the long
+        // AC tail so >LOOKUP_BITS codes are exercised) and check the LUT
+        // and bit-by-bit decoders agree symbol by symbol.
+        for t in [
+            HuffmanTable::dc_luma(),
+            HuffmanTable::dc_chroma(),
+            HuffmanTable::ac_luma(),
+            HuffmanTable::ac_chroma(),
+        ] {
+            let pool: Vec<u8> = t.vals().to_vec();
+            let mut state = 0x2545_F491u32;
+            let mut symbols = Vec::new();
+            for _ in 0..4096 {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                symbols.push(pool[(state >> 16) as usize % pool.len()]);
+            }
+            let mut w = BitWriter::new();
+            for &s in &symbols {
+                t.encode(&mut w, s);
+            }
+            let bytes = w.finish();
+            let mut fast = BitReader::new(&bytes);
+            let mut slow = BitReader::new(&bytes);
+            for (i, &s) in symbols.iter().enumerate() {
+                assert_eq!(t.decode(&mut fast), Some(s), "fast sym {i}");
+                assert_eq!(t.decode_bitwise(&mut slow), Some(s), "slow sym {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_decode_matches_bitwise_on_truncations() {
+        // Chop an encoded stream at every byte boundary: both decode
+        // tiers must yield the identical symbol sequence (including the
+        // trailing None) on each prefix.
+        let t = HuffmanTable::ac_luma();
+        let mut w = BitWriter::new();
+        let mut state = 7u32;
+        for _ in 0..256 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let sym = t.vals()[(state >> 16) as usize % t.vals().len()];
+            t.encode(&mut w, sym);
+        }
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut fast = BitReader::new(&bytes[..cut]);
+            let mut slow = BitReader::new(&bytes[..cut]);
+            loop {
+                let a = t.decode(&mut fast);
+                let b = t.decode_bitwise(&mut slow);
+                assert_eq!(a, b, "cut {cut}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_covers_every_short_code() {
+        // Every symbol with a code of length <= LOOKUP_BITS must be
+        // resolvable by a single probe (entry != 0 at its exact window).
+        let t = HuffmanTable::ac_luma();
+        let mut short = 0usize;
+        for &sym in t.vals() {
+            let len = t.code_len(sym) as u32;
+            if len <= LOOKUP_BITS {
+                let window =
+                    (t.enc_code[sym as usize] as usize) << (LOOKUP_BITS - len);
+                let entry = t.lut[window];
+                assert_eq!(entry >> 8, len as u16, "len for {sym:#04x}");
+                assert_eq!((entry & 0xFF) as u8, sym, "sym for {sym:#04x}");
+                short += 1;
+            }
+        }
+        // 23 of the 162 AC luma symbols are short-coded — but those are
+        // the high-probability run/size pairs that dominate real scans.
+        assert!(short >= 20, "Annex-K AC luma short-code count: {short}");
+        // Every DC category code fits the window outright.
+        let dc = HuffmanTable::dc_luma();
+        for &sym in dc.vals() {
+            assert!((dc.code_len(sym) as u32) <= LOOKUP_BITS);
         }
     }
 

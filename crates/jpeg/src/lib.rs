@@ -36,11 +36,13 @@ pub mod rate;
 pub mod dct;
 pub mod huffman;
 pub mod quant;
+pub mod simd;
 pub mod zigzag;
 
 mod codec;
 mod coeff;
 mod error;
+mod metrics;
 mod optimize;
 
 pub use codec::{

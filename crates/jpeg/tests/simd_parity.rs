@@ -1,0 +1,91 @@
+//! Property-based parity of the runtime-dispatched SIMD kernels against
+//! their scalar tiers.
+//!
+//! On an AVX2 host these pin the vector iDCT and the table-accelerated
+//! Huffman decoder to the scalar oracles over random inputs (including
+//! saturation extremes); on a scalar-only host dispatch returns the
+//! oracle itself and the properties hold trivially.
+
+use dcdiff_jpeg::bitstream::{BitReader, BitWriter};
+use dcdiff_jpeg::dct::{idct, idct_scalar};
+use dcdiff_jpeg::huffman::HuffmanTable;
+use dcdiff_jpeg::BLOCK_AREA;
+use proptest::prelude::*;
+
+fn coeff_block(limit: f32) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-limit..limit, BLOCK_AREA)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dispatched_idct_matches_scalar(block in coeff_block(2048.0)) {
+        let mut coeffs = [0.0f32; BLOCK_AREA];
+        coeffs.copy_from_slice(&block);
+        let fast = idct(&coeffs);
+        let slow = idct_scalar(&coeffs);
+        for i in 0..BLOCK_AREA {
+            let tol = 1e-3f32.max(slow[i].abs() * 1e-5);
+            prop_assert!(
+                (fast[i] - slow[i]).abs() < tol,
+                "sample {}: {} vs {}", i, fast[i], slow[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dispatched_idct_matches_scalar_at_quantiser_extremes(
+        signs in proptest::collection::vec(any::<bool>(), BLOCK_AREA)
+    ) {
+        // |level| * qstep for the coarsest Annex-K quantisers tops out
+        // around 16k; random sign patterns at that magnitude stress
+        // cancellation in both tiers.
+        let mut coeffs = [0.0f32; BLOCK_AREA];
+        for (c, s) in coeffs.iter_mut().zip(&signs) {
+            *c = if *s { 16320.0 } else { -16320.0 };
+        }
+        let fast = idct(&coeffs);
+        let slow = idct_scalar(&coeffs);
+        for i in 0..BLOCK_AREA {
+            let tol = 1e-2 * slow[i].abs().max(1.0);
+            prop_assert!((fast[i] - slow[i]).abs() < tol);
+        }
+    }
+
+    #[test]
+    fn table_decode_matches_bitwise(
+        picks in proptest::collection::vec(any::<u16>(), 1..512),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // Random symbol streams (all four Annex-K tables), decoded in
+        // full and after a random truncation, must agree between the LUT
+        // and bit-by-bit tiers.
+        for t in [
+            HuffmanTable::dc_luma(),
+            HuffmanTable::dc_chroma(),
+            HuffmanTable::ac_luma(),
+            HuffmanTable::ac_chroma(),
+        ] {
+            let pool = t.vals();
+            let mut w = BitWriter::new();
+            for &p in &picks {
+                t.encode(&mut w, pool[p as usize % pool.len()]);
+            }
+            let bytes = w.finish();
+            let keep = ((bytes.len() as f64) * cut_frac) as usize;
+            for stream in [&bytes[..], &bytes[..keep]] {
+                let mut fast = BitReader::new(stream);
+                let mut slow = BitReader::new(stream);
+                loop {
+                    let a = t.decode(&mut fast);
+                    let b = t.decode_bitwise(&mut slow);
+                    prop_assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -11,10 +11,10 @@
 //!
 //! Naming convention: `<subsystem>.<measurement>[_<unit>]`, where the
 //! subsystem is one of the registered namespaces (`runtime.*`, `stage.*`,
-//! `estimator.*`, `breaker.*`, `tensor.*`, `serve.*`, `log.*`, and the span
-//! families `batch.*`, `queue.*`, `job.*`, `encode.*`, `recover.*`,
-//! `metrics.*`).
-//! Histograms carry their unit as a suffix (`_us`, `_mflops`).
+//! `estimator.*`, `breaker.*`, `tensor.*`, `jpeg.*`, `serve.*`, `log.*`,
+//! and the span families `batch.*`, `queue.*`, `job.*`, `encode.*`,
+//! `recover.*`, `metrics.*`).
+//! Histograms carry their unit as a suffix (`_us`, `_mflops`, `_mbps`).
 
 // ---------------------------------------------------------------- spans --
 
@@ -83,6 +83,11 @@ pub const SPAN_RECOVER_PROJECTION: &str = "recover.projection";
 /// Estimator phase: masked-Laplacian refinement.
 pub const SPAN_RECOVER_MLD_REFINE: &str = "recover.mld_refine";
 
+/// JPEG decode: entropy decode of one scan (Huffman + dequantisation).
+pub const SPAN_JPEG_DECODE_ENTROPY: &str = "jpeg.decode.entropy";
+/// JPEG decode: coefficients to pixels (iDCT + colour conversion).
+pub const SPAN_JPEG_DECODE_PIXELS: &str = "jpeg.decode.pixels";
+
 /// Metrics stage: reading both images.
 pub const SPAN_METRICS_READ: &str = "metrics.read";
 /// Metrics stage: computing the quality metrics.
@@ -123,6 +128,12 @@ pub const HIST_GEMM_MFLOPS: &str = "tensor.gemm_mflops";
 pub const HIST_CONV_US: &str = "tensor.conv_us";
 /// Throughput of one conv2d call, MFLOP/s.
 pub const HIST_CONV_MFLOPS: &str = "tensor.conv_mflops";
+/// One entropy-decode pass over a coded stream, microseconds.
+pub const HIST_JPEG_DECODE_ENTROPY_US: &str = "jpeg.decode.entropy_us";
+/// One coefficients-to-pixels pass (iDCT + colour), microseconds.
+pub const HIST_JPEG_DECODE_PIXELS_US: &str = "jpeg.decode.pixels_us";
+/// Entropy-decode throughput over the coded bytes, MB/s.
+pub const HIST_JPEG_DECODE_MBPS: &str = "jpeg.decode.mbps";
 /// Whole-request wall latency at the server, microseconds.
 pub const HIST_SERVE_REQUEST_WALL_US: &str = "serve.request_wall_us";
 /// Request body size, bytes.
@@ -147,6 +158,10 @@ pub const CTR_ESTIMATOR_BREAKER_SHORT_CIRCUIT: &str = "estimator.breaker_short_c
 pub const CTR_ESTIMATOR_FALLBACK_BASELINE: &str = "estimator.fallback_baseline";
 /// Recoveries served by the flat-DC fallback of last resort.
 pub const CTR_ESTIMATOR_FALLBACK_FLAT: &str = "estimator.fallback_flat";
+/// Cumulative coded bytes consumed by JPEG entropy decode.
+pub const CTR_JPEG_DECODE_BYTES: &str = "jpeg.decode.bytes";
+/// Cumulative 8x8 blocks pushed through iDCT on the decode path.
+pub const CTR_JPEG_DECODE_BLOCKS: &str = "jpeg.decode.blocks";
 /// Cumulative multiply-adds issued by the GEMM kernels (x2).
 pub const CTR_GEMM_FLOPS: &str = "tensor.gemm_flops";
 /// Cumulative multiply-adds issued by conv2d (x2).
@@ -247,6 +262,8 @@ pub const REGISTERED: &[&str] = &[
     SPAN_RECOVER_DECODE,
     SPAN_RECOVER_PROJECTION,
     SPAN_RECOVER_MLD_REFINE,
+    SPAN_JPEG_DECODE_ENTROPY,
+    SPAN_JPEG_DECODE_PIXELS,
     SPAN_METRICS_READ,
     SPAN_METRICS_COMPARE,
     SPAN_SERVE_REQUEST,
@@ -265,6 +282,9 @@ pub const REGISTERED: &[&str] = &[
     HIST_GEMM_MFLOPS,
     HIST_CONV_US,
     HIST_CONV_MFLOPS,
+    HIST_JPEG_DECODE_ENTROPY_US,
+    HIST_JPEG_DECODE_PIXELS_US,
+    HIST_JPEG_DECODE_MBPS,
     HIST_SERVE_REQUEST_WALL_US,
     HIST_SERVE_BODY_BYTES,
     HIST_DIFFUSION_BATCH_WIDTH,
@@ -275,6 +295,8 @@ pub const REGISTERED: &[&str] = &[
     CTR_ESTIMATOR_BREAKER_SHORT_CIRCUIT,
     CTR_ESTIMATOR_FALLBACK_BASELINE,
     CTR_ESTIMATOR_FALLBACK_FLAT,
+    CTR_JPEG_DECODE_BYTES,
+    CTR_JPEG_DECODE_BLOCKS,
     CTR_GEMM_FLOPS,
     CTR_CONV_FLOPS,
     CTR_SERVE_ACCEPTED,
@@ -348,6 +370,18 @@ mod tests {
         assert!(is_registered(CTR_DIFFUSION_BATCH_LANE_STEPS));
         assert!(is_registered(CTR_DIFFUSION_BATCH_EVICTIONS));
         assert!(!is_registered("diffusion.batch.widths")); // near-miss typo
+    }
+
+    #[test]
+    fn jpeg_decode_series_are_registered() {
+        assert!(is_registered(SPAN_JPEG_DECODE_ENTROPY));
+        assert!(is_registered(SPAN_JPEG_DECODE_PIXELS));
+        assert!(is_registered(HIST_JPEG_DECODE_ENTROPY_US));
+        assert!(is_registered(HIST_JPEG_DECODE_PIXELS_US));
+        assert!(is_registered(HIST_JPEG_DECODE_MBPS));
+        assert!(is_registered(CTR_JPEG_DECODE_BYTES));
+        assert!(is_registered(CTR_JPEG_DECODE_BLOCKS));
+        assert!(!is_registered("jpeg.decode.mb_per_s")); // near-miss typo
     }
 
     #[test]

@@ -1,0 +1,789 @@
+//! f16-storage / f32-accumulate GEMM for quantised U-Net inference.
+//!
+//! [`hgemm`] is the half-precision sibling of [`super::sgemm`]: the same
+//! BLIS-style blocked loop and stripe sharding, but the packed A/B panels
+//! hold IEEE 754 binary16 (`u16` bit patterns) instead of f32 — halving
+//! packed-panel bandwidth, which is what bounds the narrow U-Net GEMMs —
+//! while every multiply-accumulate still runs in f32 registers, so error
+//! only enters through the one storage rounding per operand element.
+//!
+//! The microkernel is picked once at runtime (mirroring
+//! [`super::gemm::microkernel_info`]): an AVX2+FMA+F16C 6x16 kernel that
+//! widens halves with `vcvtph2ps` in-register, else a portable 4x8 kernel
+//! that converts through [`f16_to_f32`]. There is deliberately **no**
+//! f16 accumulation tier — binary16 addition loses ~3 decimal digits and
+//! would not pass the accuracy gate (see `PERFORMANCE.md`).
+//!
+//! Callers do not quantise anything themselves: inputs and outputs stay
+//! `&[f32]`, and the rounding happens during panel packing. The tensor
+//! ops route their forward GEMMs here when quantised inference is
+//! enabled and autograd is off — see [`super::gemm_infer`].
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use super::config::{configured_threads, KC, MC, NC, PAR_FLOP_THRESHOLD};
+use super::gemm::View;
+use super::pool::parallel_for;
+use super::{scratch, Trans};
+
+/// Convert an `f32` to its IEEE 754 binary16 bit pattern with
+/// round-to-nearest-even, handling subnormals, overflow (→ ±inf) and
+/// NaN (payload truncated, quietened).
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+    if exp == 255 {
+        // Inf or NaN; keep NaNs NaN by forcing a mantissa bit.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00 | ((mant >> 13) as u16 & 0x1FF)
+        };
+    }
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        return sign | 0x7C00; // overflows binary16 -> inf
+    }
+    if unbiased < -14 {
+        // Subnormal half (or zero): shift the implicit-1 mantissa down.
+        if unbiased < -25 {
+            return sign; // rounds to zero even at the halfway point
+        }
+        let m = mant | 0x80_0000;
+        let drop = (-unbiased - 1) as u32; // 14..=24 mantissa bits shifted out
+        let half = m >> drop;
+        let rem = m & ((1u32 << drop) - 1);
+        let halfway = 1u32 << (drop - 1);
+        let rounded =
+            half + u32::from(rem > halfway || (rem == halfway && (half & 1) == 1));
+        return sign | rounded as u16;
+    }
+    let half = (((unbiased + 15) as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1FFF;
+    let rounded = half + u32::from(rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1));
+    // A mantissa carry walks into the exponent; 0x7C00 (inf) is then the
+    // correct overflow result.
+    sign | rounded as u16
+}
+
+/// Convert an IEEE 754 binary16 bit pattern to `f32` (exact — every
+/// binary16 value is representable in binary32).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = if exp == 31 {
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal half: renormalise into binary32.
+            let mut e = 113u32; // f32 exponent of 2^-14
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | (e << 23) | ((m & 0x3FF) << 13)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Round every element of `src` through binary16 storage into `dst`
+/// (`dst[i] = f16_to_f32(f32_to_f16(src[i]))`) — the exact value the
+/// hgemm panels see; used by tests and accuracy probes.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn quantize_f16_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "quantize slices must match");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f16_to_f32(f32_to_f16(s));
+    }
+}
+
+/// Bulk `f32 -> binary16` conversion for panel packing: `vcvtps2ph`
+/// eight lanes at a time where F16C is available (bit-identical to
+/// [`f32_to_f16`] — both are round-to-nearest-even, cross-checked by
+/// `conversion_matches_hardware_f16c`), scalar otherwise. The software
+/// conversion costs ~15 cycles per element, which would dominate the
+/// packing pass and hence the whole narrow-GEMM call without this.
+fn quantize_to_f16(src: &[f32], dst: &mut [u16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_f16c() {
+        // SAFETY: F16C was confirmed by `is_x86_feature_detected!` (the
+        // only way `has_f16c` returns true).
+        unsafe { quantize_to_f16_f16c(src, dst) };
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_to_f16(s);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_f16c() -> bool {
+    static HAS: OnceLock<bool> = OnceLock::new();
+    *HAS.get_or_init(|| std::arch::is_x86_feature_detected!("f16c"))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+// SAFETY: unsafe fn — requires F16C (the caller checks `has_f16c`) and
+// equal-length slices (debug-asserted by the dispatching wrapper).
+unsafe fn quantize_to_f16_f16c(src: &[f32], dst: &mut [u16]) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_cvtps_ph, _mm256_loadu_ps, _mm_storeu_si128, _MM_FROUND_TO_NEAREST_INT,
+    };
+    let chunks = src.len() / 8;
+    for i in 0..chunks {
+        // The tail (`len % 8`) takes the scalar conversion below.
+        // SAFETY: `i < len/8` keeps both 8-lane accesses at or below
+        // `len` in equal-length slices; F16C is enabled on this fn.
+        unsafe {
+            let v = _mm256_loadu_ps(src.as_ptr().add(i * 8));
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i * 8) as *mut __m128i, h);
+        }
+    }
+    for i in chunks * 8..src.len() {
+        dst[i] = f32_to_f16(src[i]);
+    }
+}
+
+/// Upper bound on `MR * NR` across f16 microkernels.
+const ACC_MAX: usize = 6 * 16;
+
+/// Extra `u16` slots appended to the packed A panel: the AVX2 kernel
+/// loads 8 halves per depth step but consumes only `MR = 6`, so the last
+/// step's load reads 2 slots past the packed data. The slack keeps that
+/// read inside the allocation.
+const A_PANEL_SLACK: usize = 8;
+
+/// f16-storage register microkernel: `acc[mr][nr] = Astrip · Bstrip`
+/// over a packed depth panel (strips hold binary16 bit patterns, `acc`
+/// is f32).
+///
+/// Safety contract: `astrip` holds `kc*mr + A_PANEL_SLACK` readable
+/// `u16`, `bstrip` `kc*nr`, `acc` `mr*nr` writable f32, and the CPU
+/// supports the kernel's ISA.
+#[derive(Clone, Copy)]
+struct MicroF16 {
+    name: &'static str,
+    mr: usize,
+    nr: usize,
+    kernel: unsafe fn(kc: usize, astrip: *const u16, bstrip: *const u16, acc: *mut f32),
+}
+
+/// Portable 4x8 f16 microkernel: widens each strip row through
+/// [`f16_to_f32`] then runs the dense tile update. Correctness tier for
+/// CPUs without F16C; LLVM auto-vectorises the FMA loop but not the
+/// bit-twiddled conversion.
+///
+/// # Safety
+///
+/// Callers uphold the [`MicroF16::kernel`] contract: `astrip` holds
+/// `kc*4 + A_PANEL_SLACK` readable `u16`, `bstrip` `kc*8`, `acc` 32
+/// writable floats.
+// SAFETY: unsafe fn — callers uphold the `MicroF16::kernel` contract
+// documented above; no ISA requirement beyond the build target.
+unsafe fn micro_portable_f16_4x8(
+    kc: usize,
+    astrip: *const u16,
+    bstrip: *const u16,
+    acc: *mut f32,
+) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let mut tile = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        // SAFETY: `p < kc` and the contract guarantees `kc*MR` halves at
+        // `astrip` and `kc*NR` at `bstrip`, so both rows are in bounds.
+        let (arow, brow) = unsafe {
+            (
+                std::slice::from_raw_parts(astrip.add(p * MR), MR),
+                std::slice::from_raw_parts(bstrip.add(p * NR), NR),
+            )
+        };
+        let mut af = [0.0f32; MR];
+        for (d, &h) in af.iter_mut().zip(arow) {
+            *d = f16_to_f32(h);
+        }
+        let mut bf = [0.0f32; NR];
+        for (d, &h) in bf.iter_mut().zip(brow) {
+            *d = f16_to_f32(h);
+        }
+        for (trow, &av) in tile.iter_mut().zip(&af) {
+            for (t, &bv) in trow.iter_mut().zip(&bf) {
+                *t += av * bv;
+            }
+        }
+    }
+    for (r, trow) in tile.iter().enumerate() {
+        // The stack tile never overlaps the caller's buffer.
+        // SAFETY: `r < MR` and the contract guarantees `MR*NR` writable
+        // floats at `acc`, so `acc.add(r*NR)..+NR` is in bounds.
+        let dst = unsafe { std::slice::from_raw_parts_mut(acc.add(r * NR), NR) };
+        dst.copy_from_slice(trow);
+    }
+}
+
+/// AVX2+FMA+F16C 6x16 f16 microkernel: two `vcvtph2ps` widen the B strip
+/// row, one widens 8 A halves (6 used), and `vpermps` broadcasts each A
+/// lane for two FMAs — 12 ymm accumulators, f32 throughout the arithmetic.
+///
+/// # Safety
+///
+/// Callers uphold the [`MicroF16::kernel`] contract with MR=6/NR=16
+/// (note the A-panel slack: the final 128-bit A load reads 2 halves past
+/// `kc*6`), and the CPU must support avx2+fma+f16c — `detect_micro_f16`
+/// only selects this kernel after `is_x86_feature_detected!` confirms
+/// all three.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma,f16c")]
+// SAFETY: unsafe fn — `MicroF16::kernel` contract (incl. the A-panel slack)
+// plus avx2+fma+f16c, confirmed by `detect_micro_f16` before selection.
+unsafe fn micro_avx2_f16c_6x16(
+    kc: usize,
+    astrip: *const u16,
+    bstrip: *const u16,
+    acc: *mut f32,
+) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_cvtph_ps, _mm256_fmadd_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps, _mm_loadu_si128,
+    };
+    const MR: usize = 6;
+    const NR: usize = 16;
+    let mut c = [[_mm256_setzero_ps(); 2]; MR];
+    let mut arow = [0.0f32; 8];
+    for p in 0..kc {
+        // The contract guarantees `kc*NR` halves at `bstrip` (both
+        // 8-half loads stay below `p*16 + 16 <= kc*16`) and
+        // `kc*MR + A_PANEL_SLACK` at `astrip` (the 8-half load at `p*6`
+        // tops out at `(kc-1)*6 + 8 <= kc*6 + 2`, inside the slack).
+        // SAFETY: `p < kc` with the bounds above; intrinsics are
+        // guarded by this fn's `target_feature` ISA.
+        unsafe {
+            let b0 = _mm256_cvtph_ps(_mm_loadu_si128(bstrip.add(p * NR) as *const __m128i));
+            let b1 = _mm256_cvtph_ps(_mm_loadu_si128(bstrip.add(p * NR + 8) as *const __m128i));
+            // Spill the widened A halves to the stack and broadcast each
+            // element from memory (`vbroadcastss m32`): an in-register
+            // lane shuffle per row would contend with the three
+            // `vcvtph2ps` on the shuffle port, which otherwise bounds
+            // the loop ahead of the FMAs.
+            let a8 = _mm256_cvtph_ps(_mm_loadu_si128(astrip.add(p * MR) as *const __m128i));
+            _mm256_storeu_ps(arow.as_mut_ptr(), a8);
+            for (r, crow) in c.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(arow[r]);
+                crow[0] = _mm256_fmadd_ps(av, b0, crow[0]);
+                crow[1] = _mm256_fmadd_ps(av, b1, crow[1]);
+            }
+        }
+    }
+    for (r, crow) in c.iter().enumerate() {
+        // SAFETY: stores index `r*16 + 8 < 6*16 = ACC_MAX <= mr*nr`
+        // writable floats guaranteed by the contract.
+        unsafe {
+            _mm256_storeu_ps(acc.add(r * NR), crow[0]);
+            _mm256_storeu_ps(acc.add(r * NR + 8), crow[1]);
+        }
+    }
+}
+
+fn detect_micro_f16() -> MicroF16 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+            && std::arch::is_x86_feature_detected!("f16c")
+        {
+            return MicroF16 {
+                name: "avx2_f16c_6x16",
+                mr: 6,
+                nr: 16,
+                kernel: micro_avx2_f16c_6x16,
+            };
+        }
+    }
+    MicroF16 { name: "portable_f16_4x8", mr: 4, nr: 8, kernel: micro_portable_f16_4x8 }
+}
+
+fn active_micro_f16() -> MicroF16 {
+    static MICRO: OnceLock<MicroF16> = OnceLock::new();
+    *MICRO.get_or_init(detect_micro_f16)
+}
+
+/// `(name, mr, nr)` of the f16 microkernel selected for this CPU
+/// (recorded in bench artifacts by [`super::KernelConfig`]).
+pub fn hgemm_info() -> (&'static str, usize, usize) {
+    let micro = active_micro_f16();
+    (micro.name, micro.mr, micro.nr)
+}
+
+thread_local! {
+    /// Per-thread reuse of `u16` packing panels (the f32 [`super::scratch`]
+    /// pool cannot hand out `u16` buffers). Two panels live at once per
+    /// stripe; keep a couple of spares for nested shapes.
+    static PANELS: RefCell<Vec<Vec<u16>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_panel(len: usize) -> Vec<u16> {
+    let reused = PANELS.with(|p| {
+        let mut pool = p.borrow_mut();
+        let pos = pool.iter().position(|buf| buf.capacity() >= len);
+        pos.map(|i| pool.swap_remove(i))
+    });
+    match reused {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0);
+            buf
+        }
+        None => vec![0u16; len],
+    }
+}
+
+fn put_panel(buf: Vec<u16>) {
+    PANELS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 4 {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Pack the `mc x kc` block of `op(A)` into `mr`-row binary16 strips
+/// (layout identical to the f32 `pack_a`, zero-padded past `mc`).
+///
+/// Packs into an f32 staging buffer first and bulk-converts the used
+/// prefix through [`quantize_to_f16`], so the rounding runs vectorised
+/// over a contiguous panel instead of element-wise inside the gather.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_f16(
+    panel: &mut [u16],
+    mr: usize,
+    a: &[f32],
+    view: View,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let strips = mc.div_ceil(mr);
+    let used = strips * kc * mr;
+    debug_assert!(panel.len() >= used);
+    let mut staging = scratch::take_dirty(used);
+    for ir in 0..strips {
+        let row0 = ir * mr;
+        let full = (mc - row0).min(mr);
+        let strip = &mut staging[ir * kc * mr..(ir * kc + kc) * mr];
+        for p in 0..kc {
+            let dst = &mut strip[p * mr..p * mr + mr];
+            let base = view.at(i0 + row0, p0 + p);
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < full { a[base + r * view.rs] } else { 0.0 };
+            }
+        }
+    }
+    quantize_to_f16(&staging, &mut panel[..used]);
+    scratch::put(staging);
+}
+
+/// Pack the `kc x nc` block of `op(B)` into `nr`-column binary16 strips
+/// (layout identical to the f32 `pack_b`), staged and bulk-converted
+/// like [`pack_a_f16`].
+#[allow(clippy::too_many_arguments)]
+fn pack_b_f16(
+    panel: &mut [u16],
+    nr: usize,
+    b: &[f32],
+    view: View,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let strips = nc.div_ceil(nr);
+    let used = strips * kc * nr;
+    debug_assert!(panel.len() >= used);
+    let mut staging = scratch::take_dirty(used);
+    for jr in 0..strips {
+        let col0 = jr * nr;
+        let full = (nc - col0).min(nr);
+        let strip = &mut staging[jr * kc * nr..(jr * kc + kc) * nr];
+        for p in 0..kc {
+            let dst = &mut strip[p * nr..p * nr + nr];
+            let base = view.at(p0 + p, j0 + col0);
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = if j < full { b[base + j * view.cs] } else { 0.0 };
+            }
+        }
+    }
+    quantize_to_f16(&staging, &mut panel[..used]);
+    scratch::put(staging);
+}
+
+/// Full blocked loop for one C stripe of the f16-storage GEMM (the
+/// [`super::gemm`] `gemm_stripe` with binary16 panels).
+#[allow(clippy::too_many_arguments)]
+fn hgemm_stripe(
+    micro: MicroF16,
+    k: usize,
+    a: &[f32],
+    av: View,
+    b: &[f32],
+    bv: View,
+    c: *mut f32,
+    ldc: usize,
+    i0: usize,
+    ms: usize,
+    j0: usize,
+    ns: usize,
+) {
+    let (mr, nr) = (micro.mr, micro.nr);
+    let mut apanel = take_panel(MC.div_ceil(mr) * KC * mr + A_PANEL_SLACK);
+    let mut bpanel = take_panel(NC.div_ceil(nr) * KC * nr);
+    let mut acc = [0.0f32; ACC_MAX];
+    for jc in (0..ns).step_by(NC) {
+        let nc = (ns - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            pack_b_f16(&mut bpanel, nr, b, bv, pc, kc, j0 + jc, nc);
+            for ic in (0..ms).step_by(MC) {
+                let mc = (ms - ic).min(MC);
+                pack_a_f16(&mut apanel, mr, a, av, i0 + ic, mc, pc, kc);
+                for jr in 0..nc.div_ceil(nr) {
+                    let bstrip = &bpanel[jr * kc * nr..(jr * kc + kc) * nr];
+                    let ncols = (nc - jr * nr).min(nr);
+                    for ir in 0..mc.div_ceil(mr) {
+                        let astrip = &apanel[ir * kc * mr..];
+                        let nrows = (mc - ir * mr).min(mr);
+                        // `astrip` starts a strip of `kc*mr` packed halves
+                        // (plus `A_PANEL_SLACK` trailing slots past the
+                        // last strip), `bstrip` is exactly `kc*nr`.
+                        // SAFETY: those sizes plus `acc` (ACC_MAX >= mr*nr)
+                        // meet the kernel contract; ISA checked at detection.
+                        unsafe {
+                            (micro.kernel)(kc, astrip.as_ptr(), bstrip.as_ptr(), acc.as_mut_ptr());
+                        }
+                        let crow0 = i0 + ic + ir * mr;
+                        let ccol0 = j0 + jc + jr * nr;
+                        for r in 0..nrows {
+                            let accrow = &acc[r * nr..r * nr + ncols];
+                            // Stripes are mr/nr aligned and disjoint per
+                            // call (see `hgemm_with_threads`).
+                            // SAFETY: the row/col offsets stay inside this
+                            // call's stripe and hence inside `c`.
+                            let dst = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    c.add((crow0 + r) * ldc + ccol0),
+                                    ncols,
+                                )
+                            };
+                            for (d, &v) in dst.iter_mut().zip(accrow) {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    put_panel(bpanel);
+    put_panel(apanel);
+}
+
+/// Blocked, threaded f16-storage GEMM: `C += op(A) · op(B)` with both
+/// packed operands rounded to binary16 and all accumulation in f32.
+///
+/// Numerics: each operand element suffers one round-to-nearest binary16
+/// storage rounding (relative error ≤ 2^-11); products and sums stay
+/// f32, so the result error is linear in `k`, not compounded. The
+/// workspace accuracy gate (PSNR delta vs the f32 path) pins the effect
+/// on real U-Net inference.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its operand shape.
+#[allow(clippy::too_many_arguments)]
+pub fn hgemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    hgemm_with_threads(configured_threads(), ta, tb, m, k, n, a, b, c);
+}
+
+/// [`hgemm`] with an explicit thread budget (1 forces the
+/// single-threaded blocked path; parity tests and benches sweep this).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its operand shape.
+#[allow(clippy::too_many_arguments)]
+pub fn hgemm_with_threads(
+    threads: usize,
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A length must be m*k");
+    assert_eq!(b.len(), k * n, "B length must be k*n");
+    assert_eq!(c.len(), m * n, "C length must be m*n");
+    if m == 0 || n == 0 || k == 0 {
+        return; // C += 0 contribution
+    }
+    let micro = active_micro_f16();
+    let av = View::new(ta, m, k);
+    let bv = View::new(tb, k, n);
+    let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+    let budget = threads.max(1);
+    let shards = if flops < PAR_FLOP_THRESHOLD || budget == 1 {
+        1
+    } else {
+        budget
+            .min(if m >= n { m.div_ceil(micro.mr) } else { n.div_ceil(micro.nr) })
+            .max(1)
+    };
+    if shards == 1 {
+        hgemm_stripe(micro, k, a, av, b, bv, c.as_mut_ptr(), n, 0, m, 0, n);
+        return;
+    }
+    let cptr = c.as_mut_ptr() as usize;
+    if m >= n {
+        let rows_per = m.div_ceil(shards).div_ceil(micro.mr) * micro.mr;
+        let tasks = m.div_ceil(rows_per);
+        parallel_for(tasks, &|t| {
+            let i0 = t * rows_per;
+            let ms = (m - i0).min(rows_per);
+            hgemm_stripe(micro, k, a, av, b, bv, cptr as *mut f32, n, i0, ms, 0, n);
+        });
+    } else {
+        let cols_per = n.div_ceil(shards).div_ceil(micro.nr) * micro.nr;
+        let tasks = n.div_ceil(cols_per);
+        parallel_for(tasks, &|t| {
+            let j0 = t * cols_per;
+            let ns = (n - j0).min(cols_per);
+            hgemm_stripe(micro, k, a, av, b, bv, cptr as *mut f32, n, 0, m, j0, ns);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm_naive;
+
+    fn fill(seed: u32, len: usize, scale: f32) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) as f32 / 32768.0 - 1.0) * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conversion_round_trips_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 6.1035156e-5] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn conversion_error_is_bounded_by_half_ulp() {
+        let vals = fill(3, 4096, 100.0);
+        for &v in &vals {
+            let q = f16_to_f32(f32_to_f16(v));
+            assert!(
+                (q - v).abs() <= v.abs() * (1.0 / 2048.0) + 1e-7,
+                "{v} -> {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn conversion_handles_extremes() {
+        assert_eq!(f32_to_f16(1e9), 0x7C00, "overflow -> +inf");
+        assert_eq!(f32_to_f16(-1e9), 0xFC00, "overflow -> -inf");
+        assert_eq!(f32_to_f16(1e-10), 0, "underflow -> +0");
+        assert_eq!(f16_to_f32(0x7C00), f32::INFINITY);
+        assert_eq!(f16_to_f32(0xFC00), f32::NEG_INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // smallest subnormal half
+        assert!((f16_to_f32(0x0001) - 5.960_464_5e-8).abs() < 1e-12);
+        assert_eq!(f32_to_f16(5.960_464_5e-8), 0x0001);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn conversion_matches_hardware_f16c() {
+        if !std::arch::is_x86_feature_detected!("f16c") {
+            return;
+        }
+        #[target_feature(enable = "f16c")]
+        unsafe fn hw(vals: &[f32; 8]) -> [u16; 8] {
+            use std::arch::x86_64::{
+                __m128i, _mm256_loadu_ps, _mm256_cvtps_ph, _mm_storeu_si128,
+                _MM_FROUND_TO_NEAREST_INT,
+            };
+            let mut out = [0u16; 8];
+            // SAFETY (in-test): both arrays are 8 elements; f16c was
+            // detected by the caller.
+            unsafe {
+                let v = _mm256_loadu_ps(vals.as_ptr());
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+                _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, h);
+            }
+            out
+        }
+        let vals = fill(17, 1024, 500.0);
+        for chunk in vals.chunks_exact(8) {
+            let mut arr = [0.0f32; 8];
+            arr.copy_from_slice(chunk);
+            // SAFETY: f16c presence checked above.
+            let hwbits = unsafe { hw(&arr) };
+            for (i, &v) in arr.iter().enumerate() {
+                assert_eq!(
+                    f32_to_f16(v),
+                    hwbits[i],
+                    "software vs vcvtps2ph for {v}"
+                );
+            }
+        }
+    }
+
+    /// Oracle: f32 GEMM over operands pre-rounded through binary16 —
+    /// exactly what hgemm computes, up to f32 summation order.
+    fn quantised_reference(
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let mut aq = vec![0.0f32; a.len()];
+        quantize_f16_slice(a, &mut aq);
+        let mut bq = vec![0.0f32; b.len()];
+        quantize_f16_slice(b, &mut bq);
+        // materialise op(A)/op(B) row-major for gemm_naive
+        let av = View::new(ta, m, k);
+        let bv = View::new(tb, k, n);
+        let mut arm = vec![0.0f32; m * k];
+        for r in 0..m {
+            for cc in 0..k {
+                arm[r * k + cc] = aq[av.at(r, cc)];
+            }
+        }
+        let mut brm = vec![0.0f32; k * n];
+        for r in 0..k {
+            for cc in 0..n {
+                brm[r * n + cc] = bq[bv.at(r, cc)];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_naive(m, k, n, &arm, &brm, &mut c);
+        c
+    }
+
+    #[test]
+    fn hgemm_matches_quantised_reference() {
+        for (ta, tb) in [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let (m, k, n) = (37, 29, 23);
+            let a = fill(1, m * k, 2.0);
+            let b = fill(2, k * n, 2.0);
+            let mut c = vec![0.0f32; m * n];
+            hgemm_with_threads(1, ta, tb, m, k, n, &a, &b, &mut c);
+            let expect = quantised_reference(ta, tb, m, k, n, &a, &b);
+            for i in 0..c.len() {
+                let tol = 1e-4 * expect[i].abs().max(1.0);
+                assert!(
+                    (c[i] - expect[i]).abs() < tol,
+                    "{ta:?}{tb:?} c[{i}] {} vs {}",
+                    c[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hgemm_is_close_to_f32_gemm() {
+        let (m, k, n) = (64, 96, 48);
+        let a = fill(5, m * k, 1.0);
+        let b = fill(6, k * n, 1.0);
+        let mut cq = vec![0.0f32; m * n];
+        hgemm(Trans::N, Trans::N, m, k, n, &a, &b, &mut cq);
+        let mut cf = vec![0.0f32; m * n];
+        crate::kernels::sgemm(Trans::N, Trans::N, m, k, n, &a, &b, &mut cf);
+        // one binary16 rounding per operand: relative error ~k * 2^-11
+        // on the dot product magnitude; these operands keep it tiny.
+        for i in 0..cq.len() {
+            assert!(
+                (cq[i] - cf[i]).abs() < 0.05 * cf[i].abs().max(1.0),
+                "c[{i}] {} vs {}",
+                cq[i],
+                cf[i]
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_hgemm_matches_single_threaded() {
+        let (m, k, n) = (130, 70, 90);
+        let a = fill(11, m * k, 1.5);
+        let b = fill(12, k * n, 1.5);
+        let mut c1 = vec![0.0f32; m * n];
+        hgemm_with_threads(1, Trans::N, Trans::N, m, k, n, &a, &b, &mut c1);
+        let mut c4 = vec![0.0f32; m * n];
+        hgemm_with_threads(4, Trans::N, Trans::N, m, k, n, &a, &b, &mut c4);
+        for i in 0..c1.len() {
+            assert!((c1[i] - c4[i]).abs() < 1e-4 * c1[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn hgemm_accumulates_into_c() {
+        let (m, k, n) = (8, 8, 8);
+        let a = fill(21, m * k, 1.0);
+        let b = fill(22, k * n, 1.0);
+        let mut c = vec![1.0f32; m * n];
+        hgemm_with_threads(1, Trans::N, Trans::N, m, k, n, &a, &b, &mut c);
+        let mut expect = vec![1.0f32; m * n];
+        let add = quantised_reference(Trans::N, Trans::N, m, k, n, &a, &b);
+        for (e, &v) in expect.iter_mut().zip(&add) {
+            *e += v;
+        }
+        for i in 0..c.len() {
+            assert!((c[i] - expect[i]).abs() < 1e-4 * expect[i].abs().max(1.0));
+        }
+    }
+}

@@ -37,17 +37,18 @@ pub enum Trans {
 }
 
 /// Row-major view of `op(X)` as `rows x cols` over stored data: element
-/// `(r, c)` lives at `r*rs + c*cs`.
+/// `(r, c)` lives at `r*rs + c*cs`. Shared with the f16-storage GEMM in
+/// [`super::f16`].
 #[derive(Clone, Copy)]
-struct View {
-    rs: usize,
-    cs: usize,
+pub(crate) struct View {
+    pub(crate) rs: usize,
+    pub(crate) cs: usize,
 }
 
 impl View {
     /// View of `op(X)` with logical shape `rows x cols`; when `trans` is
     /// `T` the storage holds `cols x rows` row-major.
-    fn new(trans: Trans, rows: usize, cols: usize) -> View {
+    pub(crate) fn new(trans: Trans, rows: usize, cols: usize) -> View {
         match trans {
             Trans::N => View { rs: cols, cs: 1 },
             Trans::T => View { rs: 1, cs: rows },
@@ -55,7 +56,7 @@ impl View {
     }
 
     #[inline]
-    fn at(&self, r: usize, c: usize) -> usize {
+    pub(crate) fn at(&self, r: usize, c: usize) -> usize {
         r * self.rs + c * self.cs
     }
 }

@@ -170,7 +170,9 @@ impl Tensor {
             });
             // [cn*owo, ckk] x [ckk, o] with the weight read transposed
             // through strides, landing in this block's slice of [np, o].
-            sgemm(
+            // Forward conv routes through the quantised-inference dispatch;
+            // the backward GEMMs stay full-precision sgemm.
+            kernels::gemm_infer(
                 Trans::N,
                 Trans::T,
                 cn * owo,
