@@ -17,8 +17,16 @@ pub const RULES: &[&str] = &[
     "lock-hygiene",
     "condvar-wait-loop",
     "telemetry-names",
+    "panic-reachability",
+    "lock-order-cycle",
+    "hot-path-alloc",
     "bad-allow",
 ];
+
+/// The interprocedural rules: they run over the whole workspace call
+/// graph, never per file, so `--changed` does not narrow them.
+pub const INTERPROC_RULES: &[&str] =
+    &["panic-reachability", "lock-order-cycle", "hot-path-alloc"];
 
 /// Is `rule` a known rule id?
 pub fn is_rule(rule: &str) -> bool {
@@ -48,6 +56,19 @@ impl Scope {
 pub struct Config {
     /// When set, only this rule runs (`dcdiff lint --rule <id>`).
     pub only: Option<String>,
+    /// When set (`dcdiff lint --changed`), file-local rules run only on
+    /// these workspace-relative paths; the interprocedural rules still
+    /// see the whole workspace, and unused-allow detection is skipped
+    /// (it needs a full run to know an allow suppressed nothing).
+    pub changed: Option<Vec<String>>,
+    /// Request-path entry points for `panic-reachability` and `--why`,
+    /// matched as `::`-boundary symbol suffixes. Defaults to
+    /// [`crate::interproc::DEFAULT_ENTRIES`].
+    pub entries: Vec<String>,
+    /// Count `assert!`-family macros as panic sites for
+    /// `panic-reachability`. Off by default: asserts encode
+    /// programmer-error contracts, not input-driven availability hazards.
+    pub include_asserts: bool,
     /// Per-rule scopes, parallel to [`RULES`].
     scopes: Vec<(&'static str, Scope)>,
 }
@@ -71,6 +92,10 @@ impl Config {
     ///   runtime.
     /// * `telemetry-names` — workspace-wide except vendored shims and test
     ///   code (tests pin wire formats with raw literals on purpose).
+    /// * `panic-reachability` / `lock-order-cycle` / `hot-path-alloc` —
+    ///   the interprocedural rules; they walk the whole workspace call
+    ///   graph and anchor findings at the offending site, so their scope
+    ///   is everything but the vendored shims.
     /// * `bad-allow` — everywhere: a malformed escape hatch is never okay.
     pub fn default_workspace() -> Config {
         let scope = |include: &[&str], exclude: &[&str]| Scope {
@@ -79,6 +104,12 @@ impl Config {
         };
         Config {
             only: None,
+            changed: None,
+            entries: crate::interproc::DEFAULT_ENTRIES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            include_asserts: false,
             scopes: vec![
                 (
                     "no-panic",
@@ -127,6 +158,14 @@ impl Config {
                     "telemetry-names",
                     scope(&[], &["vendor/", "/tests/", "tests/"]),
                 ),
+                // The interprocedural rules anchor findings at the
+                // offending site, which may be anywhere the request path
+                // reaches — scope is the whole workspace minus the
+                // vendored shims (the fact extractor already skips test
+                // regions, examples, and benches).
+                ("panic-reachability", scope(&[], &["vendor/"])),
+                ("lock-order-cycle", scope(&[], &["vendor/"])),
+                ("hot-path-alloc", scope(&[], &["vendor/"])),
                 ("bad-allow", scope(&[], &["vendor/"])),
             ],
         }
@@ -184,6 +223,18 @@ mod tests {
         assert!(!cfg.in_scope("unsafe-audit", "vendor/rand/src/lib.rs"));
         assert!(!cfg.in_scope("telemetry-names", "crates/telemetry/tests/telemetry.rs"));
         assert!(cfg.in_scope("telemetry-names", "crates/runtime/src/exec.rs"));
+    }
+
+    #[test]
+    fn interprocedural_rules_cover_everything_but_vendor() {
+        let cfg = Config::default_workspace();
+        for rule in INTERPROC_RULES {
+            assert!(cfg.in_scope(rule, "crates/core/src/estimator.rs"));
+            assert!(cfg.in_scope(rule, "crates/tensor/src/kernels/gemm.rs"));
+            assert!(!cfg.in_scope(rule, "vendor/rand/src/lib.rs"));
+        }
+        assert!(!cfg.entries.is_empty());
+        assert!(!cfg.include_asserts);
     }
 
     #[test]

@@ -2,8 +2,24 @@
 
 use std::fmt;
 
-/// One finding from one rule at one source location.
+use crate::graph::GraphStats;
+
+/// One step of an entry-point→offense call chain. The first step is the
+/// entry function at its definition; each later step names the callee,
+/// located at the call site inside its caller (for lock-order cycles the
+/// `symbol` describes the acquired-while-held edge instead).
 #[derive(Debug, Clone)]
+pub struct ChainStep {
+    /// Fully-qualified symbol (or edge description).
+    pub symbol: String,
+    /// Workspace-relative path of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// One finding from one rule at one source location.
+#[derive(Debug, Clone, Default)]
 pub struct Diagnostic {
     /// Rule identifier, e.g. `no-panic`.
     pub rule: &'static str,
@@ -17,6 +33,9 @@ pub struct Diagnostic {
     pub snippet: String,
     /// How to fix it (or how to annotate it away with a reason).
     pub hint: String,
+    /// For interprocedural rules: the full call chain from the entry
+    /// point (or hot function) to the offense. Empty for file-local rules.
+    pub chain: Vec<ChainStep>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -24,6 +43,14 @@ impl fmt::Display for Diagnostic {
         writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
         if !self.snippet.is_empty() {
             writeln!(f, "    | {}", self.snippet)?;
+        }
+        for (i, step) in self.chain.iter().enumerate() {
+            let arrow = if i == 0 { "chain:" } else { "   ->" };
+            writeln!(
+                f,
+                "    {arrow} {} ({}:{})",
+                step.symbol, step.file, step.line
+            )?;
         }
         if !self.hint.is_empty() {
             writeln!(f, "    = hint: {}", self.hint)?;
@@ -41,6 +68,9 @@ pub struct Report {
     pub files: usize,
     /// `// analysis: allow(...)` annotations honoured (sites exempted).
     pub allows_used: usize,
+    /// Call-graph resolution statistics, when the interprocedural rules
+    /// ran (None under `--rule <file-local-rule>`).
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -62,6 +92,23 @@ impl Report {
         out.push_str(&self.files.to_string());
         out.push_str(",\"allows_used\":");
         out.push_str(&self.allows_used.to_string());
+        if let Some(g) = &self.graph {
+            out.push_str(",\"graph\":{\"functions\":");
+            out.push_str(&g.functions.to_string());
+            out.push_str(",\"calls\":");
+            out.push_str(&g.calls.to_string());
+            out.push_str(",\"resolved\":");
+            out.push_str(&g.resolved.to_string());
+            out.push_str(",\"external\":");
+            out.push_str(&g.external.to_string());
+            out.push_str(",\"unresolved\":");
+            out.push_str(&g.unresolved.to_string());
+            out.push_str(",\"unresolved_rate\":");
+            out.push_str(&format!("{:.4}", g.unresolved_rate()));
+            out.push_str(",\"hot_functions\":");
+            out.push_str(&g.hot_functions.to_string());
+            out.push('}');
+        }
         out.push_str(",\"violations\":");
         out.push_str(&self.diagnostics.len().to_string());
         out.push_str(",\"diagnostics\":[");
@@ -69,19 +116,33 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"rule\":\"");
+            // `escape_into` wraps its argument in quotes itself.
+            out.push_str("{\"rule\":");
             dcdiff_telemetry::json::escape_into(&mut out, d.rule);
-            out.push_str("\",\"file\":\"");
+            out.push_str(",\"file\":");
             dcdiff_telemetry::json::escape_into(&mut out, &d.file);
-            out.push_str("\",\"line\":");
+            out.push_str(",\"line\":");
             out.push_str(&d.line.to_string());
-            out.push_str(",\"message\":\"");
+            out.push_str(",\"message\":");
             dcdiff_telemetry::json::escape_into(&mut out, &d.message);
-            out.push_str("\",\"snippet\":\"");
+            out.push_str(",\"snippet\":");
             dcdiff_telemetry::json::escape_into(&mut out, &d.snippet);
-            out.push_str("\",\"hint\":\"");
+            out.push_str(",\"hint\":");
             dcdiff_telemetry::json::escape_into(&mut out, &d.hint);
-            out.push_str("\"}");
+            out.push_str(",\"chain\":[");
+            for (j, step) in d.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"symbol\":");
+                dcdiff_telemetry::json::escape_into(&mut out, &step.symbol);
+                out.push_str(",\"file\":");
+                dcdiff_telemetry::json::escape_into(&mut out, &step.file);
+                out.push_str(",\"line\":");
+                out.push_str(&step.line.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -115,6 +176,7 @@ mod tests {
             message: "`unwrap()` on untrusted data".to_string(),
             snippet: "let v = table.unwrap();".to_string(),
             hint: "propagate a JpegError instead".to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -141,6 +203,54 @@ mod tests {
         assert!(json.contains("\"violations\":1"));
         // the inner quotes must be escaped, not terminate the string early
         assert!(json.contains(r#"panic!(\"bad byte\")"#));
+    }
+
+    #[test]
+    fn chain_renders_in_display_and_json() {
+        let mut d = sample();
+        d.rule = "panic-reachability";
+        d.chain = vec![
+            ChainStep {
+                symbol: "dcdiff_serve::server::handle_connection".to_string(),
+                file: "crates/serve/src/server.rs".to_string(),
+                line: 301,
+            },
+            ChainStep {
+                symbol: "dcdiff_jpeg::codec::decode".to_string(),
+                file: "crates/serve/src/server.rs".to_string(),
+                line: 412,
+            },
+        ];
+        let text = d.to_string();
+        assert!(text.contains("chain: dcdiff_serve::server::handle_connection"));
+        assert!(text.contains("-> dcdiff_jpeg::codec::decode (crates/serve/src/server.rs:412)"));
+        let mut report = Report::default();
+        report.diagnostics.push(d);
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"chain\":[{\"symbol\":\"dcdiff_serve::server::handle_connection\""
+        ));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn graph_stats_serialise_when_present() {
+        let report = Report {
+            graph: Some(crate::graph::GraphStats {
+                functions: 10,
+                calls: 40,
+                resolved: 30,
+                external: 8,
+                unresolved: 2,
+                hot_functions: 3,
+                unresolved_names: Vec::new(),
+            }),
+            ..Report::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"graph\":{\"functions\":10,\"calls\":40,"));
+        assert!(json.contains("\"unresolved_rate\":0.0500"));
+        assert!(json.contains("\"hot_functions\":3"));
     }
 
     #[test]

@@ -124,6 +124,7 @@ pub fn reconcile(
                 hint: "run `dcdiff lint --update-ledger`, then replace the TODO justification \
                        with the reviewed soundness argument"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -141,6 +142,7 @@ pub fn reconcile(
                 snippet: format!("| `{}` | {} | {} | … |", e.file, e.lines, e.kind),
                 hint: "run `dcdiff lint --update-ledger` to drop rows for removed unsafe code"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }

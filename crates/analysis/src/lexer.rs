@@ -464,6 +464,21 @@ mod tests {
     }
 
     #[test]
+    fn shift_operators_and_generic_closes_keep_idents_intact() {
+        let src = "let x = a >> 2; let v: Vec<Vec<u8>> = Vec::new();";
+        let toks = kinds(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            idents,
+            vec!["let", "x", "a", "let", "v", "Vec", "Vec", "u8", "Vec", "new"]
+        );
+    }
+
+    #[test]
     fn multi_hash_raw_strings() {
         let src = r###"let s = r##"contains "# inside"##;"###;
         let toks = kinds(src);

@@ -396,6 +396,16 @@ mod tests {
     }
 
     #[test]
+    fn fn_with_nested_generic_bounds_still_finds_its_body() {
+        // `Into<Vec<Vec<u8>>>` closes three generics at once; the body
+        // finder must not mistake any of it for the fn's block.
+        let src = "fn f<T: Into<Vec<Vec<u8>>>, const N: usize>(x: [T; N]) -> Result<Vec<Vec<u8>>, ()> {\n    loop { g(); }\n}\n";
+        let m = FileModel::build(src);
+        let intros: Vec<_> = m.blocks.iter().map(|b| b.introducer).collect();
+        assert_eq!(intros, vec![Introducer::Fn, Introducer::Loop]);
+    }
+
+    #[test]
     fn enclosing_blocks_are_innermost_last() {
         let src = "fn f() { loop { g(); } }";
         let m = FileModel::build(src);

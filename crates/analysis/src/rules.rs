@@ -20,6 +20,19 @@ pub struct Allow {
     pub rule: String,
     /// Line the comment sits on; it covers this line and the next.
     pub line: u32,
+    /// Did this annotation suppress at least one finding? File-local
+    /// rules set it in [`check_file_model`]; the workspace pass also sets
+    /// it when an interprocedural finding is suppressed. An allow still
+    /// false after a full run is itself a `bad-allow` finding.
+    pub used: bool,
+}
+
+impl Allow {
+    /// Does this annotation cover a finding of `rule` at `line` (its own
+    /// line or the line directly below)?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
 }
 
 /// Result of checking one file.
@@ -29,14 +42,32 @@ pub struct FileFindings {
     pub diagnostics: Vec<Diagnostic>,
     /// How many allow annotations actually suppressed something.
     pub allows_used: usize,
+    /// Every well-formed allow annotation in the file, with its used
+    /// flag, for workspace-level interproc filtering and unused-allow
+    /// detection.
+    pub allows: Vec<Allow>,
     /// Unsafe sites for workspace-level ledger reconciliation (empty when
     /// the file is outside the `unsafe-ledger` scope).
     pub unsafe_sites: Vec<UnsafeSite>,
 }
 
-/// Run every in-scope rule over one file.
+/// Run every in-scope rule over one file (building the model here).
 pub fn check_file(rel: &str, src: &str, cfg: &Config) -> FileFindings {
     let model = FileModel::build(src);
+    check_file_model(rel, src, &model, cfg, true)
+}
+
+/// Run the file-local pipeline over a prebuilt [`FileModel`]. With
+/// `local_rules` false (a `--changed` run on an untouched file) no rule
+/// diagnostics are produced, but allows and unsafe sites are still
+/// collected — the interprocedural pass and ledger need them regardless.
+pub fn check_file_model(
+    rel: &str,
+    src: &str,
+    model: &FileModel,
+    cfg: &Config,
+    local_rules: bool,
+) -> FileFindings {
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -45,41 +76,42 @@ pub fn check_file(rel: &str, src: &str, cfg: &Config) -> FileFindings {
     };
 
     let mut raw: Vec<Diagnostic> = Vec::new();
-    let (allows, mut bad_allow_diags) = collect_allows(rel, &model, &snippet);
-    if cfg.in_scope("bad-allow", rel) {
-        raw.append(&mut bad_allow_diags);
-    }
-    if cfg.in_scope("no-panic", rel) {
-        no_panic(rel, src, &model, &snippet, &mut raw);
-    }
-    if cfg.in_scope("no-unchecked-index", rel) {
-        no_unchecked_index(rel, src, &model, &snippet, &mut raw);
-    }
-    if cfg.in_scope("unsafe-audit", rel) {
-        unsafe_audit(rel, &model, &snippet, &mut raw);
-    }
-    if cfg.in_scope("lock-hygiene", rel) {
-        lock_hygiene(rel, src, &model, &snippet, &mut raw);
-    }
-    if cfg.in_scope("condvar-wait-loop", rel) {
-        condvar_wait_loop(rel, src, &model, &snippet, &mut raw);
-    }
-    if cfg.in_scope("telemetry-names", rel) {
-        telemetry_names(rel, src, &model, &snippet, &mut raw);
+    let (mut allows, mut bad_allow_diags) = collect_allows(rel, model, &snippet);
+    if local_rules {
+        if cfg.in_scope("bad-allow", rel) {
+            raw.append(&mut bad_allow_diags);
+        }
+        if cfg.in_scope("no-panic", rel) {
+            no_panic(rel, src, model, &snippet, &mut raw);
+        }
+        if cfg.in_scope("no-unchecked-index", rel) {
+            no_unchecked_index(rel, src, model, &snippet, &mut raw);
+        }
+        if cfg.in_scope("unsafe-audit", rel) {
+            unsafe_audit(rel, model, &snippet, &mut raw);
+        }
+        if cfg.in_scope("lock-hygiene", rel) {
+            lock_hygiene(rel, src, model, &snippet, &mut raw);
+        }
+        if cfg.in_scope("condvar-wait-loop", rel) {
+            condvar_wait_loop(rel, src, model, &snippet, &mut raw);
+        }
+        if cfg.in_scope("telemetry-names", rel) {
+            telemetry_names(rel, src, model, &snippet, &mut raw);
+        }
     }
 
     // Filter through allow annotations. `bad-allow` findings cannot be
     // allowed away — the escape hatch does not apply to itself.
-    let mut used = vec![false; allows.len()];
     let diagnostics: Vec<Diagnostic> = raw
         .into_iter()
         .filter(|d| {
             if d.rule == "bad-allow" {
                 return true;
             }
-            for (i, a) in allows.iter().enumerate() {
-                if a.rule == d.rule && (d.line == a.line || d.line == a.line + 1) {
-                    used[i] = true;
+            for a in allows.iter_mut() {
+                if a.covers(d.rule, d.line) {
+                    a.used = true;
                     return false;
                 }
             }
@@ -94,7 +126,8 @@ pub fn check_file(rel: &str, src: &str, cfg: &Config) -> FileFindings {
     };
     FileFindings {
         diagnostics,
-        allows_used: used.iter().filter(|u| **u).count(),
+        allows_used: allows.iter().filter(|a| a.used).count(),
+        allows,
         unsafe_sites,
     }
 }
@@ -150,6 +183,7 @@ fn collect_allows(
         allows.push(Allow {
             rule: rule.to_string(),
             line: c.line,
+            used: false,
         });
     }
     (allows, diags)
@@ -165,6 +199,7 @@ fn bad_allow(rel: &str, line: u32, snippet: &dyn Fn(u32) -> String, why: &str) -
         hint: "write `// analysis: allow(<rule>) — <reason>` with a known rule id and a \
                non-empty reason"
             .to_string(),
+        chain: Vec::new(),
     }
 }
 
@@ -204,6 +239,7 @@ fn no_panic(
                 hint: "propagate an error (`?`, `ok_or_else`) or handle the `None`/`Err` arm \
                        explicitly"
                     .to_string(),
+                chain: Vec::new(),
             });
         } else if MACROS.contains(&text) && next == Some("!") && prev != Some(".") {
             out.push(Diagnostic {
@@ -215,6 +251,7 @@ fn no_panic(
                 hint: "return an error for recoverable states; if this is a documented caller \
                        contract, annotate with `// analysis: allow(no-panic) — <contract>`"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -269,6 +306,7 @@ fn no_unchecked_index(
                    in-bounds access annotate with `// analysis: allow(no-unchecked-index) — \
                    <bound argument>`"
                 .to_string(),
+            chain: Vec::new(),
         });
     }
 }
@@ -307,6 +345,7 @@ fn unsafe_audit(
                 hint: "state the invariant that makes this sound in a `// SAFETY:` comment \
                        directly above the site"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -344,6 +383,7 @@ fn lock_hygiene(
                        `.unwrap_or_else(std::sync::PoisonError::into_inner)` (see the runtime \
                        queue's `lock()` helper)"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -399,6 +439,7 @@ fn condvar_wait_loop(
                 hint: "re-check the predicate in a `while` loop around the wait, or use \
                        `wait_while`"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -458,6 +499,7 @@ fn telemetry_names(
                 hint: "add a constant to crates/telemetry/src/names.rs and reference it, so \
                        dashboards and `dcdiff report` see the name"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
     }

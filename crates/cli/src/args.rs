@@ -29,6 +29,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--log-level",
     "--rule",
     "--root",
+    "--entry",
+    "--why",
+    "--max-unresolved",
     "--addr",
     "--class",
     "--max-conns",
@@ -49,6 +52,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--update-ledger",
     "--dc-plane",
     "--once",
+    "--graph",
+    "--changed",
 ];
 
 impl Parsed {
@@ -102,6 +107,14 @@ impl Parsed {
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// All values of a repeatable flag, in order (`--entry a --entry b`).
+    pub fn values<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.flags
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
     }
 
     /// Integer value of a flag with a default.
@@ -200,6 +213,15 @@ mod tests {
         assert_eq!(p.size("--size", (0, 0)).unwrap(), (128, 96));
         let bad = parse(&["--size", "128"]);
         assert!(bad.size("--size", (0, 0)).is_err());
+    }
+
+    #[test]
+    fn repeatable_value_flags_collect_in_order() {
+        let p = parse(&["lint", "--entry", "a::b", "--graph", "--entry", "c::d"]);
+        let entries: Vec<_> = p.values("--entry").collect();
+        assert_eq!(entries, vec!["a::b", "c::d"]);
+        assert!(p.has("--graph"));
+        assert_eq!(p.values("--rule").count(), 0);
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub const USAGE: &str = "usage:
                                      [--class interactive|standard|bulk]
                                      [--dc-plane]
   dcdiff top     <addr>              [--interval-ms MS] [--once]
-  dcdiff lint    [--rule <id>] [--json] [--root DIR] [--update-ledger]";
+  dcdiff lint    [--rule <id>] [--json] [--root DIR] [--update-ledger]
+                 [--changed] [--graph] [--entry SYM]... [--why SYM]
+                 [--max-unresolved RATE]";
 
 /// Dispatch the parsed command line.
 ///
@@ -777,7 +779,12 @@ fn render_top(addr: &str, samples: &[dcdiff_telemetry::prometheus::Sample]) -> S
 /// emits the machine-readable report (for the CI artifact), `--root DIR`
 /// lints a different tree, and `--update-ledger` regenerates
 /// `UNSAFE_LEDGER.md` from the workspace's unsafe sites instead of
-/// linting.
+/// linting. The interprocedural engine adds `--changed` (file-local rules
+/// only on git-modified files), `--entry SYM` (override the request-path
+/// entry points, repeatable), `--graph` (print call-graph resolution
+/// stats), `--why SYM` (print every call chain from an entry point or hot
+/// function to SYM, instead of linting), and `--max-unresolved RATE`
+/// (fail when the call-graph unresolved rate exceeds RATE, e.g. `0.10`).
 fn lint(parsed: &Parsed) -> Result<(), String> {
     let root = std::path::PathBuf::from(parsed.value("--root").unwrap_or("."));
     let mut cfg = dcdiff_analysis::Config::default_workspace();
@@ -790,6 +797,13 @@ fn lint(parsed: &Parsed) -> Result<(), String> {
         }
         cfg.only = Some(rule.to_string());
     }
+    let entries: Vec<String> = parsed.values("--entry").map(str::to_string).collect();
+    if !entries.is_empty() {
+        cfg.entries = entries;
+    }
+    if parsed.has("--changed") {
+        cfg.changed = Some(git_changed_files(&root)?);
+    }
     if parsed.has("--update-ledger") {
         let ledger = dcdiff_analysis::generate_ledger(&root, &cfg)?;
         let path = root.join(dcdiff_analysis::LEDGER_FILE);
@@ -797,11 +811,56 @@ fn lint(parsed: &Parsed) -> Result<(), String> {
         println!("wrote {}", path.display());
         return Ok(());
     }
-    let report = dcdiff_analysis::analyze_workspace(&root, &cfg)?;
+    let analyzed = dcdiff_analysis::analyze_workspace_graph(&root, &cfg)?;
+    if let Some(symbol) = parsed.value("--why") {
+        let Some(graph) = &analyzed.graph else {
+            return Err("--why needs the interprocedural rules enabled \
+                        (drop --rule, or name an interprocedural rule)"
+                .to_string());
+        };
+        let chains = dcdiff_analysis::interproc::why(&analyzed.facts, graph, &cfg, symbol);
+        if chains.is_empty() {
+            println!("`{symbol}` is not reachable from any entry point or hot function");
+            return Ok(());
+        }
+        for chain in &chains {
+            for (i, step) in chain.iter().enumerate() {
+                let arrow = if i == 0 { "  " } else { "-> " };
+                println!("{arrow}{} ({}:{})", step.symbol, step.file, step.line);
+            }
+            println!();
+        }
+        return Ok(());
+    }
+    let report = &analyzed.report;
     if parsed.has("--json") {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
+        if parsed.has("--graph") {
+            if let Some(g) = &report.graph {
+                print!("{}", render_graph_stats(g));
+            }
+        }
+    }
+    if let Some(max) = parsed.value("--max-unresolved") {
+        let max: f64 = max
+            .parse()
+            .map_err(|_| format!("flag --max-unresolved: '{max}' is not a number"))?;
+        let Some(g) = &report.graph else {
+            return Err("--max-unresolved needs the call graph \
+                        (drop --rule, or name an interprocedural rule)"
+                .to_string());
+        };
+        if g.unresolved_rate() > max {
+            return Err(format!(
+                "call-graph unresolved rate {:.4} exceeds --max-unresolved {max} \
+                 ({} of {} calls; run with --graph to list them)",
+                g.unresolved_rate(),
+                g.unresolved,
+                g.calls
+            ));
+        }
     }
     if report.is_clean() {
         Ok(())
@@ -811,6 +870,51 @@ fn lint(parsed: &Parsed) -> Result<(), String> {
             report.diagnostics.len()
         ))
     }
+}
+
+/// Workspace-relative `.rs` files touched per `git diff` (staged and
+/// unstaged, against `HEAD`), for `dcdiff lint --changed`.
+fn git_changed_files(root: &std::path::Path) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", "HEAD"])
+        .output()
+        .map_err(|e| format!("--changed: cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "--changed: git diff failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Human-readable call-graph resolution summary for `lint --graph`.
+fn render_graph_stats(g: &dcdiff_analysis::graph::GraphStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "call graph: {} function(s) ({} hot), {} call(s): {} resolved, \
+         {} external, {} unresolved ({:.2}%)",
+        g.functions,
+        g.hot_functions,
+        g.calls,
+        g.resolved,
+        g.external,
+        g.unresolved,
+        g.unresolved_rate() * 100.0
+    );
+    for (name, count) in g.unresolved_names.iter().take(20) {
+        let _ = writeln!(out, "  unresolved: {name} ({count} site(s))");
+    }
+    out
 }
 
 #[cfg(test)]

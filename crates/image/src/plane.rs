@@ -75,6 +75,7 @@ impl Plane {
                 data.push(f(x, y));
             }
         }
+        // analysis: allow(panic-reachability) — the vec is filled to exactly width*height by the loops above
         Self::from_vec(width, height, data).expect("from_fn dimensions are consistent")
     }
 

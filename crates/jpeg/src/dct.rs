@@ -89,6 +89,7 @@ pub fn idct_ref(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
 
 /// 1-D 8-point forward DCT on a strided slice.
 #[inline]
+// analysis: hot
 fn fdct_1d(data: &mut [f32; BLOCK_AREA], offset: usize, stride: usize) {
     let mut tmp = [0.0f32; BLOCK];
     let t = cos_table();
@@ -106,6 +107,7 @@ fn fdct_1d(data: &mut [f32; BLOCK_AREA], offset: usize, stride: usize) {
 
 /// 1-D 8-point inverse DCT on a strided slice.
 #[inline]
+// analysis: hot
 fn idct_1d(data: &mut [f32; BLOCK_AREA], offset: usize, stride: usize) {
     let mut tmp = [0.0f32; BLOCK];
     let t = cos_table();

@@ -223,6 +223,7 @@ impl HuffmanTable {
     /// end-of-data or a marker take [`Self::decode_bitwise`], which is
     /// bit-for-bit the pre-LUT decoder. While [`crate::simd::force_scalar`]
     /// pins the reference pipeline, every symbol takes the bitwise tier.
+    // analysis: hot
     pub fn decode(&self, reader: &mut BitReader<'_>) -> Option<u8> {
         if crate::simd::scalar_forced() {
             // `force_scalar` pins the whole reference pipeline, entropy
@@ -244,6 +245,7 @@ impl HuffmanTable {
 
     /// Bit-by-bit canonical decode (T.81 F.2.2.3), the slow tier behind
     /// [`Self::decode`] and the oracle the LUT path is tested against.
+    // analysis: hot
     pub fn decode_bitwise(&self, reader: &mut BitReader<'_>) -> Option<u8> {
         let mut code: i32 = 0;
         for l in 1..=16usize {

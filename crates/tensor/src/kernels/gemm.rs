@@ -83,7 +83,7 @@ struct Micro {
 /// registers and let LLVM vectorise for whatever the build target offers.
 // SAFETY: unsafe fn — callers uphold the `Micro::kernel` contract (packed
 // strip and accumulator sizes); no ISA requirement beyond the build target.
-unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) { // analysis: hot
     const MR: usize = 4;
     const NR: usize = 8;
     let mut tile = [[0.0f32; NR]; MR];
@@ -110,7 +110,7 @@ unsafe fn micro_portable_4x8(kc: usize, astrip: *const f32, bstrip: *const f32, 
 #[target_feature(enable = "avx2,fma")]
 // SAFETY: unsafe fn — `Micro::kernel` contract plus a CPU with avx2+fma;
 // detect_micro only selects this kernel after checking the feature bits.
-unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) { // analysis: hot
     #[cfg(target_arch = "x86")]
     use std::arch::x86::*;
     #[cfg(target_arch = "x86_64")]
@@ -146,7 +146,7 @@ unsafe fn micro_avx2_6x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc
 #[target_feature(enable = "avx512f")]
 // SAFETY: unsafe fn — `Micro::kernel` contract plus a CPU with avx512f;
 // detect_micro only selects this kernel after checking the feature bit.
-unsafe fn micro_avx512_14x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) {
+unsafe fn micro_avx512_14x16(kc: usize, astrip: *const f32, bstrip: *const f32, acc: *mut f32) { // analysis: hot
     use std::arch::x86_64::*;
     const MR: usize = 14;
     // SAFETY: every load/store indexes below kc*16 (B), kc*MR (A) or MR*16

@@ -129,6 +129,7 @@ fn pool() -> &'static Pool {
             std::thread::Builder::new()
                 .name(format!("dcdiff-kernel-{i}"))
                 .spawn(move || worker_loop(jobs))
+                // analysis: allow(panic-reachability) — thread-spawn failure at pool init is an unrecoverable environment fault
                 .expect("spawn kernel pool worker");
         }
         Pool { sender: Mutex::new(sender), workers }
@@ -173,6 +174,7 @@ pub fn parallel_for(total: usize, f: &(dyn Fn(usize) + Sync)) {
         for _ in 0..kicks {
             sender
                 .send(Kick { region: region_ptr, latch: &latch })
+                // analysis: allow(panic-reachability) — the receiver is leaked at pool init and never dropped
                 .expect("kernel pool workers alive");
         }
     }

@@ -227,6 +227,7 @@ impl Tensor {
                     }
                 });
                 if parents[1].tracks_grad() {
+                    // analysis: allow(panic-reachability) — forward retains `cols` whenever the weight tracks grad
                     let cols = cols.as_deref().expect("columns retained when weight tracks grad");
                     // dW [o, ckk] = dOutᵀ [o, np] · cols [np, ckk]
                     let mut gw = vec![0.0f32; o * ckk];

@@ -1,13 +1,22 @@
 //! Workspace self-check: the committed tree must satisfy every
 //! `dcdiff-analysis` contract (panic-freedom in untrusted crates, audited
 //! unsafe reconciled against `UNSAFE_LEDGER.md`, lock/condvar hygiene,
-//! registered telemetry names). This is the same check CI gates on via
-//! `dcdiff lint`; running it as a test keeps `cargo test` and the CI lint
-//! step from drifting apart.
+//! registered telemetry names, and the interprocedural reachability
+//! rules). This is the same check CI gates on via `dcdiff lint`; running
+//! it as a test keeps `cargo test` and the CI lint step from drifting
+//! apart.
 
 use std::path::Path;
 
-use dcdiff_analysis::{analyze_workspace, Config, RULES};
+use dcdiff_analysis::{analyze_workspace, analyze_workspace_graph, Config, RULES};
+
+/// Ceiling on the call-graph unresolved rate. Must match the
+/// `--max-unresolved` value in `.github/workflows/ci.yml`: the
+/// interprocedural rules are blind to calls the resolver cannot place,
+/// so resolution quality is itself a gated contract. Actual rate on the
+/// committed tree is ~0.001; the order-of-magnitude headroom absorbs
+/// ordinary growth without letting a real resolver regression through.
+const MAX_UNRESOLVED_RATE: f64 = 0.01;
 
 fn workspace_root() -> &'static Path {
     // The root package's manifest dir IS the workspace root.
@@ -42,6 +51,30 @@ fn every_rule_runs_clean_in_isolation() {
             report.render()
         );
     }
+}
+
+#[test]
+fn call_graph_resolution_stays_under_threshold() {
+    let analyzed = analyze_workspace_graph(workspace_root(), &Config::default_workspace())
+        .expect("workspace walk succeeds");
+    let stats = analyzed
+        .report
+        .graph
+        .as_ref()
+        .expect("interprocedural rules ran, so graph stats exist");
+    assert!(stats.functions > 0, "fact extraction found no functions");
+    assert!(
+        stats.hot_functions > 0,
+        "no `// analysis: hot` functions found — hot-path-alloc is checking nothing"
+    );
+    assert!(
+        stats.unresolved_rate() <= MAX_UNRESOLVED_RATE,
+        "call-graph unresolved rate {:.4} exceeds {MAX_UNRESOLVED_RATE} \
+         ({} of {} calls); run `dcdiff lint --graph` to list the sites",
+        stats.unresolved_rate(),
+        stats.unresolved,
+        stats.calls
+    );
 }
 
 #[test]
